@@ -1,0 +1,63 @@
+// Command benchgen emits the synthetic Table II benchmark placements as
+// placed DEF files (one per design) plus the embedded LEF, so external
+// tools — or the dscts CLI via -def — can consume them.
+//
+//	benchgen -out ./benchmarks [-seed 1] [-design C3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dscts/internal/bench"
+	"dscts/internal/lef"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "benchmarks", "output directory")
+		seed   = flag.Int64("seed", 1, "placement seed")
+		design = flag.String("design", "", "single design to emit (default: all)")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	designs := bench.Suite()
+	if *design != "" {
+		d, err := bench.ByID(*design)
+		if err != nil {
+			fatal(err)
+		}
+		designs = []bench.Design{d}
+	}
+	for _, d := range designs {
+		p := bench.Generate(d, *seed)
+		path := filepath.Join(*out, fmt.Sprintf("%s_%s.def", d.ID, d.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.ToDEF().Write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d FFs, die %.0fx%.0f um -> %s\n",
+			d.ID, len(p.Sinks), p.Die.W(), p.Die.H(), path)
+	}
+	lefPath := filepath.Join(*out, "asap7_min.lef")
+	if err := os.WriteFile(lefPath, []byte(lef.Embedded), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("library -> %s\n", lefPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command dscts runs the double-side CTS flow on a DEF file (or a named
+// Table II benchmark) and prints the resulting clock-tree metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/def"
+	"dscts/internal/export"
+	"dscts/internal/power"
+	"dscts/internal/tech"
+	"dscts/internal/viz"
+)
+
+func main() {
+	var (
+		defPath   = flag.String("def", "", "input placed DEF file (with a clk pin/net)")
+		design    = flag.String("design", "", "built-in benchmark to run (C1..C5 or name)")
+		seed      = flag.Int64("seed", 1, "benchmark generation seed")
+		single    = flag.Bool("single-side", false, "disable nTSVs (front-side-only CTS)")
+		fanout    = flag.Int("fanout", 0, "fanout threshold for heterogeneous DP (0 = full mode)")
+		skipSR    = flag.Bool("no-sr", false, "skip skew refinement")
+		alpha     = flag.Float64("alpha", 1, "MOES latency weight")
+		beta      = flag.Float64("beta", 10, "MOES buffer weight")
+		gamma     = flag.Float64("gamma", 1, "MOES nTSV weight")
+		svgOut    = flag.String("svg", "", "write an SVG rendering of the tree")
+		defOut    = flag.String("export-def", "", "legalize cells and write the clock tree as DEF")
+		showPower = flag.Bool("power", false, "print the clock power breakdown @1GHz/0.7V")
+	)
+	flag.Parse()
+	tc := tech.ASAP7()
+
+	var rootX, rootY float64
+	var sinks int
+	opt := core.Options{
+		FanoutThreshold: *fanout,
+		SkipRefine:      *skipSR,
+		Alpha:           *alpha, Beta: *beta, Gamma: *gamma,
+	}
+	if *single {
+		opt.Mode = core.SingleSide
+	}
+
+	var p *bench.Placement
+	switch {
+	case *defPath != "":
+		f, err := os.Open(*defPath)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := def.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		p, err = bench.FromDEF(parsed)
+		if err != nil {
+			fatal(err)
+		}
+	case *design != "":
+		d, err := bench.ByID(*design)
+		if err != nil {
+			fatal(err)
+		}
+		p = bench.Generate(d, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dscts -def file.def | -design C1..C5 [flags]")
+		os.Exit(2)
+	}
+	rootX, rootY, sinks = p.Root.X, p.Root.Y, len(p.Sinks)
+
+	out, err := core.Synthesize(p.Root, p.Sinks, tc, opt)
+	if err != nil {
+		fatal(err)
+	}
+	m := out.Metrics
+	fmt.Printf("design   %s (%d sinks, root %.1f,%.1f)\n", p.Design.Name, sinks, rootX, rootY)
+	fmt.Printf("latency  %.3f ps\n", m.Latency)
+	fmt.Printf("skew     %.3f ps\n", m.Skew)
+	fmt.Printf("buffers  %d\n", m.Buffers)
+	fmt.Printf("nTSVs    %d\n", m.NTSVs)
+	fmt.Printf("clk WL   %.1f um (%.3f x1e6 nm)\n", m.WL, m.WL*1000/1e6)
+	fmt.Printf("runtime  %.3fs (route %.3fs, insert %.3fs, refine %.3fs)\n",
+		out.TotalTime.Seconds(), out.RouteTime.Seconds(), out.InsertTime.Seconds(), out.RefineTime.Seconds())
+	if out.Refine != nil && out.Refine.Triggered {
+		fmt.Printf("skew refinement: %d buffers, skew %.3f -> %.3f ps\n",
+			out.Refine.Inserted, out.Refine.Before.Skew, out.Refine.After.Skew)
+	}
+	fmt.Printf("DP: %d nodes, %d candidate solutions\n", out.DP.Nodes, out.DP.Solutions)
+
+	if *showPower {
+		pw, err := power.Estimate(out.Tree, tc, power.DefaultParams())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("power    %.3f mW @1GHz (switching %.3f, buffer internal %.3f)\n",
+			pw.TotalMW, pw.SwitchingMW, pw.InternalMW)
+	}
+	if *defOut != "" {
+		f, err := os.Create(*defOut)
+		if err != nil {
+			fatal(err)
+		}
+		cells, err := export.WriteDEF(f, out.Tree, p.Die, p.Macros, tc, export.Options{DesignName: p.Design.Name + "_clk"})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exported %d legalized cells (max disp %.3f um) -> %s\n", len(cells.Cells), cells.MaxDisp, *defOut)
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = viz.WriteSVG(f, out.Tree, p.Die, p.Macros, viz.Options{Title: p.Design.Name})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rendering -> %s\n", *svgOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dscts:", err)
+	os.Exit(1)
+}

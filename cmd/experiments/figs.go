@@ -1,0 +1,215 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/dse"
+	"dscts/internal/refine"
+	"dscts/internal/report"
+	"dscts/internal/tech"
+)
+
+func fig8(cfg config) error {
+	t := report.NewTable("Fig. 8: adaptive scale factor t vs N/10,000", "N", "N/10000", "t")
+	for _, n := range []int{1000, 4000, 6000, 7000, 8000, 9000, 10000, 12000, 14338} {
+		t.AddTextRow(fmt.Sprintf("N=%d", n),
+			fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", float64(n)/10000), fmt.Sprintf("%.4f", refine.AdaptiveT(n)))
+	}
+	t.Render(os.Stdout)
+	return emitCSV(cfg, "fig8.csv", t)
+}
+
+func fig10(cfg config) error {
+	tc := tech.ASAP7()
+	d, err := bench.ByID("C3")
+	if err != nil {
+		return err
+	}
+	p := bench.Generate(d, cfg.seed)
+	fmt.Fprintln(os.Stderr, "fig10: running C3 double- and single-side with root sets...")
+
+	t := report.NewTable("Fig. 10: MOES vs min-latency root selection on C3 (ethmac)",
+		"Latency (ps)", "#Buffers", "#nTSVs", "MOES")
+	for _, mode := range []struct {
+		label string
+		side  core.SideMode
+	}{
+		{"double-side", core.DoubleSide},
+		{"single-side", core.SingleSide},
+	} {
+		out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{
+			Mode: mode.side, KeepRootSet: true, SkipRefine: true, DiversePruning: true,
+		})
+		if err != nil {
+			return fmt.Errorf("fig10 %s: %w", mode.label, err)
+		}
+		cands := out.DP.Candidates
+		// Best with MOES and best without (min latency).
+		bestMOES, bestLat := 0, 0
+		for i, c := range cands {
+			if c.MOES < cands[bestMOES].MOES {
+				bestMOES = i
+			}
+			if c.Latency < cands[bestLat].Latency {
+				bestLat = i
+			}
+		}
+		for i, c := range cands {
+			tag := ""
+			switch {
+			case i == bestMOES && i == bestLat:
+				tag = " <- w/ MOES = w/o MOES"
+			case i == bestMOES:
+				tag = " <- w/ MOES"
+			case i == bestLat:
+				tag = " <- w/o MOES (min latency)"
+			}
+			t.AddTextRow(fmt.Sprintf("%s cand %02d%s", mode.label, i, tag),
+				fmt.Sprintf("%.2f", c.Latency), fmt.Sprintf("%d", c.Bufs),
+				fmt.Sprintf("%d", c.TSVs), fmt.Sprintf("%.1f", c.MOES))
+		}
+		mo, la := cands[bestMOES], cands[bestLat]
+		fmt.Printf("%s: %d root candidates; w/ MOES (%.1f ps, %d buf, %d tsv) vs w/o MOES (%.1f ps, %d buf, %d tsv); resource gap %+d\n",
+			mode.label, len(cands), mo.Latency, mo.Bufs, mo.TSVs, la.Latency, la.Bufs, la.TSVs,
+			(la.Bufs+la.TSVs)-(mo.Bufs+mo.TSVs))
+	}
+	t.Render(os.Stdout)
+	return emitCSV(cfg, "fig10.csv", t)
+}
+
+func fig11(cfg config) error {
+	tc := tech.ASAP7()
+	t := report.NewTable("Fig. 11: effectiveness of skew refinement (SR)",
+		"Lat w/o SR", "Lat w/ SR", "Skew w/o SR", "Skew w/ SR", "#Buf w/o SR", "#Buf w/ SR")
+	for _, d := range bench.Suite() {
+		fmt.Fprintf(os.Stderr, "fig11: running %s...\n", d.ID)
+		p := bench.Generate(d, cfg.seed)
+		without, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{SkipRefine: true})
+		if err != nil {
+			return fmt.Errorf("%s w/o SR: %w", d.ID, err)
+		}
+		with, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+		if err != nil {
+			return fmt.Errorf("%s w/ SR: %w", d.ID, err)
+		}
+		t.AddRow(d.ID,
+			without.Metrics.Latency, with.Metrics.Latency,
+			without.Metrics.Skew, with.Metrics.Skew,
+			float64(without.Metrics.Buffers), float64(with.Metrics.Buffers))
+	}
+	t.Render(os.Stdout)
+	return emitCSV(cfg, "fig11.csv", t)
+}
+
+func fig12(cfg config) error {
+	tc := tech.ASAP7()
+	d, err := bench.ByID("C3")
+	if err != nil {
+		return err
+	}
+	p := bench.Generate(d, cfg.seed)
+	step := 10
+	if cfg.fastDSE {
+		step = 50
+	}
+	thresholds := dse.Thresholds(20, 1000, step)
+	fractions := dse.Fractions(0.2, 0.9, 0.05)
+
+	fmt.Fprintf(os.Stderr, "fig12: our DSE sweep (%d thresholds)...\n", len(thresholds))
+	oursPts, err := dse.SweepFanout(p.Root, p.Sinks, tc, thresholds, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "fig12: buffered tree + flip sweeps...")
+	buffered, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{Mode: core.SingleSide})
+	if err != nil {
+		return err
+	}
+	f7, err := dse.SweepFanoutFlip(buffered.Tree, tc, thresholds)
+	if err != nil {
+		return err
+	}
+	f6, err := dse.SweepCriticalFlip(buffered.Tree, tc, fractions)
+	if err != nil {
+		return err
+	}
+	full, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+	if err != nil {
+		return err
+	}
+
+	all := report.NewTable("Fig. 12: DSE scatter on C3 (all explored points)",
+		"Flow", "Param", "#Buf+#nTSV", "Latency (ps)", "Skew (ps)")
+	add := func(pts []dse.Point) {
+		for i, q := range pts {
+			all.AddTextRow(fmt.Sprintf("%s-%03d", q.Flow, i),
+				q.Flow, fmt.Sprintf("%g", q.Param), fmt.Sprintf("%d", q.Resources()),
+				fmt.Sprintf("%.2f", q.Latency), fmt.Sprintf("%.2f", q.Skew))
+		}
+	}
+	add(oursPts)
+	add(f7)
+	add(f6)
+	add([]dse.Point{
+		{Flow: "our-buffered", Latency: buffered.Metrics.Latency, Skew: buffered.Metrics.Skew,
+			Bufs: buffered.Metrics.Buffers, TSVs: buffered.Metrics.NTSVs},
+		{Flow: "ours-table3", Latency: full.Metrics.Latency, Skew: full.Metrics.Skew,
+			Bufs: full.Metrics.Buffers, TSVs: full.Metrics.NTSVs},
+	})
+	if err := emitCSV(cfg, "fig12_all.csv", all); err != nil {
+		return err
+	}
+
+	// Pareto fronts per flow on (resources, latency) and (resources, skew).
+	for _, obj := range []struct {
+		name string
+		f    dse.Objective
+	}{{"latency", dse.Latency}, {"skew", dse.Skew}} {
+		t := report.NewTable(fmt.Sprintf("Fig. 12 Pareto fronts: %s vs #buffers+#nTSVs", obj.name),
+			"Flow", "Param", "#Buf+#nTSV", "Value (ps)")
+		for _, set := range []struct {
+			name string
+			pts  []dse.Point
+		}{{"ours-dse", oursPts}, {"buffered+[7]", f7}, {"buffered+[6]", f6}} {
+			front := dse.Pareto(set.pts, dse.Resources, obj.f)
+			for i, q := range front {
+				t.AddTextRow(fmt.Sprintf("%s-front-%02d", set.name, i),
+					set.name, fmt.Sprintf("%g", q.Param), fmt.Sprintf("%d", q.Resources()),
+					fmt.Sprintf("%.2f", obj.f(q)))
+			}
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+		if err := emitCSV(cfg, fmt.Sprintf("fig12_pareto_%s.csv", obj.name), t); err != nil {
+			return err
+		}
+	}
+
+	// Hypervolume comparison quantifying Fig. 12's qualitative claim.
+	refRes, refLat, refSkew := 0.0, 0.0, 0.0
+	for _, q := range append(append(append([]dse.Point{}, oursPts...), f7...), f6...) {
+		refRes = max(refRes, float64(q.Resources())*1.05)
+		refLat = max(refLat, q.Latency*1.05)
+		refSkew = max(refSkew, q.Skew*1.05)
+	}
+	fmt.Println("Hypervolume (higher = better front coverage):")
+	for _, set := range []struct {
+		name string
+		pts  []dse.Point
+	}{{"ours-dse", oursPts}, {"buffered+[7]", f7}, {"buffered+[6]", f6}} {
+		hvL := dse.Hypervolume(set.pts, dse.Resources, dse.Latency, refRes, refLat)
+		hvS := dse.Hypervolume(set.pts, dse.Resources, dse.Skew, refRes, refSkew)
+		fmt.Printf("  %-14s latency-HV %.3g  skew-HV %.3g\n", set.name, hvL, hvS)
+	}
+	return nil
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

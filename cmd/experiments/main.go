@@ -1,0 +1,96 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Sec. IV) on the synthetic Table II benchmarks:
+//
+//	-table1   layer parasitics (Table I)
+//	-table2   benchmark statistics (Table II)
+//	-table3   main comparison against OpenROAD-style CTS and methods
+//	          [2]/[6]/[7] (Table III)
+//	-fig8     adaptive scale factor t(N) (Fig. 8)
+//	-fig10    MOES vs minimum-latency selection on C3 (Fig. 10)
+//	-fig11    skew refinement on/off (Fig. 11)
+//	-fig12    design-space exploration scatter on C3 (Fig. 12)
+//	-all      everything above
+//
+// Numbers land on stdout; -csv DIR additionally writes machine-readable
+// CSVs for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dscts/internal/report"
+)
+
+type config struct {
+	seed    int64
+	csvDir  string
+	designs []string
+	fastDSE bool
+}
+
+func main() {
+	var (
+		t1   = flag.Bool("table1", false, "print Table I")
+		t2   = flag.Bool("table2", false, "print Table II")
+		t3   = flag.Bool("table3", false, "run Table III")
+		f8   = flag.Bool("fig8", false, "print Fig. 8 data")
+		f10  = flag.Bool("fig10", false, "run Fig. 10")
+		f11  = flag.Bool("fig11", false, "run Fig. 11")
+		f12  = flag.Bool("fig12", false, "run Fig. 12")
+		all  = flag.Bool("all", false, "run everything")
+		seed = flag.Int64("seed", 1, "benchmark placement seed")
+		csv  = flag.String("csv", "", "directory for CSV output (optional)")
+		fast = flag.Bool("fast-dse", false, "coarser Fig. 12 sweep (step 50 instead of 10)")
+	)
+	flag.Parse()
+	cfg := config{seed: *seed, csvDir: *csv, fastDSE: *fast}
+	if cfg.csvDir != "" {
+		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	ran := false
+	run := func(on bool, f func(config) error) {
+		if !(on || *all) {
+			return
+		}
+		ran = true
+		if err := f(cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	run(*t1, table1)
+	run(*t2, table2)
+	run(*t3, table3)
+	run(*f8, fig8)
+	run(*f10, fig10)
+	run(*f11, fig11)
+	run(*f12, fig12)
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+// emitCSV writes a table as CSV into the configured directory.
+func emitCSV(cfg config, name string, t *report.Table) error {
+	if cfg.csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(cfg.csvDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.RenderCSV(f)
+	return nil
+}

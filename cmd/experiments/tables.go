@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dscts/internal/baseline"
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/ctree"
+	"dscts/internal/eval"
+	"dscts/internal/report"
+	"dscts/internal/tech"
+)
+
+func table1(cfg config) error {
+	tc := tech.ASAP7()
+	t := report.NewTable("Table I: layer unit resistances and capacitances",
+		"Unit Res. (kOhm/um)", "Unit Cap. (fF/um)")
+	for _, name := range tc.SortedLayerNames() {
+		l, _ := tc.Layer(name)
+		t.AddRow(name, l.UnitRes, l.UnitCap)
+	}
+	t.AddTextRow("nTSV", fmt.Sprintf("%.3f", tc.TSV.Res), fmt.Sprintf("%.3f", tc.TSV.Cap))
+	t.Render(os.Stdout)
+	return emitCSV(cfg, "table1.csv", t)
+}
+
+func table2(cfg config) error {
+	t := report.NewTable("Table II: benchmark statistics",
+		"Name", "#Cells", "#FFs", "Util.", "Die (um)")
+	for _, d := range bench.Suite() {
+		t.AddTextRow(d.ID, d.Name,
+			fmt.Sprintf("%d", d.Cells), fmt.Sprintf("%d", d.FFs),
+			fmt.Sprintf("%.2f", d.Util), fmt.Sprintf("%.0f", bench.DieSide(d)))
+	}
+	t.Render(os.Stdout)
+	return emitCSV(cfg, "table2.csv", t)
+}
+
+// flowResult is one cell group of Table III.
+type flowResult struct {
+	Latency, Skew, WL float64
+	Bufs, TSVs        int
+	RT                float64 // seconds
+}
+
+func evalTree(tc *tech.Tech, t *ctree.Tree) (*eval.Metrics, error) {
+	return eval.New(tc, eval.Elmore).Evaluate(t)
+}
+
+func fromMetrics(m *eval.Metrics, rt float64) flowResult {
+	return flowResult{Latency: m.Latency, Skew: m.Skew, WL: m.WL, Bufs: m.Buffers, TSVs: m.NTSVs, RT: rt}
+}
+
+// table3Flows runs all eight Table III flows for one design.
+func table3Flows(tc *tech.Tech, p *bench.Placement) (map[string]flowResult, error) {
+	out := map[string]flowResult{}
+
+	// OpenROAD-style buffered clock tree (front side only).
+	t0 := time.Now()
+	orTree, err := baseline.OpenROADTree(p.Root, p.Sinks, tc, baseline.OpenROADOptions{Seed: 7})
+	if err != nil {
+		return nil, fmt.Errorf("openroad tree: %w", err)
+	}
+	orBuildRT := time.Since(t0).Seconds()
+	m, err := evalTree(tc, orTree)
+	if err != nil {
+		return nil, err
+	}
+	out["or"] = fromMetrics(m, orBuildRT)
+
+	// OpenROAD + [2].
+	t1 := time.Now()
+	orVeloso := orTree.Clone()
+	if _, err := baseline.Veloso(orVeloso); err != nil {
+		return nil, fmt.Errorf("openroad+[2]: %w", err)
+	}
+	m, err = evalTree(tc, orVeloso)
+	if err != nil {
+		return nil, err
+	}
+	out["or+v"] = fromMetrics(m, orBuildRT+time.Since(t1).Seconds())
+
+	// Ours (full double-side flow, all edges full mode).
+	ours, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("ours: %w", err)
+	}
+	out["ours"] = fromMetrics(ours.Metrics, ours.TotalTime.Seconds())
+
+	// Our buffered clock tree (single side: routing + buffer insertion +
+	// skew refinement).
+	buffered, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{Mode: core.SingleSide})
+	if err != nil {
+		return nil, fmt.Errorf("our buffered: %w", err)
+	}
+	out["buf"] = fromMetrics(buffered.Metrics, buffered.TotalTime.Seconds())
+
+	// Our buffered + [2]/[7]/[6] (paper settings: fanout 100, q = 0.5).
+	for key, apply := range map[string]func(*ctree.Tree) error{
+		"buf+v": func(t *ctree.Tree) error { _, err := baseline.Veloso(t); return err },
+		"buf+f": func(t *ctree.Tree) error { _, err := baseline.FanoutFlip(t, 100); return err },
+		"buf+c": func(t *ctree.Tree) error { _, err := baseline.CriticalFlip(t, tc, 0.5); return err },
+	} {
+		tStart := time.Now()
+		tr := buffered.Tree.Clone()
+		if err := apply(tr); err != nil {
+			return nil, fmt.Errorf("%s: %w", key, err)
+		}
+		m, err := evalTree(tc, tr)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = fromMetrics(m, buffered.TotalTime.Seconds()+time.Since(tStart).Seconds())
+	}
+	return out, nil
+}
+
+func table3(cfg config) error {
+	tc := tech.ASAP7()
+	top := report.NewTable("Table III (top): OpenROAD-style flows vs Ours",
+		"OR Lat", "OR Skew", "OR Buf",
+		"OR+[2] Lat", "OR+[2] Skew", "OR+[2] Buf", "OR+[2] WL", "OR+[2] TSV", "OR+[2] RT",
+		"Ours Lat", "Ours Skew", "Ours Buf", "Ours WL", "Ours TSV", "Ours RT")
+	bot := report.NewTable("Table III (bottom): post-CTS methods on our buffered clock tree",
+		"Buf Lat", "Buf Skew", "Buf Buf",
+		"+[2] Lat", "+[2] Skew", "+[2] TSV",
+		"+[7] Lat", "+[7] Skew", "+[7] TSV",
+		"+[6] Lat", "+[6] Skew", "+[6] TSV",
+		"Ours Lat", "Ours Skew", "Ours TSV")
+	for _, d := range bench.Suite() {
+		fmt.Fprintf(os.Stderr, "table3: running %s (%s, %d FFs)...\n", d.ID, d.Name, d.FFs)
+		p := bench.Generate(d, cfg.seed)
+		r, err := table3Flows(tc, p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.ID, err)
+		}
+		top.AddRow(d.ID,
+			r["or"].Latency, r["or"].Skew, float64(r["or"].Bufs),
+			r["or+v"].Latency, r["or+v"].Skew, float64(r["or+v"].Bufs), r["or+v"].WL/1000, float64(r["or+v"].TSVs), r["or+v"].RT,
+			r["ours"].Latency, r["ours"].Skew, float64(r["ours"].Bufs), r["ours"].WL/1000, float64(r["ours"].TSVs), r["ours"].RT)
+		bot.AddRow(d.ID,
+			r["buf"].Latency, r["buf"].Skew, float64(r["buf"].Bufs),
+			r["buf+v"].Latency, r["buf+v"].Skew, float64(r["buf+v"].TSVs),
+			r["buf+f"].Latency, r["buf+f"].Skew, float64(r["buf+f"].TSVs),
+			r["buf+c"].Latency, r["buf+c"].Skew, float64(r["buf+c"].TSVs),
+			r["ours"].Latency, r["ours"].Skew, float64(r["ours"].TSVs))
+	}
+	// Ratio rows vs Ours (matching the paper's normalization).
+	top.AddRatioRow("Ratio", []int{9, 10, 11, 9, 10, 11, 12, 13, 14, 9, 10, 11, 12, 13, 14})
+	bot.AddRatioRow("Ratio", []int{12, 13, -1, 12, 13, 14, 12, 13, 14, 12, 13, 14, 12, 13, 14})
+	top.Render(os.Stdout)
+	fmt.Println()
+	bot.Render(os.Stdout)
+	if err := emitCSV(cfg, "table3_top.csv", top); err != nil {
+		return err
+	}
+	return emitCSV(cfg, "table3_bottom.csv", bot)
+}

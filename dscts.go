@@ -1,0 +1,227 @@
+// Package dscts is a from-scratch Go implementation of "A Systematic
+// Approach for Multi-objective Double-side Clock Tree Synthesis" (Jiang et
+// al., DAC 2025): clock tree synthesis that uses both front-side and
+// back-side metal layers connected by nano-TSVs.
+//
+// The flow has three stages (Fig. 4 of the paper):
+//
+//  1. Hierarchical clock routing — dual-level k-means clustering (Hc/Lc)
+//     followed by hierarchical Deferred-Merge Embedding.
+//  2. Concurrent buffer & nTSV insertion — multi-objective dynamic
+//     programming over the six edge patterns of Fig. 6, with van
+//     Ginneken-style pruning per side and MOES root selection (Eq. 3).
+//  3. Skew refinement — resource-aware end-point buffers at low-level
+//     cluster centroids.
+//
+// Quick start:
+//
+//	p := dscts.GenerateBenchmark("C4", 1)               // or parse a DEF
+//	out, err := dscts.Synthesize(p.Root, p.Sinks, dscts.ASAP7(), dscts.Options{})
+//	fmt.Println(out.Metrics.Latency, out.Metrics.Skew)
+//
+// The subpackages under internal/ carry the substrates (geometry, timing
+// models, DME, DP insertion, baselines, DEF/LEF I/O); this package exposes
+// the surface a downstream user needs. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction results.
+package dscts
+
+import (
+	"fmt"
+	"io"
+
+	"dscts/internal/baseline"
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/ctree"
+	"dscts/internal/def"
+	"dscts/internal/dse"
+	"dscts/internal/eval"
+	"dscts/internal/export"
+	"dscts/internal/geom"
+	"dscts/internal/legal"
+	"dscts/internal/power"
+	"dscts/internal/tech"
+	"dscts/internal/viz"
+)
+
+// Point is a planar location in µm.
+type Point = geom.Point
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Tech is the double-side technology model (layers, buffer, nTSV).
+type Tech = tech.Tech
+
+// ASAP7 returns the paper's experimental technology: Table I layer
+// parasitics, the BUFx4 clock buffer and the nTSV of Sec. IV-A.
+func ASAP7() *Tech { return tech.ASAP7() }
+
+// Options configures Synthesize; the zero value reproduces the paper's
+// default full-mode double-side flow (Hc=3000, Lc=30, α,β,γ=1,10,1, skew
+// refinement with p=23 and m=33).
+type Options = core.Options
+
+// SideMode selects single- or double-side synthesis.
+type SideMode = core.SideMode
+
+// Side modes.
+const (
+	// DoubleSide enables the full pattern set including nTSVs.
+	DoubleSide SideMode = core.DoubleSide
+	// SingleSide restricts insertion to the front side (the "Our
+	// Buffered Clock Tree" flow of Table III).
+	SingleSide SideMode = core.SingleSide
+)
+
+// Outcome is a synthesis result: the annotated clock tree, evaluated
+// metrics, DP statistics, the refinement report and per-phase runtimes.
+type Outcome = core.Outcome
+
+// Metrics are the evaluated clock-tree numbers (latency, skew, buffers,
+// nTSVs, wirelength, per-sink delays).
+type Metrics = eval.Metrics
+
+// Tree is the clock-tree data structure with double-side wiring
+// annotations.
+type Tree = ctree.Tree
+
+// Synthesize runs the paper's full flow on a clock root position and sink
+// placement.
+func Synthesize(root Point, sinks []Point, tc *Tech, opt Options) (*Outcome, error) {
+	return core.Synthesize(root, sinks, tc, opt)
+}
+
+// Evaluate computes metrics for any (possibly externally built) clock tree
+// using the Elmore model.
+func Evaluate(t *Tree, tc *Tech) (*Metrics, error) {
+	return eval.New(tc, eval.Elmore).Evaluate(t)
+}
+
+// EvaluateNLDM computes metrics with NLDM buffer tables and PERI slew
+// propagation (the paper's sign-off-style evaluation mode).
+func EvaluateNLDM(t *Tree, tc *Tech) (*Metrics, error) {
+	return eval.New(tc, eval.NLDM).Evaluate(t)
+}
+
+// Placement is a benchmark instance: die, clock root and sink positions.
+type Placement = bench.Placement
+
+// Benchmarks returns the IDs of the built-in Table II designs (C1..C5).
+func Benchmarks() []string {
+	var out []string
+	for _, d := range bench.Suite() {
+		out = append(out, d.ID)
+	}
+	return out
+}
+
+// GenerateBenchmark synthesizes the named Table II design (by ID or name)
+// with a deterministic seed.
+func GenerateBenchmark(id string, seed int64) (*Placement, error) {
+	d, err := bench.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Generate(d, seed), nil
+}
+
+// ParseDEF reads a placed DEF and extracts the clock root and sinks.
+func ParseDEF(r io.Reader) (*Placement, error) {
+	f, err := def.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return bench.FromDEF(f)
+}
+
+// WriteDEF emits a placement as DEF.
+func WriteDEF(p *Placement, w io.Writer) error {
+	if p == nil {
+		return fmt.Errorf("dscts: nil placement")
+	}
+	return p.ToDEF().Write(w)
+}
+
+// OpenROADBaseline builds the TritonCTS-style front-side buffered clock
+// tree used as the SOTA comparison point in Table III.
+func OpenROADBaseline(root Point, sinks []Point, tc *Tech) (*Tree, error) {
+	return baseline.OpenROADTree(root, sinks, tc, baseline.OpenROADOptions{Seed: 7})
+}
+
+// FlipVeloso applies the post-CTS back-side method of Veloso et al. [2] to
+// a buffered tree in place (flip everything above the leaf level),
+// returning the number of nTSVs inserted.
+func FlipVeloso(t *Tree) (int, error) { return baseline.Veloso(t) }
+
+// FlipByFanout applies Bethur et al. [7]: flip nets driving at least
+// `threshold` sinks.
+func FlipByFanout(t *Tree, threshold int) (int, error) {
+	return baseline.FanoutFlip(t, threshold)
+}
+
+// FlipByCriticality applies Bethur et al. [6]: flip the paths feeding the
+// worst `fraction` of sinks by delay.
+func FlipByCriticality(t *Tree, tc *Tech, fraction float64) (int, error) {
+	return baseline.CriticalFlip(t, tc, fraction)
+}
+
+// DSEPoint is one explored solution of the design-space exploration flow.
+type DSEPoint = dse.Point
+
+// ExploreFanout sweeps the DSE fanout threshold (Sec. III-E), returning one
+// point per threshold.
+func ExploreFanout(root Point, sinks []Point, tc *Tech, thresholds []int) ([]DSEPoint, error) {
+	return dse.SweepFanout(root, sinks, tc, thresholds, Options{})
+}
+
+// ParetoLatency extracts the non-dominated front over
+// (#buffers+#nTSVs, latency).
+func ParetoLatency(pts []DSEPoint) []DSEPoint {
+	return dse.Pareto(pts, dse.Resources, dse.Latency)
+}
+
+// ParetoSkew extracts the non-dominated front over
+// (#buffers+#nTSVs, skew).
+func ParetoSkew(pts []DSEPoint) []DSEPoint {
+	return dse.Pareto(pts, dse.Resources, dse.Skew)
+}
+
+// PowerParams are the operating conditions for clock power estimation.
+type PowerParams = power.Params
+
+// PowerBreakdown decomposes clock dynamic power by component.
+type PowerBreakdown = power.Breakdown
+
+// DefaultPowerParams returns 1 GHz at 0.7 V.
+func DefaultPowerParams() PowerParams { return power.DefaultParams() }
+
+// EstimatePower computes the clock-tree dynamic power breakdown.
+func EstimatePower(t *Tree, tc *Tech, p PowerParams) (*PowerBreakdown, error) {
+	return power.Estimate(t, tc, p)
+}
+
+// LegalizedCells is the legalization outcome (cell placements and
+// displacement statistics).
+type LegalizedCells = legal.Result
+
+// LegalizeCells snaps the tree's inserted buffers and nTSVs onto the
+// row/site grid, avoiding macros and overlaps.
+func LegalizeCells(t *Tree, die BBox, macros []BBox, tc *Tech) (*LegalizedCells, error) {
+	return legal.Legalize(t, die, macros, tc, legal.Options{})
+}
+
+// BBox is an axis-aligned rectangle in µm.
+type BBox = geom.BBox
+
+// ExportDEF legalizes the tree's cells and writes the synthesized clock —
+// sinks, buffers, nTSVs and per-stage nets — as a placed DEF.
+func ExportDEF(w io.Writer, t *Tree, die BBox, macros []BBox, tc *Tech, designName string) (*LegalizedCells, error) {
+	return export.WriteDEF(w, t, die, macros, tc, export.Options{DesignName: designName})
+}
+
+// RenderSVG draws the double-side clock tree (front wires blue, back wires
+// red, buffers green, nTSVs orange) for visual inspection.
+func RenderSVG(w io.Writer, t *Tree, die BBox, macros []BBox, title string) error {
+	return viz.WriteSVG(w, t, die, macros, viz.Options{Title: title})
+}

@@ -1,0 +1,123 @@
+package dscts
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	p, err := GenerateBenchmark("C4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Synthesize(p.Root, p.Sinks, ASAP7(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Latency <= 0 || out.Metrics.NTSVs == 0 {
+		t.Fatalf("implausible outcome %+v", out.Metrics)
+	}
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	ids := Benchmarks()
+	if len(ids) != 5 || ids[0] != "C1" || ids[4] != "C5" {
+		t.Fatalf("benchmarks: %v", ids)
+	}
+	if _, err := GenerateBenchmark("nope", 1); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestPublicAPIDEFRoundTrip(t *testing.T) {
+	p, err := GenerateBenchmark("C4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDEF(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDEF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sinks) != len(p.Sinks) {
+		t.Fatalf("%d vs %d sinks", len(back.Sinks), len(p.Sinks))
+	}
+	if err := WriteDEF(nil, &buf); err == nil {
+		t.Error("nil placement should error")
+	}
+}
+
+func TestPublicAPIBaselinesAndEval(t *testing.T) {
+	p, err := GenerateBenchmark("C4", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := ASAP7()
+	tr, err := OpenROADBaseline(p.Root, p.Sinks, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Evaluate(tr, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := FlipVeloso(tr)
+	if err != nil || n == 0 {
+		t.Fatalf("FlipVeloso: n=%d err=%v", n, err)
+	}
+	after, err := Evaluate(tr, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Latency >= before.Latency {
+		t.Fatalf("flip did not help: %v -> %v", before.Latency, after.Latency)
+	}
+	nl, err := EvaluateNLDM(tr, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.MaxSlew <= 0 {
+		t.Error("NLDM evaluation should report slew")
+	}
+}
+
+func TestPublicAPIFlipKnobs(t *testing.T) {
+	p, err := GenerateBenchmark("C4", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := ASAP7()
+	base, err := OpenROADBaseline(p.Root, p.Sinks, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FlipByFanout(base.Clone(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FlipByCriticality(base.Clone(), tc, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDSE(t *testing.T) {
+	p, err := GenerateBenchmark("C4", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ExploreFanout(p.Root, p.Sinks, ASAP7(), []int{50, 200, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if f := ParetoLatency(pts); len(f) == 0 || len(f) > 3 {
+		t.Fatalf("latency front size %d", len(f))
+	}
+	if f := ParetoSkew(pts); len(f) == 0 {
+		t.Fatal("empty skew front")
+	}
+}

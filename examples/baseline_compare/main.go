@@ -1,0 +1,67 @@
+// Baseline comparison: reproduce one row of the paper's Table III — the
+// OpenROAD-style buffered tree, the three post-CTS back-side flip methods
+// [2]/[7]/[6], and the paper's concurrent double-side flow, all on the same
+// placement.
+//
+//	go run ./examples/baseline_compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dscts"
+)
+
+func main() {
+	p, err := dscts.GenerateBenchmark("C5", 1) // aes
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := dscts.ASAP7()
+
+	row := func(name string, m *dscts.Metrics) {
+		fmt.Printf("%-22s %8.2f ps %8.2f ps %6d %6d\n",
+			name, m.Latency, m.Skew, m.Buffers, m.NTSVs)
+	}
+	fmt.Printf("%-22s %11s %11s %6s %6s\n", "flow", "latency", "skew", "#buf", "#tsv")
+
+	// SOTA front-side CTS.
+	or, err := dscts.OpenROADBaseline(p.Root, p.Sinks, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := dscts.Evaluate(or, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("openroad-style", m)
+
+	// Post-CTS flips on clones of the baseline tree.
+	type flip struct {
+		name  string
+		apply func(*dscts.Tree) (int, error)
+	}
+	for _, f := range []flip{
+		{"+ veloso [2]", func(t *dscts.Tree) (int, error) { return dscts.FlipVeloso(t) }},
+		{"+ fanout=100 [7]", func(t *dscts.Tree) (int, error) { return dscts.FlipByFanout(t, 100) }},
+		{"+ critical q=0.5 [6]", func(t *dscts.Tree) (int, error) { return dscts.FlipByCriticality(t, tc, 0.5) }},
+	} {
+		tr := or.Clone()
+		if _, err := f.apply(tr); err != nil {
+			log.Fatal(err)
+		}
+		m, err := dscts.Evaluate(tr, tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(f.name, m)
+	}
+
+	// The paper's systematic flow.
+	ours, err := dscts.Synthesize(p.Root, p.Sinks, tc, dscts.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("ours (concurrent)", ours.Metrics)
+}

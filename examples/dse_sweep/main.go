@@ -1,0 +1,47 @@
+// DSE sweep: explore the latency/skew vs resource trade-off of double-side
+// CTS by sweeping the fanout threshold that controls where nTSVs may be
+// inserted (Sec. III-E / Fig. 12 of the paper), then print the Pareto
+// frontiers.
+//
+//	go run ./examples/dse_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dscts"
+)
+
+func main() {
+	p, err := dscts.GenerateBenchmark("C5", 1) // aes, 2072 FFs
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := dscts.ASAP7()
+
+	// Sweep the threshold: high values confine nTSVs to the top trunk,
+	// low values open the whole tree (the Table III full-mode flow).
+	var thresholds []int
+	for th := 20; th <= 1000; th += 70 {
+		thresholds = append(thresholds, th)
+	}
+	pts, err := dscts.ExploreFanout(p.Root, p.Sinks, tc, thresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("threshold  #buf+#ntsv  latency(ps)  skew(ps)")
+	for _, q := range pts {
+		fmt.Printf("%9.0f  %10d  %11.2f  %8.2f\n", q.Param, q.Resources(), q.Latency, q.Skew)
+	}
+
+	fmt.Println("\nPareto frontier (resources vs latency):")
+	for _, q := range dscts.ParetoLatency(pts) {
+		fmt.Printf("  threshold %4.0f: %4d cells -> %7.2f ps\n", q.Param, q.Resources(), q.Latency)
+	}
+	fmt.Println("Pareto frontier (resources vs skew):")
+	for _, q := range dscts.ParetoSkew(pts) {
+		fmt.Printf("  threshold %4.0f: %4d cells -> %7.2f ps\n", q.Param, q.Resources(), q.Skew)
+	}
+}

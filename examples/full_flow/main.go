@@ -1,0 +1,84 @@
+// Full flow: synthesize a double-side clock tree, legalize the inserted
+// cells onto the placement grid, estimate clock power, and emit both a
+// placed DEF of the finished tree and an SVG rendering of the side
+// assignment — the artifacts a physical-design team would consume.
+//
+//	go run ./examples/full_flow [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dscts"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory for DEF/SVG")
+	flag.Parse()
+
+	p, err := dscts.GenerateBenchmark("C5", 1) // aes, 2072 FFs
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := dscts.ASAP7()
+
+	o, err := dscts.Synthesize(p.Root, p.Sinks, tc, dscts.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := o.Metrics
+	fmt.Printf("synthesized %s: %.2f ps latency, %.2f ps skew, %d buffers, %d nTSVs\n",
+		p.Design.Name, m.Latency, m.Skew, m.Buffers, m.NTSVs)
+
+	// Sign-off-style evaluation with NLDM tables and slew propagation.
+	nl, err := dscts.EvaluateNLDM(o.Tree, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NLDM check: %.2f ps latency, worst sink slew %.2f ps\n", nl.Latency, nl.MaxSlew)
+
+	// Clock power breakdown.
+	pw, err := dscts.EstimatePower(o.Tree, tc, dscts.DefaultPowerParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power @1GHz: %.3f mW total (switching %.3f, buffers %.3f)\n",
+		pw.TotalMW, pw.SwitchingMW, pw.InternalMW)
+	fmt.Printf("  cap: front wire %.0f fF, back wire %.0f fF, nTSV %.1f fF, pins %.0f fF\n",
+		pw.FrontWireCap, pw.BackWireCap, pw.NTSVCap, pw.SinkPinCap+pw.BufInputCap)
+
+	// Legalize + export DEF.
+	defPath := filepath.Join(*out, "aes_clock.def")
+	f, err := os.Create(defPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells, err := dscts.ExportDEF(f, o.Tree, p.Die, p.Macros, tc, "aes_clock")
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legalized %d cells (max displacement %.3f um, avg %.3f um) -> %s\n",
+		len(cells.Cells), cells.MaxDisp, cells.AvgDisp, defPath)
+
+	// SVG rendering.
+	svgPath := filepath.Join(*out, "aes_clock.svg")
+	sf, err := os.Create(svgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = dscts.RenderSVG(sf, o.Tree, p.Die, p.Macros, "aes double-side clock tree")
+	if cerr := sf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendering -> %s\n", svgPath)
+}

@@ -1,0 +1,169 @@
+package dscts
+
+// Integration tests running the complete pipeline — benchmark generation,
+// DEF round trip, synthesis, baselines, refinement, legalization, export,
+// power and visualization — across the Table II suite through the public
+// API only. The larger designs are skipped under -short.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestIntegrationSuite(t *testing.T) {
+	tc := ASAP7()
+	for _, id := range Benchmarks() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && id != "C4" && id != "C5" {
+				t.Skip("large design skipped with -short")
+			}
+			p, err := GenerateBenchmark(id, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			double, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := Synthesize(p.Root, p.Sinks, tc, Options{Mode: SingleSide})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, s := double.Metrics, single.Metrics
+
+			// Table III's structural claims, per design.
+			if m.Latency >= s.Latency {
+				t.Errorf("double-side latency %v not below single-side %v", m.Latency, s.Latency)
+			}
+			if m.NTSVs == 0 || s.NTSVs != 0 {
+				t.Errorf("nTSV counts wrong: %d double, %d single", m.NTSVs, s.NTSVs)
+			}
+			if len(m.SinkDelays) != len(p.Sinks) {
+				t.Errorf("sink coverage %d of %d", len(m.SinkDelays), len(p.Sinks))
+			}
+			// Skew within the refinement regime (p% of latency, with slack
+			// for designs where refinement hits its budget).
+			if m.Skew > 0.5*m.Latency {
+				t.Errorf("skew %v implausible against latency %v", m.Skew, m.Latency)
+			}
+			// The OpenROAD-style baseline must be worse than our flow.
+			or, err := OpenROADBaseline(p.Root, p.Sinks, tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			om, err := Evaluate(or, tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if om.Latency <= m.Latency {
+				t.Errorf("baseline latency %v not above ours %v", om.Latency, m.Latency)
+			}
+		})
+	}
+}
+
+func TestIntegrationArtifacts(t *testing.T) {
+	tc := ASAP7()
+	p, err := GenerateBenchmark("C4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Power.
+	pw, err := EstimatePower(out.Tree, tc, DefaultPowerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.TotalMW <= 0 || pw.BackWireCap <= 0 {
+		t.Errorf("power breakdown %+v", pw)
+	}
+
+	// Legalization + DEF export.
+	var defBuf bytes.Buffer
+	cells, err := ExportDEF(&defBuf, out.Tree, p.Die, p.Macros, tc, "c4_clk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells.Cells) != out.Metrics.Buffers+out.Metrics.NTSVs {
+		t.Errorf("exported %d cells for %d+%d", len(cells.Cells), out.Metrics.Buffers, out.Metrics.NTSVs)
+	}
+	if !strings.Contains(defBuf.String(), "DESIGN c4_clk") {
+		t.Error("export DEF header missing")
+	}
+	// The exported DEF parses back through the public API (sinks only).
+	back, err := ParseDEF(bytes.NewReader(defBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sinks) != len(p.Sinks) {
+		t.Errorf("round trip lost sinks: %d vs %d", len(back.Sinks), len(p.Sinks))
+	}
+
+	// SVG.
+	var svg bytes.Buffer
+	if err := RenderSVG(&svg, out.Tree, p.Die, p.Macros, "c4"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "</svg>") {
+		t.Error("svg incomplete")
+	}
+}
+
+// NLDM evaluation must agree with Elmore to first order (same tree, same
+// topology — the table is synthesized around the linear model).
+func TestIntegrationNLDMEnvelope(t *testing.T) {
+	tc := ASAP7()
+	p, err := GenerateBenchmark("C5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := Evaluate(out.Tree, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := EvaluateNLDM(out.Tree, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := nl.Latency / el.Latency
+	if ratio < 1.0 || ratio > 1.35 {
+		t.Errorf("NLDM/Elmore latency ratio %v outside envelope", ratio)
+	}
+	if nl.MaxSlew <= 0 || nl.MaxSlew > 500 {
+		t.Errorf("worst slew %v ps implausible", nl.MaxSlew)
+	}
+}
+
+// Determinism across the whole public pipeline.
+func TestIntegrationDeterminism(t *testing.T) {
+	tc := ASAP7()
+	run := func() *Metrics {
+		p, err := GenerateBenchmark("C4", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Metrics
+	}
+	a, b := run(), run()
+	if a.Latency != b.Latency || a.Skew != b.Skew || a.Buffers != b.Buffers || a.NTSVs != b.NTSVs {
+		t.Fatalf("nondeterministic pipeline: %+v vs %+v", a, b)
+	}
+	if math.Abs(a.WL-b.WL) > 1e-9 {
+		t.Fatalf("WL differs: %v vs %v", a.WL, b.WL)
+	}
+}

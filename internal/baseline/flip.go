@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"dscts/internal/ctree"
+	"dscts/internal/eval"
+	"dscts/internal/tech"
+)
+
+// FlipToBack moves the selected trunk edges of a buffered clock tree to the
+// back side and inserts nTSVs at every front/back boundary, preserving
+// connectivity (the incremental post-CTS flow of Fig. 1 left / Fig. 2).
+//
+// flip[id] requests the edge into node id to move; requests on edges that
+// carry a mid-edge buffer are ignored (buffer pins live on the front side,
+// Sec. II-A). The tree is modified in place; the return value is the number
+// of nTSVs inserted.
+func FlipToBack(t *ctree.Tree, flip []bool) (int, error) {
+	if len(flip) != t.Len() {
+		return 0, fmt.Errorf("baseline: flip mask length %d for %d nodes", len(flip), t.Len())
+	}
+	isTrunk := func(id int) bool {
+		k := t.Nodes[id].Kind
+		return id != t.Root() && (k == ctree.KindSteiner || k == ctree.KindCentroid)
+	}
+	// An edge actually flips if requested, trunk, and not buffered.
+	flips := make([]bool, t.Len())
+	for id := 1; id < t.Len(); id++ {
+		flips[id] = flip[id] && isTrunk(id) && !t.Nodes[id].Wiring.BufMid
+	}
+	// A vertex stays on the back side only if every incident trunk edge is
+	// back-side and nothing front-bound lives there (root, node buffer,
+	// leaf nets at centroids).
+	vertexBack := make([]bool, t.Len())
+	for id := range t.Nodes {
+		n := &t.Nodes[id]
+		if id == t.Root() || n.BufferAtNode || n.Kind == ctree.KindCentroid || n.Kind == ctree.KindSink {
+			continue
+		}
+		back := true
+		if isTrunk(id) && !flips[id] {
+			back = false
+		}
+		if id != t.Root() && !isTrunk(id) {
+			back = false
+		}
+		for _, c := range n.Children {
+			if isTrunk(c) {
+				if !flips[c] {
+					back = false
+				}
+			} else {
+				back = false // leaf-net children pin the vertex to the front
+			}
+		}
+		vertexBack[id] = back && flips[id]
+	}
+	ntsvs := 0
+	for id := 1; id < t.Len(); id++ {
+		if !flips[id] {
+			continue
+		}
+		n := &t.Nodes[id]
+		w := ctree.EdgeWiring{WireSide: ctree.Back}
+		if !vertexBack[n.Parent] {
+			w.TSVUp = true
+			ntsvs++
+		}
+		if !vertexBack[id] {
+			w.TSVDown = true
+			ntsvs++
+		}
+		n.Wiring = w
+	}
+	if err := t.Validate(); err != nil {
+		return 0, fmt.Errorf("baseline: flipped tree invalid: %w", err)
+	}
+	return ntsvs, nil
+}
+
+// Veloso implements method [2]: flip every (unbuffered) net above the
+// low-level clustering centroids to the back side — the latency-extreme
+// assignment of Fig. 2(b).
+func Veloso(t *ctree.Tree) (int, error) {
+	flip := make([]bool, t.Len())
+	for i := range flip {
+		flip[i] = true
+	}
+	return FlipToBack(t, flip)
+}
+
+// FanoutFlip implements method [7]: flip edges whose subtree drives at
+// least `threshold` sinks (Fig. 2(c)). The paper's DSE sweeps this
+// threshold from 20 to 1000.
+func FanoutFlip(t *ctree.Tree, threshold int) (int, error) {
+	if threshold <= 0 {
+		return 0, fmt.Errorf("baseline: fanout threshold must be positive, got %d", threshold)
+	}
+	counts := t.SinkCounts()
+	flip := make([]bool, t.Len())
+	for id := range flip {
+		flip[id] = counts[id] >= threshold
+	}
+	return FlipToBack(t, flip)
+}
+
+// CriticalFlip implements method [6]: rank sinks by timing criticality,
+// take the worst fraction q (paper sweeps 0.2..0.9, default 0.5), and flip
+// the nets on the paths from their leaf clusters to the root (Fig. 2(d)).
+// Ground-truth Elmore delays replace the paper's GNN predictor (a strict
+// upper bound on its selection quality; DESIGN.md §1).
+func CriticalFlip(t *ctree.Tree, tc *tech.Tech, fraction float64) (int, error) {
+	if fraction <= 0 || fraction > 1 {
+		return 0, fmt.Errorf("baseline: criticality fraction %v outside (0,1]", fraction)
+	}
+	m, err := eval.New(tc, eval.Elmore).Evaluate(t)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	type sd struct {
+		node  int
+		delay float64
+	}
+	var all []sd
+	for _, sid := range t.Sinks() {
+		all = append(all, sd{sid, m.SinkDelays[t.Nodes[sid].SinkIdx]})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].delay > all[j].delay })
+	take := int(float64(len(all))*fraction + 0.5)
+	if take < 1 {
+		take = 1
+	}
+	flip := make([]bool, t.Len())
+	for _, s := range all[:take] {
+		// Walk from the sink's centroid up to the root, marking trunk
+		// edges on the path.
+		for id := t.Nodes[s.node].Parent; id > 0; id = t.Nodes[id].Parent {
+			flip[id] = true
+		}
+	}
+	return FlipToBack(t, flip)
+}

@@ -1,0 +1,207 @@
+// Package baseline implements the comparison flows of Table III: an
+// OpenROAD/TritonCTS-style front-side buffered clock tree, and the three
+// post-CTS back-side assignment methods the paper compares against —
+// Veloso et al. [2] (flip everything above the leaf level), Bethur et al.
+// [7] (flip by fanout threshold) and Bethur et al. [6] (flip nets feeding
+// timing-critical sinks; the GNN selector is replaced by ground-truth delay
+// ranking, see DESIGN.md §1).
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"dscts/internal/cluster"
+	"dscts/internal/ctree"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+// OpenROADOptions tunes the TritonCTS-style baseline.
+type OpenROADOptions struct {
+	// ClusterSize is the sink-cluster target (TritonCTS groups ~10-30
+	// sinks per leaf buffer). Default 30.
+	ClusterSize int
+	// RepeaterSpacing segments branches and drives them with repeaters
+	// (µm). Default 80.
+	RepeaterSpacing float64
+	// Seed for clustering determinism.
+	Seed int64
+}
+
+// OpenROADTree builds a front-side buffered clock tree the way TritonCTS
+// does: sink clustering, a balanced geometric-bisection (H-tree-like)
+// topology over the cluster centroids, cap-driven repeater insertion along
+// branches, and a leaf buffer per cluster.
+func OpenROADTree(root geom.Point, sinks []geom.Point, tc *tech.Tech, opt OpenROADOptions) (*ctree.Tree, error) {
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("baseline: no sinks")
+	}
+	if err := tc.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if opt.ClusterSize <= 0 {
+		opt.ClusterSize = 30
+	}
+	if opt.RepeaterSpacing <= 0 {
+		opt.RepeaterSpacing = 80
+	}
+	front := tc.Front()
+	cl, err := cluster.KMeans(sinks, cluster.Options{
+		TargetSize: opt.ClusterSize, Seed: opt.Seed + 1, Balance: true, MaxIter: 30,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: clustering: %w", err)
+	}
+	// Split clusters whose leaf net would exceed the buffer budget.
+	groups := splitOverloaded(cl, sinks, tc)
+
+	t := ctree.New(root)
+	idx := make([]int, len(groups))
+	for i := range idx {
+		idx[i] = i
+	}
+	top := bisect(t, idx, groups, true)
+	// Connect the clock root to the topology root.
+	reparent(t, top, t.Root())
+	// Attach leaf nets.
+	for _, cid := range t.Centroids() {
+		g := groups[t.Nodes[cid].ClusterIdx]
+		for _, si := range g.sinks {
+			t.AddSink(cid, sinks[si], si)
+		}
+	}
+	t.SplitTrunkEdges(opt.RepeaterSpacing)
+	bufferGreedy(t, tc, front)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: built tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+type group struct {
+	centroid geom.Point
+	sinks    []int
+}
+
+// splitOverloaded recursively bipartitions clusters whose leaf-net load
+// exceeds the drivable budget.
+func splitOverloaded(cl *cluster.Result, sinks []geom.Point, tc *tech.Tech) []group {
+	front := tc.Front()
+	budget := 0.6 * tc.Buf.MaxCap
+	var out []group
+	var rec func(g group)
+	rec = func(g group) {
+		total := 0.0
+		for _, si := range g.sinks {
+			total += tc.SinkCap + front.UnitCap*sinks[si].Dist(g.centroid)
+		}
+		if total <= budget || len(g.sinks) <= 1 {
+			out = append(out, g)
+			return
+		}
+		pts := make([]geom.Point, len(g.sinks))
+		for i, si := range g.sinks {
+			pts[i] = sinks[si]
+		}
+		sub, err := cluster.KMeans(pts, cluster.Options{TargetSize: (len(pts) + 1) / 2, Seed: 99, MaxIter: 20})
+		if err != nil || sub.K() < 2 {
+			out = append(out, g)
+			return
+		}
+		for k := 0; k < sub.K(); k++ {
+			ng := group{centroid: sub.Centroids[k]}
+			for _, m := range sub.Members[k] {
+				ng.sinks = append(ng.sinks, g.sinks[m])
+			}
+			rec(ng)
+		}
+	}
+	for c := 0; c < cl.K(); c++ {
+		rec(group{centroid: cl.Centroids[c], sinks: append([]int(nil), cl.Members[c]...)})
+	}
+	return out
+}
+
+// bisect recursively splits the group index set by alternating median cuts
+// and returns the id of the subtree root it creates (an H-tree-like
+// balanced topology).
+func bisect(t *ctree.Tree, idx []int, groups []group, vertical bool) int {
+	if len(idx) == 1 {
+		// Leaf region: a centroid node, temporarily parented at root.
+		return t.AddCentroid(t.Root(), groups[idx[0]].centroid, idx[0])
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := groups[idx[a]].centroid, groups[idx[b]].centroid
+		if vertical {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	mid := len(idx) / 2
+	left := bisect(t, append([]int(nil), idx[:mid]...), groups, !vertical)
+	right := bisect(t, append([]int(nil), idx[mid:]...), groups, !vertical)
+	// Steiner point at the midpoint of the two subtree roots.
+	p := t.Nodes[left].Pos.Lerp(t.Nodes[right].Pos, 0.5)
+	s := t.Add(t.Root(), ctree.KindSteiner, p)
+	reparent(t, left, s)
+	reparent(t, right, s)
+	return s
+}
+
+// reparent moves node id under newParent.
+func reparent(t *ctree.Tree, id, newParent int) {
+	old := t.Nodes[id].Parent
+	if old == newParent {
+		return
+	}
+	kids := t.Nodes[old].Children
+	for i, c := range kids {
+		if c == id {
+			t.Nodes[old].Children = append(kids[:i], kids[i+1:]...)
+			break
+		}
+	}
+	t.Nodes[id].Parent = newParent
+	t.Nodes[newParent].Children = append(t.Nodes[newParent].Children, id)
+}
+
+// bufferGreedy inserts repeaters bottom-up whenever the accumulated load
+// would exceed the drive budget, and a leaf buffer at every centroid —
+// the level/cap-driven buffering style of TritonCTS.
+func bufferGreedy(t *ctree.Tree, tc *tech.Tech, front tech.Layer) {
+	budget := 0.7 * tc.Buf.MaxCap
+	load := make([]float64, t.Len())
+	t.PostOrder(func(id int) {
+		n := &t.Nodes[id]
+		switch n.Kind {
+		case ctree.KindSink:
+			load[id] = front.UnitCap*t.EdgeLen(id) + tc.SinkCap
+		case ctree.KindCentroid:
+			sum := 0.0
+			for _, c := range n.Children {
+				sum += load[c]
+			}
+			// Leaf buffer shields the cluster.
+			n.BufferAtNode = true
+			load[id] = front.UnitCap*t.EdgeLen(id) + tc.Buf.InputCap
+			_ = sum
+		default:
+			sum := 0.0
+			for _, c := range n.Children {
+				sum += load[c]
+			}
+			wire := front.UnitCap * t.EdgeLen(id)
+			if id == t.Root() {
+				load[id] = sum
+				return
+			}
+			if sum+wire > budget {
+				n.Wiring.BufMid = true
+				load[id] = front.UnitCap*t.EdgeLen(id)/2 + tc.Buf.InputCap
+			} else {
+				load[id] = sum + wire
+			}
+		}
+	})
+}

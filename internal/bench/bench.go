@@ -1,0 +1,173 @@
+// Package bench reproduces the paper's benchmark suite (Table II). The
+// authors run the OpenROAD backend flow on five designs and take the placed
+// DEFs; we synthesize placements with the same statistics deterministically
+// (see DESIGN.md §1): die area derived from cell count and utilization,
+// macro blockages, and spatially clustered flip-flop placement matching the
+// non-uniform distributions that motivate the paper's hierarchical routing
+// (Fig. 5).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dscts/internal/def"
+	"dscts/internal/geom"
+)
+
+// Design is one row of Table II.
+type Design struct {
+	ID    string // C1..C5
+	Name  string
+	Cells int
+	FFs   int
+	Util  float64
+	// Macros is the number of macro blockages synthesized; chosen per
+	// design to mimic the floorplans (jpeg/ethmac have macro regions).
+	Macros int
+	// Hotspots is the number of placement density clusters.
+	Hotspots int
+}
+
+// Suite returns the five designs of Table II.
+func Suite() []Design {
+	return []Design{
+		{ID: "C1", Name: "jpeg", Cells: 54973, FFs: 4380, Util: 0.50, Macros: 2, Hotspots: 6},
+		{ID: "C2", Name: "swerv_wrapper", Cells: 148407, FFs: 14338, Util: 0.40, Macros: 4, Hotspots: 8},
+		{ID: "C3", Name: "ethmac", Cells: 56851, FFs: 10018, Util: 0.40, Macros: 2, Hotspots: 6},
+		{ID: "C4", Name: "riscv32i", Cells: 11579, FFs: 1056, Util: 0.50, Macros: 0, Hotspots: 4},
+		{ID: "C5", Name: "aes", Cells: 29306, FFs: 2072, Util: 0.50, Macros: 1, Hotspots: 5},
+	}
+}
+
+// ByID returns the design with the given ID (C1..C5) or name.
+func ByID(id string) (Design, error) {
+	for _, d := range Suite() {
+		if d.ID == id || d.Name == id {
+			return d, nil
+		}
+	}
+	return Design{}, fmt.Errorf("bench: unknown design %q", id)
+}
+
+// avgCellArea is the assumed mean standard-cell footprint (µm²) used to
+// derive die area from Table II's cell counts; calibrated so die sizes land
+// in the few-hundred-µm range typical of these blocks in ASAP7.
+const avgCellArea = 1.0
+
+// Placement is a synthesized benchmark instance.
+type Placement struct {
+	Design Design
+	Die    geom.BBox
+	Root   geom.Point // clock entry pin
+	Sinks  []geom.Point
+	Macros []geom.BBox
+}
+
+// DieSide returns the square die edge length for a design (µm).
+func DieSide(d Design) float64 {
+	return math.Sqrt(float64(d.Cells) * avgCellArea / d.Util)
+}
+
+// Generate synthesizes the placement for design d. The same (design, seed)
+// always produces identical output.
+func Generate(d Design, seed int64) *Placement {
+	side := DieSide(d)
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(len(d.Name))*7919 + int64(d.Cells)))
+	p := &Placement{
+		Design: d,
+		Die:    geom.NewBBox(geom.Pt(0, 0), geom.Pt(side, side)),
+		// The clock tree root sits at the die center: OpenROAD's flow
+		// buffers the path from the boundary clock port to the first
+		// tree buffer near the sink centroid, and CTS papers measure the
+		// tree from there. A boundary root would add a constant
+		// max-fanout stem that no flow in Table III can optimize.
+		Root: geom.Pt(side/2, side/2),
+	}
+	// Macro blockages hug the die edges like memory macros do.
+	for m := 0; m < d.Macros; m++ {
+		w := side * (0.15 + 0.10*rng.Float64())
+		h := side * (0.15 + 0.10*rng.Float64())
+		var x, y float64
+		switch m % 4 {
+		case 0:
+			x, y = 0, side-h
+		case 1:
+			x, y = side-w, side-h
+		case 2:
+			x, y = 0, side*0.3
+		default:
+			x, y = side-w, side*0.3
+		}
+		p.Macros = append(p.Macros, geom.NewBBox(geom.Pt(x, y), geom.Pt(x+w, y+h)))
+	}
+	// Hotspot centers avoid macros.
+	var hot []geom.Point
+	for len(hot) < d.Hotspots {
+		c := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		if p.inMacro(c) {
+			continue
+		}
+		hot = append(hot, c)
+	}
+	sigma := side / (2.2 * math.Sqrt(float64(d.Hotspots)))
+	// 70% of FFs cluster around hotspots, 30% spread uniformly — matching
+	// the mixed register-file/datapath structure of the benchmarks.
+	for len(p.Sinks) < d.FFs {
+		var c geom.Point
+		if rng.Float64() < 0.7 {
+			h := hot[rng.Intn(len(hot))]
+			c = geom.Pt(h.X+rng.NormFloat64()*sigma, h.Y+rng.NormFloat64()*sigma)
+		} else {
+			c = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		}
+		c = p.Die.Clamp(c)
+		if p.inMacro(c) {
+			continue
+		}
+		p.Sinks = append(p.Sinks, c)
+	}
+	return p
+}
+
+func (p *Placement) inMacro(c geom.Point) bool {
+	for _, m := range p.Macros {
+		if m.Contains(c, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// ToDEF converts the placement to a DEF design with one clock net
+// connecting the clk pin to every flip-flop.
+func (p *Placement) ToDEF() *def.File {
+	f := &def.File{Design: p.Design.Name, DBU: 1000, Die: p.Die}
+	net := def.Net{Name: "clk", Conns: []def.NetConn{{Comp: "PIN", Pin: "clk"}}}
+	for i, s := range p.Sinks {
+		name := fmt.Sprintf("ff_%d", i)
+		f.Components = append(f.Components, def.Component{
+			Name: name, Macro: "DFFHQNx1_ASAP7_75t_R", Pos: s,
+		})
+		net.Conns = append(net.Conns, def.NetConn{Comp: name, Pin: "CLK"})
+	}
+	f.Pins = append(f.Pins, def.Pin{Name: "clk", Net: "clk", Direction: "INPUT", Pos: p.Root})
+	f.Nets = append(f.Nets, net)
+	return f
+}
+
+// FromDEF reconstructs a Placement from a DEF file (inverse of ToDEF for
+// flows driven by external DEFs).
+func FromDEF(f *def.File) (*Placement, error) {
+	root, sinks, err := f.ClockSinks("clk")
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{
+		Design: Design{Name: f.Design, FFs: len(sinks)},
+		Die:    f.Die,
+		Root:   root,
+		Sinks:  sinks,
+	}, nil
+}

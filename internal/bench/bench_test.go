@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"dscts/internal/def"
+)
+
+func TestSuiteMatchesTableII(t *testing.T) {
+	s := Suite()
+	if len(s) != 5 {
+		t.Fatalf("suite size %d", len(s))
+	}
+	want := []struct {
+		id    string
+		cells int
+		ffs   int
+		util  float64
+	}{
+		{"C1", 54973, 4380, 0.50},
+		{"C2", 148407, 14338, 0.40},
+		{"C3", 56851, 10018, 0.40},
+		{"C4", 11579, 1056, 0.50},
+		{"C5", 29306, 2072, 0.50},
+	}
+	for i, w := range want {
+		d := s[i]
+		if d.ID != w.id || d.Cells != w.cells || d.FFs != w.ffs || d.Util != w.util {
+			t.Errorf("row %d = %+v, want %+v", i, d, w)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	d, err := ByID("C3")
+	if err != nil || d.Name != "ethmac" {
+		t.Fatalf("ByID(C3) = %+v, %v", d, err)
+	}
+	d, err = ByID("aes")
+	if err != nil || d.ID != "C5" {
+		t.Fatalf("ByID(aes) = %+v, %v", d, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestGenerateDeterministicAndComplete(t *testing.T) {
+	d, _ := ByID("C4")
+	a := Generate(d, 1)
+	b := Generate(d, 1)
+	if len(a.Sinks) != d.FFs {
+		t.Fatalf("sinks %d, want %d", len(a.Sinks), d.FFs)
+	}
+	for i := range a.Sinks {
+		if a.Sinks[i] != b.Sinks[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c := Generate(d, 2)
+	same := true
+	for i := range a.Sinks {
+		if a.Sinks[i] != c.Sinks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateRespectsDieAndMacros(t *testing.T) {
+	for _, d := range Suite() {
+		p := Generate(d, 7)
+		if len(p.Macros) != d.Macros {
+			t.Errorf("%s: %d macros, want %d", d.ID, len(p.Macros), d.Macros)
+		}
+		for i, s := range p.Sinks {
+			if !p.Die.Contains(s, 1e-9) {
+				t.Fatalf("%s: sink %d at %v outside die %+v", d.ID, i, s, p.Die)
+			}
+			for _, m := range p.Macros {
+				if m.Contains(s, -1e-9) {
+					t.Fatalf("%s: sink %d at %v inside macro %+v", d.ID, i, s, m)
+				}
+			}
+		}
+		if !p.Die.Contains(p.Root, 1e-9) {
+			t.Errorf("%s: root %v outside die", d.ID, p.Root)
+		}
+	}
+}
+
+func TestDieSideScalesWithCells(t *testing.T) {
+	c4, _ := ByID("C4")
+	c2, _ := ByID("C2")
+	if DieSide(c4) >= DieSide(c2) {
+		t.Errorf("die sides: C4 %v >= C2 %v", DieSide(c4), DieSide(c2))
+	}
+	if s := DieSide(c4); s < 100 || s > 400 {
+		t.Errorf("C4 die side %v outside plausible range", s)
+	}
+}
+
+func TestDEFRoundTrip(t *testing.T) {
+	d, _ := ByID("C4")
+	p := Generate(d, 3)
+	f := p.ToDEF()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := def.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromDEF(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sinks) != len(p.Sinks) {
+		t.Fatalf("sink count %d vs %d", len(back.Sinks), len(p.Sinks))
+	}
+	for i := range p.Sinks {
+		if !back.Sinks[i].Eq(p.Sinks[i], 1e-3) { // DBU quantization: 1/1000 µm
+			t.Fatalf("sink %d moved: %v vs %v", i, back.Sinks[i], p.Sinks[i])
+		}
+	}
+	if !back.Root.Eq(p.Root, 1e-3) {
+		t.Errorf("root moved: %v vs %v", back.Root, p.Root)
+	}
+}

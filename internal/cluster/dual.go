@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dscts/internal/geom"
+)
+
+// Dual is the dual-level clustering hierarchy of Fig. 5(a)-(b): high-level
+// clusters of target size Hc and, inside each, low-level clusters of size
+// Lc. Low-level clusters are the leaves of the hierarchical DME and the
+// roots of the leaf nets; their centroids are also the skew-refinement
+// buffer sites (Sec. III-D step 2).
+type Dual struct {
+	// High is the top clustering over all sinks.
+	High *Result
+	// Low holds one low-level clustering per high cluster; Low[h] indexes
+	// points by their position in High.Members[h].
+	Low []*Result
+	// LowCentroids flattens all low-level centroids in deterministic order
+	// (high cluster major, low cluster minor).
+	LowCentroids []geom.Point
+	// LowHigh maps each flattened low-centroid index to its high cluster.
+	LowHigh []int
+	// LowSinks maps each flattened low-centroid index to the ORIGINAL sink
+	// indices it contains.
+	LowSinks [][]int
+}
+
+// DualOptions configures DualLevel.
+type DualOptions struct {
+	HighSize int // Hc, paper default 3000
+	LowSize  int // Lc, paper default 30
+	Seed     int64
+	MaxIter  int
+
+	// CapOf, when set, gives the load a sink contributes to a leaf net
+	// rooted at the given centroid (pin cap plus wire cap, typically).
+	// Low-level clusters whose total exceeds CapLimit are split further so
+	// every leaf net stays drivable by one buffer (the max-cap constraint
+	// of Sec. III-C2).
+	CapOf    func(sink, centroid geom.Point) float64
+	CapLimit float64
+}
+
+// DefaultDualOptions returns the paper's empirical settings.
+func DefaultDualOptions() DualOptions {
+	return DualOptions{HighSize: 3000, LowSize: 30, Seed: 1, MaxIter: 40}
+}
+
+// DualLevel runs the two sequential clustering steps on the sink locations.
+func DualLevel(sinks []geom.Point, opt DualOptions) (*Dual, error) {
+	if opt.HighSize <= 0 || opt.LowSize <= 0 {
+		return nil, fmt.Errorf("cluster: sizes must be positive, got Hc=%d Lc=%d", opt.HighSize, opt.LowSize)
+	}
+	if opt.LowSize > opt.HighSize {
+		return nil, fmt.Errorf("cluster: Lc=%d exceeds Hc=%d", opt.LowSize, opt.HighSize)
+	}
+	high, err := KMeans(sinks, Options{
+		TargetSize: opt.HighSize, MaxIter: opt.MaxIter, Seed: opt.Seed, Balance: false,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: high level: %w", err)
+	}
+	d := &Dual{High: high, Low: make([]*Result, high.K())}
+	for h := 0; h < high.K(); h++ {
+		sub := make([]geom.Point, len(high.Members[h]))
+		for i, idx := range high.Members[h] {
+			sub[i] = sinks[idx]
+		}
+		low, err := KMeans(sub, Options{
+			TargetSize: opt.LowSize, MaxIter: opt.MaxIter, Seed: opt.Seed + int64(h) + 1, Balance: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: low level %d: %w", h, err)
+		}
+		d.Low[h] = low
+		for lc := 0; lc < low.K(); lc++ {
+			sub := make([]geom.Point, len(low.Members[lc]))
+			orig := make([]int, len(low.Members[lc]))
+			for i, li := range low.Members[lc] {
+				orig[i] = high.Members[h][li]
+				sub[i] = sinks[orig[i]]
+			}
+			d.appendCapAware(sub, orig, low.Centroids[lc], h, opt)
+		}
+	}
+	return d, nil
+}
+
+// appendCapAware appends the cluster, bipartitioning it recursively while
+// its leaf-net load exceeds opt.CapLimit.
+func (d *Dual) appendCapAware(pts []geom.Point, orig []int, centroid geom.Point, h int, opt DualOptions) {
+	if opt.CapOf != nil && len(pts) > 1 {
+		total := 0.0
+		for _, p := range pts {
+			total += opt.CapOf(p, centroid)
+		}
+		if total > opt.CapLimit {
+			two, err := KMeans(pts, Options{
+				TargetSize: (len(pts) + 1) / 2, MaxIter: opt.MaxIter, Seed: opt.Seed + int64(len(d.LowSinks)) + 17,
+			})
+			if err == nil && two.K() >= 2 {
+				for k := 0; k < two.K(); k++ {
+					subPts := make([]geom.Point, len(two.Members[k]))
+					subOrig := make([]int, len(two.Members[k]))
+					for i, m := range two.Members[k] {
+						subPts[i] = pts[m]
+						subOrig[i] = orig[m]
+					}
+					d.appendCapAware(subPts, subOrig, two.Centroids[k], h, opt)
+				}
+				return
+			}
+			// Degenerate split (identical points): fall through and keep.
+		}
+	}
+	d.LowCentroids = append(d.LowCentroids, centroid)
+	d.LowHigh = append(d.LowHigh, h)
+	d.LowSinks = append(d.LowSinks, orig)
+}
+
+// NumLow returns the number of low-level clusters across all high clusters.
+func (d *Dual) NumLow() int { return len(d.LowCentroids) }
+
+// Validate checks that the hierarchy is a partition of [0,n).
+func (d *Dual) Validate(n int) error {
+	seen := make([]bool, n)
+	total := 0
+	for lc, sinks := range d.LowSinks {
+		if len(sinks) == 0 {
+			return fmt.Errorf("cluster: empty low cluster %d", lc)
+		}
+		for _, s := range sinks {
+			if s < 0 || s >= n {
+				return fmt.Errorf("cluster: sink index %d out of range", s)
+			}
+			if seen[s] {
+				return fmt.Errorf("cluster: sink %d assigned twice", s)
+			}
+			seen[s] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("cluster: %d of %d sinks assigned", total, n)
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+// Package cluster implements the dual-level sink clustering of the paper's
+// hierarchical clock routing (Sec. III-B): k-means++ seeded Lloyd iterations
+// with a capacity-balancing refinement, applied twice — high-level clusters
+// of target size Hc (3000 in the paper) and, within each, low-level clusters
+// of target size Lc (30). Centroids of both levels are recorded for the
+// hierarchical DME step and for skew-refinement buffer sites.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dscts/internal/geom"
+)
+
+// Result is one clustering solution.
+type Result struct {
+	// Assign maps each input point index to its cluster id in [0,K).
+	Assign []int
+	// Centroids holds one centroid per cluster.
+	Centroids []geom.Point
+	// Members lists the point indices of each cluster.
+	Members [][]int
+}
+
+// K returns the number of clusters.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// IntraWL returns the total intra-cluster wirelength approximation the
+// high-level clustering minimizes: the sum of Manhattan distances from each
+// point to its cluster centroid.
+func (r *Result) IntraWL(pts []geom.Point) float64 {
+	var wl float64
+	for i, a := range r.Assign {
+		wl += pts[i].Dist(r.Centroids[a])
+	}
+	return wl
+}
+
+// Options controls KMeans.
+type Options struct {
+	// TargetSize is the desired cluster size; K = ceil(N/TargetSize).
+	TargetSize int
+	// MaxIter bounds Lloyd iterations.
+	MaxIter int
+	// Seed makes runs deterministic.
+	Seed int64
+	// Balance enables the capacity refinement pass that caps cluster size
+	// at ceil(1.25·TargetSize), moving overflow points to their next
+	// nearest non-full cluster. This keeps low-level clusters within the
+	// leaf-net fanout bound.
+	Balance bool
+}
+
+// KMeans clusters pts into ceil(len(pts)/TargetSize) groups.
+func KMeans(pts []geom.Point, opt Options) (*Result, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if opt.TargetSize <= 0 {
+		return nil, fmt.Errorf("cluster: target size %d", opt.TargetSize)
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 50
+	}
+	k := (n + opt.TargetSize - 1) / opt.TargetSize
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cents := seedPlusPlus(pts, k, rng)
+	assign := make([]int, n)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		changed := assignNearest(pts, cents, assign)
+		cents = recompute(pts, assign, k, cents)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	if opt.Balance {
+		balance(pts, cents, assign, opt.TargetSize)
+		cents = recompute(pts, assign, len(cents), cents)
+	}
+	return buildResult(pts, cents, assign), nil
+}
+
+// seedPlusPlus is the k-means++ seeding: spread initial centroids with
+// probability proportional to squared distance from the nearest chosen seed.
+func seedPlusPlus(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
+	cents := make([]geom.Point, 0, k)
+	cents = append(cents, pts[rng.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for i, p := range pts {
+		d2[i] = sq(p.DistEuclid(cents[0]))
+	}
+	for len(cents) < k {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		var next int
+		if total <= 0 {
+			next = rng.Intn(len(pts))
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			next = len(pts) - 1
+			for i, v := range d2 {
+				acc += v
+				if acc >= r {
+					next = i
+					break
+				}
+			}
+		}
+		c := pts[next]
+		cents = append(cents, c)
+		for i, p := range pts {
+			if v := sq(p.DistEuclid(c)); v < d2[i] {
+				d2[i] = v
+			}
+		}
+	}
+	return cents
+}
+
+func sq(v float64) float64 { return v * v }
+
+func assignNearest(pts []geom.Point, cents []geom.Point, assign []int) bool {
+	changed := false
+	for i, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for c, cp := range cents {
+			if d := p.DistEuclid(cp); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+func recompute(pts []geom.Point, assign []int, k int, prev []geom.Point) []geom.Point {
+	sum := make([]geom.Point, k)
+	cnt := make([]int, k)
+	for i, a := range assign {
+		sum[a] = sum[a].Add(pts[i])
+		cnt[a]++
+	}
+	cents := make([]geom.Point, k)
+	for c := range cents {
+		if cnt[c] == 0 {
+			cents[c] = prev[c] // keep empty cluster's seed; may repopulate
+			continue
+		}
+		cents[c] = sum[c].Scale(1 / float64(cnt[c]))
+	}
+	return cents
+}
+
+// balance enforces a soft capacity of ceil(1.25·target): clusters over the
+// cap shed their farthest points to the nearest cluster with headroom.
+func balance(pts []geom.Point, cents []geom.Point, assign []int, target int) {
+	capSize := int(math.Ceil(1.25 * float64(target)))
+	if capSize < 1 {
+		capSize = 1
+	}
+	k := len(cents)
+	members := make([][]int, k)
+	for i, a := range assign {
+		members[a] = append(members[a], i)
+	}
+	size := make([]int, k)
+	for c := range members {
+		size[c] = len(members[c])
+	}
+	for c := 0; c < k; c++ {
+		if size[c] <= capSize {
+			continue
+		}
+		// Evict points farthest from the centroid first.
+		m := members[c]
+		sort.Slice(m, func(i, j int) bool {
+			return pts[m[i]].DistEuclid(cents[c]) < pts[m[j]].DistEuclid(cents[c])
+		})
+		for len(m) > capSize {
+			p := m[len(m)-1]
+			m = m[:len(m)-1]
+			// Nearest cluster with headroom.
+			best, bestD := -1, math.Inf(1)
+			for o := 0; o < k; o++ {
+				if o == c || size[o] >= capSize {
+					continue
+				}
+				if d := pts[p].DistEuclid(cents[o]); d < bestD {
+					best, bestD = o, d
+				}
+			}
+			if best < 0 {
+				// Everyone full (can happen when N ≈ k·cap); keep it.
+				m = append(m, p)
+				break
+			}
+			assign[p] = best
+			size[best]++
+			size[c]--
+		}
+		members[c] = m
+	}
+}
+
+func buildResult(pts []geom.Point, cents []geom.Point, assign []int) *Result {
+	// Drop empty clusters and remap ids for a compact result.
+	k := len(cents)
+	cnt := make([]int, k)
+	for _, a := range assign {
+		cnt[a]++
+	}
+	remap := make([]int, k)
+	var kept []geom.Point
+	for c := 0; c < k; c++ {
+		if cnt[c] == 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = len(kept)
+		kept = append(kept, cents[c])
+	}
+	out := &Result{
+		Assign:    make([]int, len(assign)),
+		Centroids: kept,
+		Members:   make([][]int, len(kept)),
+	}
+	for i, a := range assign {
+		na := remap[a]
+		out.Assign[i] = na
+		out.Members[na] = append(out.Members[na], i)
+	}
+	return out
+}

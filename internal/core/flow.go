@@ -1,0 +1,200 @@
+// Package core orchestrates the paper's full double-side CTS flow (Fig. 4):
+// hierarchical clock routing (dual-level clustering + hierarchical DME),
+// concurrent buffer & nTSV insertion by multi-objective DP, and skew
+// refinement, returning the annotated clock tree together with evaluated
+// metrics and per-phase runtimes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dscts/internal/cluster"
+	"dscts/internal/ctree"
+	"dscts/internal/dme"
+	"dscts/internal/eval"
+	"dscts/internal/geom"
+	"dscts/internal/insert"
+	"dscts/internal/refine"
+	"dscts/internal/tech"
+)
+
+// SideMode selects the insertion design space.
+type SideMode int
+
+const (
+	// DoubleSide allows all patterns (full mode), optionally restricted
+	// per-node by FanoutThreshold.
+	DoubleSide SideMode = iota
+	// SingleSide forbids nTSVs everywhere: the flow degenerates to a
+	// conventional front-side buffered CTS ("Our Buffered Clock Tree" in
+	// Table III).
+	SingleSide
+)
+
+// Options configures Synthesize.
+type Options struct {
+	// Dual carries the clustering sizes; zero value uses the paper's
+	// Hc=3000, Lc=30. Cap-aware splitting is always installed from the
+	// technology's buffer max load.
+	Dual cluster.DualOptions
+	// MaxTrunkEdge subdivides trunk edges for insertion (µm). Zero uses
+	// a default derived from the buffer max load.
+	MaxTrunkEdge float64
+	// Mode selects double- or single-side synthesis.
+	Mode SideMode
+	// FanoutThreshold, when positive and Mode is DoubleSide, configures
+	// the heterogeneous DP of Sec. III-E: edges driving at least this
+	// many sinks get full mode (nTSVs allowed); smaller subtrees are
+	// restricted to intra-side mode. Sweeping the threshold from high to
+	// low interpolates from "back-side trunk only" to the all-full-mode
+	// flow of Table III. NOTE: the paper's prose states the opposite
+	// assignment, which would deny nTSVs exactly where [2]/[7] show they
+	// pay off and would contradict Fig. 12; see EXPERIMENTS.md.
+	FanoutThreshold int
+	// Alpha, Beta, Gamma are the MOES weights; zeros use 1, 10, 1.
+	Alpha, Beta, Gamma float64
+	// SelectMinLatency picks the minimum-latency root solution instead of
+	// MOES (Fig. 10 ablation).
+	SelectMinLatency bool
+	// KeepRootSet retains the root candidate set (Fig. 10).
+	KeepRootSet bool
+	// DiversePruning widens DP pruning with the resource axis so the root
+	// set exposes buffer/nTSV trade-offs (Fig. 10 study); see
+	// insert.Config.DiversePruning.
+	DiversePruning bool
+	// MaxPerSide caps the DP solution set per side type (0 = default 48);
+	// see insert.Config.MaxPerSide.
+	MaxPerSide int
+	// SkipRefine disables skew refinement (Fig. 11 ablation).
+	SkipRefine bool
+	// Refine carries the skew-refinement knobs; zero value uses the
+	// paper's p=23, m=33.
+	Refine refine.Params
+	// UseFlatDME replaces hierarchical DME with matching-based DME
+	// (Fig. 5(c) ablation).
+	UseFlatDME bool
+}
+
+// Outcome is the result of a synthesis run.
+type Outcome struct {
+	Tree    *ctree.Tree
+	Metrics *eval.Metrics
+	DP      *insert.Result
+	Refine  *refine.Report
+	Dual    *cluster.Dual
+
+	// Phase runtimes.
+	RouteTime  time.Duration
+	InsertTime time.Duration
+	RefineTime time.Duration
+	TotalTime  time.Duration
+}
+
+// Synthesize runs the full flow on the given clock root and sink placement.
+func Synthesize(rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Options) (*Outcome, error) {
+	if tc == nil {
+		return nil, fmt.Errorf("core: nil tech")
+	}
+	if err := tc.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("core: no sinks")
+	}
+	start := time.Now()
+
+	// Defaults.
+	d := opt.Dual
+	if d.HighSize == 0 && d.LowSize == 0 {
+		def := cluster.DefaultDualOptions()
+		d.HighSize, d.LowSize, d.MaxIter = def.HighSize, def.LowSize, def.MaxIter
+		d.Seed = def.Seed
+	}
+	if d.MaxIter == 0 {
+		d.MaxIter = 40
+	}
+	front := tc.Front()
+	if d.CapOf == nil {
+		d.CapOf = func(s, c geom.Point) float64 { return tc.SinkCap + front.UnitCap*s.Dist(c) }
+		d.CapLimit = 0.6 * tc.Buf.MaxCap
+	}
+	maxEdge := opt.MaxTrunkEdge
+	if maxEdge <= 0 {
+		// Keep per-segment wire cap well under the buffer budget.
+		maxEdge = 40 // µm: finer than the optimal buffer spacing so the DP decides
+	}
+
+	out := &Outcome{}
+
+	// Phase 1: hierarchical clock routing.
+	t0 := time.Now()
+	dual, err := cluster.DualLevel(sinks, d)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	out.Dual = dual
+	var tree *ctree.Tree
+	if opt.UseFlatDME {
+		tree, err = dme.FlatRoute(rootPos, sinks, dual, tc, dme.HierOptions{MaxTrunkEdge: maxEdge})
+	} else {
+		tree, err = dme.HierarchicalRoute(rootPos, sinks, dual, tc, dme.HierOptions{MaxTrunkEdge: maxEdge})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: routing: %w", err)
+	}
+	out.Tree = tree
+	out.RouteTime = time.Since(t0)
+
+	// Phase 2: concurrent buffer and nTSV insertion.
+	t1 := time.Now()
+	cfg := insert.DefaultConfig(tc)
+	if opt.Alpha != 0 || opt.Beta != 0 || opt.Gamma != 0 {
+		cfg.Alpha, cfg.Beta, cfg.Gamma = opt.Alpha, opt.Beta, opt.Gamma
+	}
+	cfg.SelectMinLatency = opt.SelectMinLatency
+	cfg.KeepRootSet = opt.KeepRootSet
+	cfg.DiversePruning = opt.DiversePruning
+	cfg.MaxPerSide = opt.MaxPerSide
+	switch {
+	case opt.Mode == SingleSide:
+		cfg.ModeOf = func(treeID, fanout int) insert.Mode { return insert.ModeIntra }
+	case opt.FanoutThreshold > 0:
+		th := opt.FanoutThreshold
+		cfg.ModeOf = func(treeID, fanout int) insert.Mode {
+			if fanout >= th {
+				return insert.ModeFull
+			}
+			return insert.ModeIntra
+		}
+	}
+	dp, err := insert.Run(tree, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: insertion: %w", err)
+	}
+	out.DP = dp
+	out.InsertTime = time.Since(t1)
+
+	// Phase 3: skew refinement.
+	if !opt.SkipRefine {
+		t2 := time.Now()
+		rp := opt.Refine
+		if rp.TriggerPct == 0 {
+			rp = refine.DefaultParams()
+		}
+		rr, err := refine.Refine(tree, tc, rp)
+		if err != nil {
+			return nil, fmt.Errorf("core: refinement: %w", err)
+		}
+		out.Refine = rr
+		out.RefineTime = time.Since(t2)
+	}
+
+	m, err := eval.New(tc, eval.Elmore).Evaluate(tree)
+	if err != nil {
+		return nil, fmt.Errorf("core: evaluation: %w", err)
+	}
+	out.Metrics = m
+	out.TotalTime = time.Since(start)
+	return out, nil
+}

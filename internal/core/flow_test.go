@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"dscts/internal/bench"
+	"dscts/internal/tech"
+)
+
+// c4 synthesizes the smallest Table II design for end-to-end tests.
+func c4Placement(t *testing.T) *bench.Placement {
+	t.Helper()
+	d, err := bench.ByID("C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bench.Generate(d, 1)
+}
+
+func TestSynthesizeDoubleSideEndToEnd(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	out, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := out.Metrics
+	if m.Latency <= 0 || m.Skew < 0 || m.Buffers <= 0 {
+		t.Fatalf("implausible metrics: %+v", m)
+	}
+	if m.NTSVs == 0 {
+		t.Fatal("double-side flow should insert nTSVs")
+	}
+	if len(m.SinkDelays) != len(p.Sinks) {
+		t.Fatalf("%d sink delays for %d sinks", len(m.SinkDelays), len(p.Sinks))
+	}
+	if out.RouteTime <= 0 || out.InsertTime <= 0 || out.TotalTime <= 0 {
+		t.Error("phase runtimes not recorded")
+	}
+}
+
+func TestSynthesizeSingleSideHasNoTSVs(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	out, err := Synthesize(p.Root, p.Sinks, tc, Options{Mode: SingleSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.NTSVs != 0 {
+		t.Fatalf("single-side flow used %d nTSVs", out.Metrics.NTSVs)
+	}
+}
+
+// Table III's central claim at benchmark scale: double-side latency beats
+// single-side latency on the same placement.
+func TestDoubleSideBeatsSingleSide(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	ds, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Synthesize(p.Root, p.Sinks, tc, Options{Mode: SingleSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Metrics.Latency >= ss.Metrics.Latency {
+		t.Fatalf("double-side %.1f ps not better than single-side %.1f ps",
+			ds.Metrics.Latency, ss.Metrics.Latency)
+	}
+	t.Logf("double %.1f ps (%d buf, %d tsv) vs single %.1f ps (%d buf)",
+		ds.Metrics.Latency, ds.Metrics.Buffers, ds.Metrics.NTSVs,
+		ss.Metrics.Latency, ss.Metrics.Buffers)
+}
+
+func TestSynthesizeFanoutThresholdRestrictsTSVs(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	free, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Synthesize(p.Root, p.Sinks, tc, Options{FanoutThreshold: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 500 grants full mode only to the top trunk (C4 has 1056
+	// sinks): strictly fewer nTSVs than the unconstrained flow.
+	if tight.Metrics.NTSVs >= free.Metrics.NTSVs {
+		t.Fatalf("threshold 500 gave %d nTSVs vs %d unconstrained",
+			tight.Metrics.NTSVs, free.Metrics.NTSVs)
+	}
+	if tight.Metrics.NTSVs == 0 {
+		t.Fatal("top trunk should still use nTSVs")
+	}
+}
+
+func TestSynthesizeSkipRefine(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	out, err := Synthesize(p.Root, p.Sinks, tc, Options{SkipRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Refine != nil {
+		t.Fatal("refine report present despite SkipRefine")
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	if _, err := Synthesize(p.Root, nil, tc, Options{}); err == nil {
+		t.Error("no sinks should error")
+	}
+	if _, err := Synthesize(p.Root, p.Sinks, nil, Options{}); err == nil {
+		t.Error("nil tech should error")
+	}
+	bad := *tc
+	bad.MaxFanout = 0
+	if _, err := Synthesize(p.Root, p.Sinks, &bad, Options{}); err == nil {
+		t.Error("invalid tech should error")
+	}
+}
+
+func TestSynthesizeFlatDMEAblation(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	out, err := Synthesize(p.Root, p.Sinks, tc, Options{UseFlatDME: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Latency <= 0 {
+		t.Fatal("flat DME flow failed")
+	}
+}
+
+func TestSynthesizeKeepRootSet(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	out, err := Synthesize(p.Root, p.Sinks, tc, Options{KeepRootSet: true, SkipRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.DP.Candidates) < 2 {
+		t.Fatalf("expected a diverse root set, got %d candidates", len(out.DP.Candidates))
+	}
+}

@@ -1,0 +1,135 @@
+package ctree
+
+import (
+	"math/rand"
+	"testing"
+
+	"dscts/internal/geom"
+)
+
+// randomTree builds a random valid front-side clock tree.
+func randomTree(rng *rand.Rand) *Tree {
+	t := New(geom.Pt(rng.Float64()*100, rng.Float64()*100))
+	steiners := []int{0}
+	nSteiner := rng.Intn(10) + 1
+	for i := 0; i < nSteiner; i++ {
+		p := steiners[rng.Intn(len(steiners))]
+		id := t.Add(p, KindSteiner, geom.Pt(rng.Float64()*100, rng.Float64()*100))
+		steiners = append(steiners, id)
+	}
+	sinkIdx := 0
+	for i := 0; i < rng.Intn(6)+1; i++ {
+		p := steiners[rng.Intn(len(steiners))]
+		c := t.AddCentroid(p, geom.Pt(rng.Float64()*100, rng.Float64()*100), i)
+		for s := 0; s < rng.Intn(5)+1; s++ {
+			t.AddSink(c, geom.Pt(rng.Float64()*100, rng.Float64()*100), sinkIdx)
+			sinkIdx++
+		}
+	}
+	return t
+}
+
+// Structural invariants hold for arbitrary construction sequences.
+func TestRandomTreesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTree(rng)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Sink counts at the root equal the number of sink nodes.
+		if got := tr.SinkCounts()[tr.Root()]; got != len(tr.Sinks()) {
+			t.Fatalf("root sink count %d vs %d sinks", got, len(tr.Sinks()))
+		}
+	}
+}
+
+// Splitting then validating preserves wirelength, sink sets and counts for
+// arbitrary trees and split lengths.
+func TestRandomSplitInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTree(rng)
+		wl := tr.Wirelength()
+		sinks := len(tr.Sinks())
+		bufs, tsvs := tr.Counts()
+		maxLen := rng.Float64()*50 + 5
+		tr.SplitTrunkEdges(maxLen)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := tr.Wirelength(); got < wl-1e-6 || got > wl+1e-6 {
+			t.Fatalf("trial %d: wirelength %v -> %v", trial, wl, got)
+		}
+		if got := len(tr.Sinks()); got != sinks {
+			t.Fatalf("trial %d: sinks %d -> %d", trial, sinks, got)
+		}
+		b2, t2 := tr.Counts()
+		if b2 != bufs || t2 != tsvs {
+			t.Fatalf("trial %d: counts changed", trial)
+		}
+		for _, id := range tr.TrunkEdges() {
+			if tr.EdgeLen(id) > maxLen+1e-9 {
+				t.Fatalf("trial %d: edge %d length %v > %v", trial, id, tr.EdgeLen(id), maxLen)
+			}
+		}
+	}
+}
+
+// Clone equivalence: a clone validates, and mutating it never affects the
+// original.
+func TestRandomCloneIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(rng)
+		wl := tr.Wirelength()
+		cp := tr.Clone()
+		if err := cp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Random mutations on the clone.
+		for i := 0; i < 5; i++ {
+			id := rng.Intn(cp.Len())
+			if id == 0 {
+				continue
+			}
+			cp.Nodes[id].Wiring = EdgeWiring{WireSide: Back}
+			cp.Nodes[id].BufferAtNode = true
+			cp.Nodes[id].Pos = geom.Pt(0, 0)
+		}
+		cp.SplitTrunkEdges(10)
+		if tr.Wirelength() != wl {
+			t.Fatal("mutating the clone changed the original's wirelength")
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("original corrupted: %v", err)
+		}
+		for id := 1; id < tr.Len(); id++ {
+			if tr.Nodes[id].BufferAtNode || tr.Nodes[id].Wiring.WireSide == Back {
+				t.Fatal("mutation leaked into original")
+			}
+		}
+	}
+}
+
+// L-route interpolation: PointAlongL always lies on the L-path, and
+// cumulative distance is linear in the fraction.
+func TestPointAlongLProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 500; trial++ {
+		a := geom.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		b := geom.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		total := a.Dist(b)
+		for _, f := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			p := PointAlongL(a, b, f)
+			// Distance along the L-route from a to p plus p to b must
+			// equal the total (p is on a shortest Manhattan path).
+			if d := a.Dist(p) + p.Dist(b); d > total+1e-9 {
+				t.Fatalf("point %v off the Manhattan shortest path: %v > %v", p, d, total)
+			}
+			if d := a.Dist(p); d < total*f-1e-9 || d > total*f+1e-9 {
+				t.Fatalf("fraction %v gave distance %v of %v", f, d, total)
+			}
+		}
+	}
+}

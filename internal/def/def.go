@@ -1,0 +1,379 @@
+// Package def reads and writes the minimal DEF (Design Exchange Format)
+// subset the CTS flow consumes: UNITS, DIEAREA, COMPONENTS with placement,
+// PINS, and NETS. The paper's flow takes post-placement DEFs produced by
+// OpenROAD; this package provides the same interchange for the synthetic
+// benchmark generator and the command-line tools.
+package def
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dscts/internal/geom"
+)
+
+// Component is a placed cell instance.
+type Component struct {
+	Name  string
+	Macro string
+	Pos   geom.Point // µm
+	Fixed bool
+}
+
+// Pin is a top-level design pin.
+type Pin struct {
+	Name      string
+	Net       string
+	Direction string
+	Pos       geom.Point // µm
+}
+
+// NetConn is one connection of a net: either a top pin (Comp == "PIN") or a
+// component pin.
+type NetConn struct {
+	Comp string // component name, or "PIN" for a top-level pin
+	Pin  string
+}
+
+// Net is a logical net.
+type Net struct {
+	Name  string
+	Conns []NetConn
+}
+
+// File is a parsed DEF design.
+type File struct {
+	Design     string
+	DBU        int // database units per micron
+	Die        geom.BBox
+	Components []Component
+	Pins       []Pin
+	Nets       []Net
+}
+
+// Parse reads the DEF subset from r.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{DBU: 1000}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	sc.Split(bufio.ScanWords)
+	var toks []string
+	for sc.Scan() {
+		toks = append(toks, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("def: %w", err)
+	}
+	i := 0
+	next := func() string {
+		if i >= len(toks) {
+			return ""
+		}
+		t := toks[i]
+		i++
+		return t
+	}
+	peek := func() string {
+		if i >= len(toks) {
+			return ""
+		}
+		return toks[i]
+	}
+	skipStmt := func() {
+		for i < len(toks) && toks[i] != ";" {
+			i++
+		}
+		i++ // consume ';'
+	}
+	toUM := func(s string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("def: bad coordinate %q", s)
+		}
+		return v / float64(f.DBU), nil
+	}
+	for i < len(toks) {
+		switch t := next(); t {
+		case "DESIGN":
+			f.Design = next()
+			skipStmt()
+		case "UNITS":
+			if next() != "DISTANCE" || next() != "MICRONS" {
+				return nil, fmt.Errorf("def: malformed UNITS")
+			}
+			v, err := strconv.Atoi(next())
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("def: bad DBU")
+			}
+			f.DBU = v
+			skipStmt()
+		case "DIEAREA":
+			var pts []geom.Point
+			for peek() == "(" {
+				next() // (
+				x, err := toUM(next())
+				if err != nil {
+					return nil, err
+				}
+				y, err := toUM(next())
+				if err != nil {
+					return nil, err
+				}
+				if next() != ")" {
+					return nil, fmt.Errorf("def: malformed DIEAREA point")
+				}
+				pts = append(pts, geom.Pt(x, y))
+			}
+			skipStmt()
+			if len(pts) < 2 {
+				return nil, fmt.Errorf("def: DIEAREA needs two points")
+			}
+			f.Die = geom.NewBBox(pts...)
+		case "COMPONENTS":
+			skipStmt() // count ;
+			for peek() == "-" {
+				next() // -
+				c := Component{Name: next(), Macro: next()}
+				for peek() != ";" && peek() != "" {
+					if next() != "+" {
+						continue
+					}
+					switch peek() {
+					case "PLACED", "FIXED":
+						c.Fixed = next() == "FIXED"
+						if next() != "(" {
+							return nil, fmt.Errorf("def: malformed placement of %s", c.Name)
+						}
+						x, err := toUM(next())
+						if err != nil {
+							return nil, err
+						}
+						y, err := toUM(next())
+						if err != nil {
+							return nil, err
+						}
+						if next() != ")" {
+							return nil, fmt.Errorf("def: malformed placement of %s", c.Name)
+						}
+						c.Pos = geom.Pt(x, y)
+						next() // orientation
+					}
+				}
+				skipStmt()
+				f.Components = append(f.Components, c)
+			}
+			if next() != "END" || next() != "COMPONENTS" {
+				return nil, fmt.Errorf("def: unterminated COMPONENTS")
+			}
+		case "PINS":
+			skipStmt()
+			for peek() == "-" {
+				next()
+				p := Pin{Name: next()}
+				for peek() != ";" && peek() != "" {
+					if next() == "+" {
+						switch peek() {
+						case "NET":
+							next()
+							p.Net = next()
+						case "DIRECTION":
+							next()
+							p.Direction = next()
+						case "PLACED", "FIXED":
+							next()
+							if next() != "(" {
+								return nil, fmt.Errorf("def: malformed pin placement of %s", p.Name)
+							}
+							x, err := toUM(next())
+							if err != nil {
+								return nil, err
+							}
+							y, err := toUM(next())
+							if err != nil {
+								return nil, err
+							}
+							if next() != ")" {
+								return nil, fmt.Errorf("def: malformed pin placement of %s", p.Name)
+							}
+							p.Pos = geom.Pt(x, y)
+							next() // orientation
+						}
+					}
+				}
+				skipStmt()
+				f.Pins = append(f.Pins, p)
+			}
+			if next() != "END" || next() != "PINS" {
+				return nil, fmt.Errorf("def: unterminated PINS")
+			}
+		case "NETS":
+			skipStmt()
+			for peek() == "-" {
+				next()
+				n := Net{Name: next()}
+				for peek() != ";" && peek() != "" {
+					if next() == "(" {
+						conn := NetConn{Comp: next(), Pin: next()}
+						if next() != ")" {
+							return nil, fmt.Errorf("def: malformed net conn in %s", n.Name)
+						}
+						n.Conns = append(n.Conns, conn)
+					}
+				}
+				skipStmt()
+				f.Nets = append(f.Nets, n)
+			}
+			if next() != "END" || next() != "NETS" {
+				return nil, fmt.Errorf("def: unterminated NETS")
+			}
+		case "END":
+			if peek() == "DESIGN" {
+				next()
+				return f, nil
+			}
+		default:
+			// Unknown statement: skip to ';'.
+			skipStmt()
+		}
+	}
+	return f, nil
+}
+
+// Write emits the DEF subset.
+func (f *File) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	dbu := f.DBU
+	if dbu <= 0 {
+		dbu = 1000
+	}
+	c := func(v float64) int { return int(v*float64(dbu) + 0.5) }
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", f.Design, dbu)
+	fmt.Fprintf(bw, "DIEAREA ( %d %d ) ( %d %d ) ;\n", c(f.Die.MinX), c(f.Die.MinY), c(f.Die.MaxX), c(f.Die.MaxY))
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(f.Components))
+	for _, comp := range f.Components {
+		kind := "PLACED"
+		if comp.Fixed {
+			kind = "FIXED"
+		}
+		fmt.Fprintf(bw, "  - %s %s + %s ( %d %d ) N ;\n", comp.Name, comp.Macro, kind, c(comp.Pos.X), c(comp.Pos.Y))
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n")
+	fmt.Fprintf(bw, "PINS %d ;\n", len(f.Pins))
+	for _, p := range f.Pins {
+		dir := p.Direction
+		if dir == "" {
+			dir = "INPUT"
+		}
+		fmt.Fprintf(bw, "  - %s + NET %s + DIRECTION %s + PLACED ( %d %d ) N ;\n",
+			p.Name, p.Net, dir, c(p.Pos.X), c(p.Pos.Y))
+	}
+	fmt.Fprintf(bw, "END PINS\n")
+	fmt.Fprintf(bw, "NETS %d ;\n", len(f.Nets))
+	for _, n := range f.Nets {
+		fmt.Fprintf(bw, "  - %s", n.Name)
+		for k, conn := range n.Conns {
+			if k%8 == 0 {
+				fmt.Fprintf(bw, "\n   ")
+			}
+			fmt.Fprintf(bw, " ( %s %s )", conn.Comp, conn.Pin)
+		}
+		fmt.Fprintf(bw, " ;\n")
+	}
+	fmt.Fprintf(bw, "END NETS\nEND DESIGN\n")
+	return bw.Flush()
+}
+
+// ClockSinks extracts the clock net's sink placement from the DEF: the
+// returned points are the positions of components connected to the net
+// driven by the named top pin (or, if no NETS section is present, all
+// components whose macro name contains "DFF"). The root position is the top
+// pin's location (die-boundary center fallback).
+func (f *File) ClockSinks(clockPin string) (root geom.Point, sinks []geom.Point, err error) {
+	pos := make(map[string]geom.Point, len(f.Components))
+	for _, c := range f.Components {
+		pos[c.Name] = c.Pos
+	}
+	var netName string
+	rootFound := false
+	for _, p := range f.Pins {
+		if p.Name == clockPin || (clockPin == "" && strings.Contains(strings.ToLower(p.Name), "clk")) {
+			root = p.Pos
+			netName = p.Net
+			rootFound = true
+			break
+		}
+	}
+	if !rootFound {
+		root = geom.Pt((f.Die.MinX+f.Die.MaxX)/2, f.Die.MinY)
+	}
+	if netName != "" {
+		// Follow the clock transitively through buffering cells: a
+		// post-CTS DEF splits the clock into per-stage nets, with each
+		// buffer's input (A) on the parent net and output (Y) driving the
+		// next. Flip-flops (macro containing "DFF") terminate paths.
+		macro := make(map[string]string, len(f.Components))
+		for _, c := range f.Components {
+			macro[c.Name] = c.Macro
+		}
+		netByName := make(map[string]*Net, len(f.Nets))
+		drives := make(map[string]string) // component -> net its Y pin drives
+		for i := range f.Nets {
+			n := &f.Nets[i]
+			netByName[n.Name] = n
+			for _, conn := range n.Conns {
+				if conn.Pin == "Y" || conn.Pin == "Z" || conn.Pin == "OUT" {
+					drives[conn.Comp] = n.Name
+				}
+			}
+		}
+		visited := map[string]bool{}
+		queue := []string{netName}
+		for len(queue) > 0 {
+			name := queue[0]
+			queue = queue[1:]
+			if visited[name] {
+				continue
+			}
+			visited[name] = true
+			n, ok := netByName[name]
+			if !ok {
+				continue
+			}
+			for _, conn := range n.Conns {
+				if conn.Comp == "PIN" {
+					continue
+				}
+				p, ok := pos[conn.Comp]
+				if !ok {
+					return root, nil, fmt.Errorf("def: net %s references unknown component %s", n.Name, conn.Comp)
+				}
+				switch {
+				case strings.Contains(macro[conn.Comp], "DFF"):
+					sinks = append(sinks, p)
+				case conn.Pin == "Y" || conn.Pin == "Z" || conn.Pin == "OUT":
+					// The driver of this net; nothing downstream here.
+				default:
+					// A buffering cell's input: continue into the net its
+					// output drives, if any.
+					if next, ok := drives[conn.Comp]; ok {
+						queue = append(queue, next)
+					}
+				}
+			}
+		}
+	}
+	if len(sinks) == 0 {
+		for _, c := range f.Components {
+			if strings.Contains(c.Macro, "DFF") {
+				sinks = append(sinks, c.Pos)
+			}
+		}
+	}
+	if len(sinks) == 0 {
+		return root, nil, fmt.Errorf("def: no clock sinks found")
+	}
+	return root, sinks, nil
+}

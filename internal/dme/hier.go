@@ -1,0 +1,197 @@
+package dme
+
+import (
+	"fmt"
+
+	"dscts/internal/cluster"
+	"dscts/internal/ctree"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+// HierOptions configures the hierarchical clock routing of Sec. III-B.
+type HierOptions struct {
+	// MaxTrunkEdge, when positive, subdivides trunk edges longer than this
+	// (µm) so downstream insertion sees bounded segments.
+	MaxTrunkEdge float64
+}
+
+// HierarchicalRoute builds the paper's initial clock tree: for every high
+// cluster, a DME tree over its low-level centroids rooted toward the high
+// centroid (Fig. 5(d)); a top-level DME tree over those per-cluster roots
+// toward the clock root; and star leaf nets from each low centroid to its
+// sinks. All wires start on the front side; insertion decides sides later.
+func HierarchicalRoute(rootPos geom.Point, sinks []geom.Point, d *cluster.Dual, tc *tech.Tech, opt HierOptions) (*ctree.Tree, error) {
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("dme: no sinks")
+	}
+	front := tc.Front()
+	ro := Options{Layer: front}
+
+	// Per-high-cluster DME over the low centroids.
+	type subTree struct {
+		tree *Tree
+		lcs  []int // flattened low-cluster index per DME leaf
+	}
+	subs := make([]subTree, d.High.K())
+	for h := range subs {
+		var leaves []Leaf
+		var lcs []int
+		for lc, hh := range d.LowHigh {
+			if hh != h {
+				continue
+			}
+			leaves = append(leaves, Leaf{
+				Pos:   d.LowCentroids[lc],
+				Cap:   leafNetCap(d, lc, sinks, tc),
+				Delay: leafNetDelay(d, lc, sinks, tc),
+			})
+			lcs = append(lcs, lc)
+		}
+		if len(leaves) == 0 {
+			return nil, fmt.Errorf("dme: high cluster %d has no low clusters", h)
+		}
+		t, err := Route(leaves, d.High.Centroids[h], ro)
+		if err != nil {
+			return nil, fmt.Errorf("dme: high cluster %d: %w", h, err)
+		}
+		subs[h] = subTree{tree: t, lcs: lcs}
+	}
+
+	// Top-level DME over the per-cluster roots.
+	topLeaves := make([]Leaf, len(subs))
+	for h, s := range subs {
+		topLeaves[h] = Leaf{
+			Pos:   s.tree.Nodes[s.tree.Root].Pos,
+			Cap:   s.tree.Cap,
+			Delay: s.tree.Delay,
+		}
+	}
+	top, err := Route(topLeaves, rootPos, ro)
+	if err != nil {
+		return nil, fmt.Errorf("dme: top level: %w", err)
+	}
+
+	// Assemble the full clock tree.
+	out := ctree.New(rootPos)
+	spliceDME(out, out.Root(), top, func(t *ctree.Tree, parent, leafIdx int, pos geom.Point, snake float64) {
+		// Each top leaf is the root of a per-cluster subtree; splice it in
+		// at the same position (drop the duplicate node).
+		sub := subs[leafIdx]
+		spliceDMEAt(t, parent, sub.tree, sub.tree.Root, pos, snake, func(t *ctree.Tree, p, li int, lp geom.Point, lsnake float64) {
+			lc := sub.lcs[li]
+			cid := t.AddCentroid(p, lp, lc)
+			t.Nodes[cid].SnakeExtra = lsnake
+			for _, si := range d.LowSinks[lc] {
+				t.AddSink(cid, sinks[si], si)
+			}
+		})
+	})
+	if opt.MaxTrunkEdge > 0 {
+		out.SplitTrunkEdges(opt.MaxTrunkEdge)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("dme: assembled tree invalid: %w", err)
+	}
+	return out, nil
+}
+
+// FlatRoute is the matching-based DME baseline of Fig. 5(c): one DME over
+// all low-level centroids directly, no high-level hierarchy. Used by the
+// ablation bench comparing wirelength against HierarchicalRoute.
+func FlatRoute(rootPos geom.Point, sinks []geom.Point, d *cluster.Dual, tc *tech.Tech, opt HierOptions) (*ctree.Tree, error) {
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("dme: no sinks")
+	}
+	front := tc.Front()
+	leaves := make([]Leaf, d.NumLow())
+	for lc := range leaves {
+		leaves[lc] = Leaf{
+			Pos:   d.LowCentroids[lc],
+			Cap:   leafNetCap(d, lc, sinks, tc),
+			Delay: leafNetDelay(d, lc, sinks, tc),
+		}
+	}
+	t, err := Route(leaves, rootPos, Options{Layer: front})
+	if err != nil {
+		return nil, err
+	}
+	out := ctree.New(rootPos)
+	spliceDME(out, out.Root(), t, func(tr *ctree.Tree, parent, leafIdx int, pos geom.Point, snake float64) {
+		cid := tr.AddCentroid(parent, pos, leafIdx)
+		tr.Nodes[cid].SnakeExtra = snake
+		for _, si := range d.LowSinks[leafIdx] {
+			tr.AddSink(cid, sinks[si], si)
+		}
+	})
+	if opt.MaxTrunkEdge > 0 {
+		out.SplitTrunkEdges(opt.MaxTrunkEdge)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("dme: flat tree invalid: %w", err)
+	}
+	return out, nil
+}
+
+// leafNetCap estimates the load a low-level leaf net presents: sink pin caps
+// plus the front-side wire cap of the star net.
+func leafNetCap(d *cluster.Dual, lc int, sinks []geom.Point, tc *tech.Tech) float64 {
+	front := tc.Front()
+	c := 0.0
+	for _, si := range d.LowSinks[lc] {
+		c += tc.SinkCap + front.UnitCap*sinks[si].Dist(d.LowCentroids[lc])
+	}
+	return c
+}
+
+// leafNetDelay estimates the slowest star-branch delay inside the leaf net.
+func leafNetDelay(d *cluster.Dual, lc int, sinks []geom.Point, tc *tech.Tech) float64 {
+	front := tc.Front()
+	worst := 0.0
+	for _, si := range d.LowSinks[lc] {
+		l := sinks[si].Dist(d.LowCentroids[lc])
+		if dl := front.UnitRes * l * (front.UnitCap*l + tc.SinkCap); dl > worst {
+			worst = dl
+		}
+	}
+	return worst
+}
+
+// leafFn attaches a routed DME leaf into the clock tree under parent.
+type leafFn func(t *ctree.Tree, parent, leafIdx int, pos geom.Point, snake float64)
+
+// spliceDME copies a routed DME tree into the clock tree under parent,
+// turning internal nodes into Steiner nodes and delegating leaves to onLeaf.
+func spliceDME(t *ctree.Tree, parent int, dt *Tree, onLeaf leafFn) {
+	spliceDMEAt(t, parent, dt, dt.Root, dt.Nodes[dt.Root].Pos, dt.Nodes[dt.Root].SnakeExtra, onLeaf)
+}
+
+// spliceDMEAt splices the subtree of dt rooted at dn under parent, placing
+// the spliced root at pos (with snake carried over from the outer edge).
+func spliceDMEAt(t *ctree.Tree, parent int, dt *Tree, dn int, pos geom.Point, snake float64, onLeaf leafFn) {
+	kids := dmeChildren(dt)
+	var rec func(parent, di int, pos geom.Point, snake float64)
+	rec = func(parent, di int, pos geom.Point, snake float64) {
+		n := dt.Nodes[di]
+		if n.LeafIdx >= 0 {
+			onLeaf(t, parent, n.LeafIdx, pos, snake)
+			return
+		}
+		id := t.Add(parent, ctree.KindSteiner, pos)
+		t.Nodes[id].SnakeExtra = snake
+		for _, k := range kids[di] {
+			rec(id, k, dt.Nodes[k].Pos, dt.Nodes[k].SnakeExtra)
+		}
+	}
+	rec(parent, dn, pos, snake)
+}
+
+func dmeChildren(dt *Tree) [][]int {
+	kids := make([][]int, len(dt.Nodes))
+	for i, n := range dt.Nodes {
+		if n.Parent >= 0 {
+			kids[n.Parent] = append(kids[n.Parent], i)
+		}
+	}
+	return kids
+}

@@ -1,0 +1,192 @@
+// Package dse implements the design-space exploration flow of Sec. III-E:
+// sweeping the fanout threshold that switches DP nodes between full and
+// intra-side inserting modes, sweeping the baselines' knobs for comparison
+// (fanout threshold of [7], criticality fraction of [6]), and extracting
+// Pareto frontiers over the multi-objective space (Sec. II-C).
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"dscts/internal/baseline"
+	"dscts/internal/core"
+	"dscts/internal/ctree"
+	"dscts/internal/eval"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+// Point is one explored solution in the objective space.
+type Point struct {
+	Flow    string  // which flow produced it
+	Param   float64 // the swept knob value (threshold or fraction)
+	Latency float64
+	Skew    float64
+	Bufs    int
+	TSVs    int
+	WL      float64
+}
+
+// Resources returns the combined resource axis of Fig. 12 (#buffers+#nTSVs).
+func (p Point) Resources() int { return p.Bufs + p.TSVs }
+
+// SweepFanout runs the paper's DSE flow: the full synthesis with the DP
+// inserting modes controlled by each fanout threshold (Sec. IV-E sweeps 20
+// to 1000 step 10).
+func SweepFanout(root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds []int, base core.Options) ([]Point, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("dse: no thresholds")
+	}
+	var out []Point
+	for _, th := range thresholds {
+		opt := base
+		opt.FanoutThreshold = th
+		o, err := core.Synthesize(root, sinks, tc, opt)
+		if err != nil {
+			return nil, fmt.Errorf("dse: threshold %d: %w", th, err)
+		}
+		out = append(out, fromMetrics("ours-dse", float64(th), o.Metrics))
+	}
+	return out, nil
+}
+
+// Thresholds builds an inclusive integer sweep [lo, hi] with the given step.
+func Thresholds(lo, hi, step int) []int {
+	if step <= 0 || hi < lo {
+		return nil
+	}
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Fractions builds an inclusive float sweep [lo, hi] with the given step.
+func Fractions(lo, hi, step float64) []float64 {
+	if step <= 0 || hi < lo {
+		return nil
+	}
+	var out []float64
+	for v := lo; v <= hi+1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// SweepFanoutFlip applies baseline [7] to clones of a buffered clock tree
+// for each threshold.
+func SweepFanoutFlip(buffered *ctree.Tree, tc *tech.Tech, thresholds []int) ([]Point, error) {
+	ev := eval.New(tc, eval.Elmore)
+	var out []Point
+	for _, th := range thresholds {
+		tr := buffered.Clone()
+		if _, err := baseline.FanoutFlip(tr, th); err != nil {
+			return nil, fmt.Errorf("dse: fanout flip %d: %w", th, err)
+		}
+		m, err := ev.Evaluate(tr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fromMetrics("buffered+[7]", float64(th), m))
+	}
+	return out, nil
+}
+
+// SweepCriticalFlip applies baseline [6] to clones of a buffered clock tree
+// for each criticality fraction.
+func SweepCriticalFlip(buffered *ctree.Tree, tc *tech.Tech, fractions []float64) ([]Point, error) {
+	ev := eval.New(tc, eval.Elmore)
+	var out []Point
+	for _, q := range fractions {
+		tr := buffered.Clone()
+		if _, err := baseline.CriticalFlip(tr, tc, q); err != nil {
+			return nil, fmt.Errorf("dse: critical flip %g: %w", q, err)
+		}
+		m, err := ev.Evaluate(tr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fromMetrics("buffered+[6]", q, m))
+	}
+	return out, nil
+}
+
+func fromMetrics(flow string, param float64, m *eval.Metrics) Point {
+	return Point{
+		Flow: flow, Param: param,
+		Latency: m.Latency, Skew: m.Skew,
+		Bufs: m.Buffers, TSVs: m.NTSVs, WL: m.WL,
+	}
+}
+
+// Objective extracts a minimized objective value from a point.
+type Objective func(Point) float64
+
+// Latency, Skew and Resources are the Fig. 12 axes.
+var (
+	Latency   Objective = func(p Point) float64 { return p.Latency }
+	Skew      Objective = func(p Point) float64 { return p.Skew }
+	Resources Objective = func(p Point) float64 { return float64(p.Resources()) }
+)
+
+// Pareto returns the non-dominated subset of pts under the given minimized
+// objectives, sorted by the first objective. A point is dominated if some
+// other point is no worse in every objective and strictly better in one.
+func Pareto(pts []Point, objs ...Objective) []Point {
+	if len(objs) == 0 {
+		return nil
+	}
+	var out []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			noWorse, better := true, false
+			for _, f := range objs {
+				if f(q) > f(p)+1e-12 {
+					noWorse = false
+					break
+				}
+				if f(q) < f(p)-1e-12 {
+					better = true
+				}
+			}
+			if noWorse && better {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return objs[0](out[a]) < objs[0](out[b]) })
+	return out
+}
+
+// Hypervolume computes the 2-D hypervolume indicator of a Pareto front with
+// respect to a reference point (both objectives minimized): the area
+// dominated by the front and bounded by (refX, refY). Used to compare the
+// coverage of different flows' fronts quantitatively.
+func Hypervolume(front []Point, fx, fy Objective, refX, refY float64) float64 {
+	f := Pareto(front, fx, fy)
+	area := 0.0
+	prevX := refX
+	// Walk from largest fx to smallest; each segment contributes width ×
+	// height above the reference.
+	for i := len(f) - 1; i >= 0; i-- {
+		x, y := fx(f[i]), fy(f[i])
+		if x >= refX || y >= refY {
+			continue
+		}
+		if x < prevX {
+			area += (prevX - x) * (refY - y)
+			prevX = x
+		}
+	}
+	return area
+}

@@ -1,0 +1,152 @@
+package dse
+
+import (
+	"math"
+	"testing"
+
+	"dscts/internal/baseline"
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/tech"
+)
+
+func TestThresholdsAndFractions(t *testing.T) {
+	th := Thresholds(20, 60, 20)
+	if len(th) != 3 || th[0] != 20 || th[2] != 60 {
+		t.Fatalf("Thresholds = %v", th)
+	}
+	if Thresholds(10, 5, 1) != nil || Thresholds(1, 10, 0) != nil {
+		t.Error("invalid ranges should return nil")
+	}
+	fr := Fractions(0.2, 0.3, 0.05)
+	if len(fr) != 3 || math.Abs(fr[2]-0.3) > 1e-9 {
+		t.Fatalf("Fractions = %v", fr)
+	}
+	// Paper sweep sizes: 20..1000 step 10 -> 99; 0.2..0.9 step 0.05 -> 15.
+	if got := len(Thresholds(20, 1000, 10)); got != 99 {
+		t.Errorf("paper threshold sweep size %d, want 99", got)
+	}
+	if got := len(Fractions(0.2, 0.9, 0.05)); got != 15 {
+		t.Errorf("paper fraction sweep size %d, want 15", got)
+	}
+}
+
+func TestParetoBasics(t *testing.T) {
+	pts := []Point{
+		{Flow: "a", Latency: 10, Bufs: 100},
+		{Flow: "b", Latency: 8, Bufs: 120},
+		{Flow: "c", Latency: 12, Bufs: 110}, // dominated by a
+		{Flow: "d", Latency: 8, Bufs: 100},  // dominates a and b
+	}
+	front := Pareto(pts, Resources, Latency)
+	if len(front) != 1 || front[0].Flow != "d" {
+		t.Fatalf("front = %+v", front)
+	}
+	if got := Pareto(pts); got != nil {
+		t.Error("no objectives should return nil")
+	}
+}
+
+func TestParetoKeepsIncomparable(t *testing.T) {
+	pts := []Point{
+		{Flow: "cheap", Latency: 20, Bufs: 50},
+		{Flow: "fast", Latency: 10, Bufs: 200},
+	}
+	front := Pareto(pts, Resources, Latency)
+	if len(front) != 2 {
+		t.Fatalf("incomparable points must both survive: %+v", front)
+	}
+	// Sorted by the first objective (resources).
+	if front[0].Flow != "cheap" {
+		t.Errorf("sort order: %+v", front)
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	pts := []Point{{Latency: 1, Bufs: 1}}
+	// Single point (res 1, lat 1), ref (3, 3): area (3-1)*(3-1) = 4.
+	hv := Hypervolume(pts, Resources, Latency, 3, 3)
+	if math.Abs(hv-4) > 1e-9 {
+		t.Fatalf("hv = %v, want 4", hv)
+	}
+	// A second dominated-region point extends coverage.
+	pts = append(pts, Point{Latency: 0.5, Bufs: 2})
+	hv2 := Hypervolume(pts, Resources, Latency, 3, 3)
+	want := 4 + 1*0.5 // extra strip x in [2,3): height 3-0.5 minus overlap... staircase: [1,2)x(3-1) + [2,3)x(3-0.5)
+	want = (2-1)*(3-1) + (3-2)*(3-0.5)
+	if math.Abs(hv2-want) > 1e-9 {
+		t.Fatalf("hv2 = %v, want %v", hv2, want)
+	}
+	// Points outside the reference contribute nothing.
+	hv3 := Hypervolume([]Point{{Latency: 10, Bufs: 10}}, Resources, Latency, 3, 3)
+	if hv3 != 0 {
+		t.Fatalf("out-of-ref hv = %v", hv3)
+	}
+}
+
+func TestSweepsEndToEnd(t *testing.T) {
+	tc := tech.ASAP7()
+	d, err := bench.ByID("C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Generate(d, 1)
+
+	pts, err := SweepFanout(p.Root, p.Sinks, tc, []int{100, 800}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Flow != "ours-dse" || pts[0].Param != 100 {
+		t.Fatalf("sweep points %+v", pts)
+	}
+	// Lower threshold opens more of the tree to nTSVs.
+	if pts[0].TSVs <= pts[1].TSVs {
+		t.Errorf("threshold 100 should use more nTSVs than 800: %d vs %d", pts[0].TSVs, pts[1].TSVs)
+	}
+
+	buffered, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{Mode: core.SingleSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := SweepFanoutFlip(buffered.Tree, tc, []int{50, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7) != 2 {
+		t.Fatalf("f7 points %d", len(f7))
+	}
+	f6, err := SweepCriticalFlip(buffered.Tree, tc, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f6) != 2 {
+		t.Fatalf("f6 points %d", len(f6))
+	}
+	// The sweeps must not mutate the input tree.
+	b2, _ := baseline.FanoutFlip(buffered.Tree.Clone(), 50)
+	if b2 == 0 {
+		t.Error("input tree seems already flipped")
+	}
+	if _, tsvs := buffered.Tree.Counts(); tsvs != 0 {
+		t.Fatal("sweep mutated the buffered tree")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	tc := tech.ASAP7()
+	d, _ := bench.ByID("C4")
+	p := bench.Generate(d, 1)
+	if _, err := SweepFanout(p.Root, p.Sinks, tc, nil, core.Options{}); err == nil {
+		t.Error("empty thresholds should error")
+	}
+	buffered, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{Mode: core.SingleSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SweepFanoutFlip(buffered.Tree, tc, []int{0}); err == nil {
+		t.Error("zero threshold should error")
+	}
+	if _, err := SweepCriticalFlip(buffered.Tree, tc, []float64{2}); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+}

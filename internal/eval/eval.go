@@ -1,0 +1,162 @@
+// Package eval extracts the paper's reported metrics from a finished clock
+// tree: latency (max source-to-sink delay), skew (max-min), buffer and nTSV
+// counts, and clock wirelength. It builds a staged RC network from the
+// tree's wiring annotations and evaluates it with the Elmore model (the
+// optimization model) or the NLDM+slew model (the paper's evaluation model,
+// Sec. IV-A).
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"dscts/internal/ctree"
+	"dscts/internal/tech"
+	"dscts/internal/timing"
+)
+
+// Mode selects the delay model.
+type Mode int
+
+const (
+	// Elmore evaluates with the L-type Elmore model used by optimization.
+	Elmore Mode = iota
+	// NLDM evaluates buffers with NLDM lookup tables and propagates slew
+	// (PERI); wires remain Elmore.
+	NLDM
+)
+
+// Metrics are the per-design numbers reported in Table III.
+type Metrics struct {
+	Latency float64 // ps
+	Skew    float64 // ps
+	Buffers int
+	NTSVs   int
+	WL      float64 // µm, total clock wirelength
+	// SinkDelays maps original sink index to its source-to-sink delay.
+	SinkDelays map[int]float64
+	// MaxSlew is the worst sink transition time (NLDM mode only).
+	MaxSlew float64
+}
+
+// Evaluator caches technology-derived tables.
+type Evaluator struct {
+	tc   *tech.Tech
+	tbl  *timing.NLDM
+	mode Mode
+	// InputSlew is the transition time at the clock root (ps).
+	InputSlew float64
+}
+
+// New creates an evaluator. Mode NLDM synthesizes the buffer table once.
+func New(tc *tech.Tech, mode Mode) *Evaluator {
+	e := &Evaluator{tc: tc, mode: mode, InputSlew: 10}
+	if mode == NLDM {
+		e.tbl = timing.SynthesizeNLDM(tc.Buf)
+	}
+	return e
+}
+
+// Evaluate computes the metrics of the annotated tree.
+func (e *Evaluator) Evaluate(t *ctree.Tree) (*Metrics, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	net, sinkNode, err := BuildNetwork(t, e.tc)
+	if err != nil {
+		return nil, err
+	}
+	var delays []float64
+	if e.mode == NLDM {
+		delays = net.DelaysNLDM(e.InputSlew, e.tbl)
+	} else {
+		delays = net.Delays()
+	}
+	m := &Metrics{SinkDelays: make(map[int]float64, len(sinkNode)), WL: t.Wirelength()}
+	m.Buffers, m.NTSVs = t.Counts()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for sinkIdx, nid := range sinkNode {
+		d := delays[nid]
+		m.SinkDelays[sinkIdx] = d
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+	}
+	if len(sinkNode) == 0 {
+		return nil, fmt.Errorf("eval: tree has no sinks")
+	}
+	m.Latency = hi
+	m.Skew = hi - lo
+	if e.mode == NLDM {
+		slews := net.Slews(e.InputSlew, e.tbl)
+		for _, nid := range sinkNode {
+			m.MaxSlew = math.Max(m.MaxSlew, slews[nid])
+		}
+	}
+	return m, nil
+}
+
+// BuildNetwork lowers the annotated clock tree into a staged RC network.
+// It returns the network and a map from original sink index to network node.
+//
+// Lowering rules per edge (parent → child), following the delay models of
+// Sec. II-B: a front/back wire is a series resistance with its cap at the
+// downstream node (L-model); a mid-edge buffer splits the edge into two
+// halves around a buffer element; an nTSV is a series resistance with its
+// cap at its downstream node. A node-level buffer (BufferAtNode) is placed
+// between the edge's arrival and the node's children. The clock root drives
+// stage 0 through the buffer's drive resistance (root driver).
+func BuildNetwork(t *ctree.Tree, tc *tech.Tech) (*timing.Network, map[int]int, error) {
+	front, back, tsv, buf := tc.Front(), tc.Back(), tc.TSV, tc.Buf
+	net := timing.NewNetwork(buf.DriveRes)
+	sinkNode := make(map[int]int)
+	// netOf[id] is the network node carrying clock-tree vertex id's signal
+	// (after any node buffer).
+	netOf := make([]int, t.Len())
+	netOf[t.Root()] = 0
+	if t.Nodes[t.Root()].BufferAtNode {
+		netOf[t.Root()] = net.AddBuffer(0, 0, buf)
+	}
+	var err error
+	t.PreOrder(func(id int) {
+		if err != nil || id == t.Root() {
+			return
+		}
+		n := &t.Nodes[id]
+		parent := netOf[n.Parent]
+		length := t.EdgeLen(id)
+		w := n.Wiring
+		var at int
+		switch {
+		case n.Kind == ctree.KindSink:
+			// Leaf-net star branch: front wire (L-model: wire cap at the
+			// far node) terminated by the sink pin cap.
+			at = net.AddWire(parent, front.UnitRes*length, front.UnitCap*length+tc.SinkCap)
+			sinkNode[n.SinkIdx] = at
+		case w.BufMid:
+			h := length / 2
+			upw := net.AddWire(parent, front.UnitRes*h, front.UnitCap*h)
+			bufn := net.AddBuffer(upw, 0, buf)
+			at = net.AddWire(bufn, front.UnitRes*h, front.UnitCap*h)
+		case w.WireSide == ctree.Back:
+			cur := parent
+			if w.TSVUp {
+				cur = net.AddWire(cur, tsv.Res, tsv.Cap)
+			}
+			cur = net.AddWire(cur, back.UnitRes*length, back.UnitCap*length)
+			if w.TSVDown {
+				cur = net.AddWire(cur, tsv.Res, tsv.Cap)
+			}
+			at = cur
+		default: // plain front wire
+			at = net.AddWire(parent, front.UnitRes*length, front.UnitCap*length)
+		}
+		if n.BufferAtNode {
+			at = net.AddBuffer(at, 0, buf)
+		}
+		netOf[id] = at
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, sinkNode, nil
+}

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"dscts/internal/ctree"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+	"dscts/internal/timing"
+)
+
+// twoSinkTree: root → centroid → {2 sinks}, all front side.
+func twoSinkTree() *ctree.Tree {
+	t := ctree.New(geom.Pt(0, 0))
+	c := t.AddCentroid(0, geom.Pt(50, 0), 0)
+	t.AddSink(c, geom.Pt(55, 2), 0)
+	t.AddSink(c, geom.Pt(52, -1), 1)
+	return t
+}
+
+func TestEvaluateFrontTreeByHand(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := twoSinkTree()
+	m, err := New(tc, Elmore).Evaluate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := tc.Front()
+	// Hand Elmore: root driver R drives everything; trunk wire 50µm; leaf
+	// wires 7 and 3 µm.
+	l0, l1 := 7.0, 3.0
+	leafCap := func(l float64) float64 { return front.UnitCap*l + tc.SinkCap }
+	trunkCap := front.UnitCap*50 + leafCap(l0) + leafCap(l1)
+	rootTerm := tc.Buf.DriveRes * trunkCap
+	trunkDelay := front.UnitRes * 50 * (front.UnitCap*50 + leafCap(l0) + leafCap(l1))
+	d0 := rootTerm + trunkDelay + front.UnitRes*l0*leafCap(l0)
+	d1 := rootTerm + trunkDelay + front.UnitRes*l1*leafCap(l1)
+	if math.Abs(m.SinkDelays[0]-d0) > 1e-9 || math.Abs(m.SinkDelays[1]-d1) > 1e-9 {
+		t.Fatalf("delays %v/%v, want %v/%v", m.SinkDelays[0], m.SinkDelays[1], d0, d1)
+	}
+	if math.Abs(m.Latency-math.Max(d0, d1)) > 1e-12 {
+		t.Errorf("latency %v", m.Latency)
+	}
+	if math.Abs(m.Skew-math.Abs(d0-d1)) > 1e-12 {
+		t.Errorf("skew %v", m.Skew)
+	}
+	if m.Buffers != 0 || m.NTSVs != 0 {
+		t.Errorf("counts %d/%d", m.Buffers, m.NTSVs)
+	}
+	if want := 50.0 + 7 + 3; math.Abs(m.WL-want) > 1e-9 {
+		t.Errorf("WL %v want %v", m.WL, want)
+	}
+}
+
+func TestEvaluateBackEdgeMatchesEq2(t *testing.T) {
+	tc := tech.ASAP7()
+	// root → centroid via a P4 edge (back wire, nTSV both ends), one sink
+	// with zero leaf wire.
+	tr := ctree.New(geom.Pt(0, 0))
+	c := tr.AddCentroid(0, geom.Pt(100, 0), 0)
+	tr.Nodes[c].Wiring = ctree.EdgeWiring{WireSide: ctree.Back, TSVUp: true, TSVDown: true}
+	tr.AddSink(c, geom.Pt(100, 0), 0)
+	m, err := New(tc, Elmore).Evaluate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := tc.SinkCap
+	want := timing.NTSVOnWireDelay(tc.Back(), tc.TSV, 100, cd) +
+		tc.Buf.DriveRes*timing.NTSVOnWireCap(tc.Back(), tc.TSV, 100, cd)
+	if math.Abs(m.Latency-want) > 1e-9 {
+		t.Fatalf("latency %v, want %v (Eq. 2 + root driver)", m.Latency, want)
+	}
+	if m.NTSVs != 2 {
+		t.Errorf("ntsvs %d", m.NTSVs)
+	}
+}
+
+func TestEvaluateMidBufferShields(t *testing.T) {
+	tc := tech.ASAP7()
+	mk := func(buffered bool) float64 {
+		tr := ctree.New(geom.Pt(0, 0))
+		c := tr.AddCentroid(0, geom.Pt(200, 0), 0)
+		if buffered {
+			tr.Nodes[c].Wiring = ctree.EdgeWiring{BufMid: true}
+		}
+		for i := 0; i < 20; i++ {
+			tr.AddSink(c, geom.Pt(200, float64(i)), i)
+		}
+		m, err := New(tc, Elmore).Evaluate(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buffered && m.Buffers != 1 {
+			t.Fatalf("buffers %d", m.Buffers)
+		}
+		return m.Latency
+	}
+	if lb, lw := mk(true), mk(false); lb >= lw {
+		t.Fatalf("buffered 200µm trunk (%v) should beat unbuffered (%v)", lb, lw)
+	}
+}
+
+func TestEvaluateNodeBufferCounted(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := twoSinkTree()
+	tr.Nodes[1].BufferAtNode = true
+	m, err := New(tc, Elmore).Evaluate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Buffers != 1 {
+		t.Fatalf("buffers %d", m.Buffers)
+	}
+}
+
+func TestEvaluateNLDMModeProducesSlew(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := twoSinkTree()
+	tr.Nodes[1].Wiring = ctree.EdgeWiring{BufMid: true}
+	m, err := New(tc, NLDM).Evaluate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxSlew <= 0 {
+		t.Fatal("NLDM mode must report slew")
+	}
+	me, err := New(tc, Elmore).Evaluate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NLDM adds slew-dependent gate delay: close to but above Elmore.
+	if m.Latency < me.Latency {
+		t.Errorf("NLDM latency %v below Elmore %v", m.Latency, me.Latency)
+	}
+	if m.Latency > me.Latency*1.5 {
+		t.Errorf("NLDM latency %v implausibly far from Elmore %v", m.Latency, me.Latency)
+	}
+}
+
+func TestEvaluateRejectsInvalidTree(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := twoSinkTree()
+	tr.Nodes[1].Wiring = ctree.EdgeWiring{WireSide: ctree.Back} // sinks on back
+	if _, err := New(tc, Elmore).Evaluate(tr); err == nil {
+		t.Fatal("invalid tree must be rejected")
+	}
+	empty := ctree.New(geom.Pt(0, 0))
+	if _, err := New(tc, Elmore).Evaluate(empty); err == nil {
+		t.Fatal("sink-less tree must be rejected")
+	}
+}

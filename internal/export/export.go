@@ -1,0 +1,155 @@
+// Package export writes a synthesized clock tree back out as a placed DEF:
+// the original sink components, the legalized buffer and nTSV cells, and
+// the clock net split into per-stage nets (one net per driver, the way a
+// physical-design tool expects a buffered clock to appear).
+package export
+
+import (
+	"fmt"
+	"io"
+
+	"dscts/internal/ctree"
+	"dscts/internal/def"
+	"dscts/internal/geom"
+	"dscts/internal/legal"
+	"dscts/internal/tech"
+)
+
+// Options configures the export.
+type Options struct {
+	DesignName string
+	DBU        int
+	// SinkMacro names the flip-flop macro for sink components.
+	SinkMacro string
+}
+
+// ToDEF lowers the tree plus its legalized cells into a DEF file object.
+// The stage structure follows the buffers: the root drives net "clk"; each
+// buffer b_i drives net "clk_stage_<i>"; every wire vertex belongs to the
+// net of its nearest driving buffer above.
+func ToDEF(t *ctree.Tree, cells *legal.Result, die geom.BBox, tc *tech.Tech, opt Options) (*def.File, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	if opt.DesignName == "" {
+		opt.DesignName = "dscts_clock"
+	}
+	if opt.DBU <= 0 {
+		opt.DBU = 1000
+	}
+	if opt.SinkMacro == "" {
+		opt.SinkMacro = "DFFHQNx1_ASAP7_75t_R"
+	}
+	f := &def.File{Design: opt.DesignName, DBU: opt.DBU, Die: die}
+
+	// Inserted cells (already legalized).
+	bufOfNode := map[int]string{} // tree node -> node-buffer cell name
+	midOfEdge := map[int]string{} // tree node (edge) -> mid buffer name
+	for _, c := range cells.Cells {
+		f.Components = append(f.Components, def.Component{
+			Name: c.Name, Macro: c.Macro, Pos: c.Got,
+		})
+		if c.Kind == legal.KindBuffer {
+			// Distinguish mid-edge vs node buffers by the wiring.
+			if t.Nodes[c.TreeNode].Wiring.BufMid && !seenMid(midOfEdge, c.TreeNode) {
+				midOfEdge[c.TreeNode] = c.Name
+			} else {
+				bufOfNode[c.TreeNode] = c.Name
+			}
+		}
+	}
+
+	// Sinks.
+	for _, sid := range t.Sinks() {
+		n := &t.Nodes[sid]
+		f.Components = append(f.Components, def.Component{
+			Name:  fmt.Sprintf("ff_%d", n.SinkIdx),
+			Macro: opt.SinkMacro,
+			Pos:   n.Pos,
+		})
+	}
+
+	// Stage nets. Walk the tree tracking the current driving net; a
+	// buffer terminates the net (its input pin) and opens a new one.
+	f.Pins = append(f.Pins, def.Pin{
+		Name: "clk", Net: "clk", Direction: "INPUT", Pos: t.Nodes[t.Root()].Pos,
+	})
+	nets := map[string]*def.Net{}
+	getNet := func(name string) *def.Net {
+		if n, ok := nets[name]; ok {
+			return n
+		}
+		n := &def.Net{Name: name}
+		nets[name] = n
+		f.Nets = append(f.Nets, def.Net{}) // placeholder, fixed below
+		return n
+	}
+	rootNet := getNet("clk")
+	rootNet.Conns = append(rootNet.Conns, def.NetConn{Comp: "PIN", Pin: "clk"})
+	stageSeq := 0
+	var walk func(id int, netName string)
+	walk = func(id int, netName string) {
+		n := &t.Nodes[id]
+		cur := netName
+		if id != t.Root() {
+			if mid, ok := midOfEdge[id]; ok {
+				// Mid-edge buffer: input on the current net, output opens
+				// a new stage for everything from here down.
+				getNet(cur).Conns = append(getNet(cur).Conns, def.NetConn{Comp: mid, Pin: "A"})
+				stageSeq++
+				cur = fmt.Sprintf("clk_stage_%d", stageSeq)
+				getNet(cur).Conns = append(getNet(cur).Conns, def.NetConn{Comp: mid, Pin: "Y"})
+			}
+			if n.Kind == ctree.KindSink {
+				getNet(cur).Conns = append(getNet(cur).Conns, def.NetConn{
+					Comp: fmt.Sprintf("ff_%d", n.SinkIdx), Pin: "CLK",
+				})
+				return
+			}
+		}
+		if name, ok := bufOfNode[id]; ok {
+			getNet(cur).Conns = append(getNet(cur).Conns, def.NetConn{Comp: name, Pin: "A"})
+			stageSeq++
+			cur = fmt.Sprintf("clk_stage_%d", stageSeq)
+			getNet(cur).Conns = append(getNet(cur).Conns, def.NetConn{Comp: name, Pin: "Y"})
+		}
+		for _, c := range n.Children {
+			walk(c, cur)
+		}
+	}
+	walk(t.Root(), "clk")
+
+	// Materialize nets in deterministic creation order.
+	f.Nets = f.Nets[:0]
+	order := []string{"clk"}
+	for i := 1; i <= stageSeq; i++ {
+		order = append(order, fmt.Sprintf("clk_stage_%d", i))
+	}
+	for _, name := range order {
+		if n, ok := nets[name]; ok {
+			f.Nets = append(f.Nets, *n)
+		}
+	}
+	return f, nil
+}
+
+func seenMid(m map[int]string, node int) bool {
+	_, ok := m[node]
+	return ok
+}
+
+// WriteDEF is the one-call convenience: legalize and write.
+func WriteDEF(w io.Writer, t *ctree.Tree, die geom.BBox, macros []geom.BBox, tc *tech.Tech, opt Options) (*legal.Result, error) {
+	cells, err := legal.Legalize(t, die, macros, tc, legal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	f, err := ToDEF(t, cells, die, tc, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Write(w); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}

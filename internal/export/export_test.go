@@ -1,0 +1,105 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/def"
+	"dscts/internal/tech"
+)
+
+func TestWriteDEFFullFlow(t *testing.T) {
+	tc := tech.ASAP7()
+	d, err := bench.ByID("C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Generate(d, 1)
+	out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cells, err := WriteDEF(&buf, out.Tree, p.Die, p.Macros, tc, Options{DesignName: "riscv32i_clk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs, tsvs := out.Tree.Counts()
+	if len(cells.Cells) != bufs+tsvs {
+		t.Fatalf("legalized %d cells for %d+%d in tree", len(cells.Cells), bufs, tsvs)
+	}
+
+	parsed, err := def.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exported DEF does not parse back: %v", err)
+	}
+	if parsed.Design != "riscv32i_clk" {
+		t.Errorf("design %q", parsed.Design)
+	}
+	// Components: sinks + buffers + nTSVs.
+	want := len(p.Sinks) + bufs + tsvs
+	if len(parsed.Components) != want {
+		t.Fatalf("%d components, want %d", len(parsed.Components), want)
+	}
+	// Stage nets: one per buffer plus the root net.
+	if len(parsed.Nets) != bufs+1 {
+		t.Fatalf("%d nets, want %d", len(parsed.Nets), bufs+1)
+	}
+	// Every sink appears on exactly one net.
+	sinkNets := map[string]int{}
+	for _, n := range parsed.Nets {
+		for _, c := range n.Conns {
+			if strings.HasPrefix(c.Comp, "ff_") {
+				sinkNets[c.Comp]++
+			}
+		}
+	}
+	if len(sinkNets) != len(p.Sinks) {
+		t.Fatalf("%d sinks connected, want %d", len(sinkNets), len(p.Sinks))
+	}
+	for name, cnt := range sinkNets {
+		if cnt != 1 {
+			t.Fatalf("sink %s on %d nets", name, cnt)
+		}
+	}
+	// Every buffer drives exactly one net (pin Y appears once) and loads
+	// exactly one (pin A once).
+	pinCount := map[string]map[string]int{}
+	for _, n := range parsed.Nets {
+		for _, c := range n.Conns {
+			if strings.HasPrefix(c.Comp, "clk_buffer_") {
+				if pinCount[c.Comp] == nil {
+					pinCount[c.Comp] = map[string]int{}
+				}
+				pinCount[c.Comp][c.Pin]++
+			}
+		}
+	}
+	if len(pinCount) != bufs {
+		t.Fatalf("%d buffers in nets, want %d", len(pinCount), bufs)
+	}
+	for name, pins := range pinCount {
+		if pins["A"] != 1 || pins["Y"] != 1 {
+			t.Fatalf("buffer %s pins %v", name, pins)
+		}
+	}
+}
+
+func TestToDEFRejectsInvalidTree(t *testing.T) {
+	tc := tech.ASAP7()
+	d, _ := bench.ByID("C4")
+	p := bench.Generate(d, 1)
+	out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := out.Tree.Clone()
+	bad.Nodes[1].Parent = 1 // corrupt
+	var buf bytes.Buffer
+	if _, err := WriteDEF(&buf, bad, p.Die, nil, tc, Options{}); err == nil {
+		t.Fatal("corrupt tree must be rejected")
+	}
+}

@@ -1,0 +1,139 @@
+// Package geom provides the planar Manhattan geometry primitives used by
+// clock routing: points, bounding boxes, Manhattan arcs (segments with slope
+// ±1 in the rectilinear metric) and tilted rectangle regions (TRRs).
+//
+// Deferred-Merge Embedding (DME) operates in the Manhattan metric, where the
+// locus of points at a fixed distance from a point is a diamond (a tilted
+// square). All DME region arithmetic in this package is carried out in
+// "tilted coordinates" u = x+y, v = x-y, in which diamonds become axis-aligned
+// rectangles and Manhattan arcs become axis-aligned segments.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in µm on the die plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Dist returns the Manhattan (L1) distance between p and q. Clock wirelength
+// and Elmore wire delays are both functions of this metric.
+func (p Point) Dist(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(q.Y-p.Y)
+}
+
+// DistEuclid returns the Euclidean distance between p and q; used only by the
+// k-means clustering objective.
+func (p Point) DistEuclid(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Lerp returns the point a fraction t of the way from p to q along the
+// straight segment pq. t outside [0,1] extrapolates.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Eq reports whether p and q coincide within tolerance eps.
+func (p Point) Eq(q Point, eps float64) bool {
+	return math.Abs(p.X-q.X) <= eps && math.Abs(p.Y-q.Y) <= eps
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.4g,%.4g)", p.X, p.Y) }
+
+// Tilted maps p into tilted coordinates (u,v) = (x+y, x-y). In this frame the
+// Manhattan metric becomes the Chebyshev (L∞) metric scaled by 1: for points
+// a, b, dist_L1(a,b) = max(|ua-ub|, |va-vb|).
+func (p Point) Tilted() Point { return Point{p.X + p.Y, p.X - p.Y} }
+
+// FromTilted maps a tilted-coordinate point back to the original frame.
+func FromTilted(t Point) Point { return Point{(t.X + t.Y) / 2, (t.X - t.Y) / 2} }
+
+// BBox is an axis-aligned bounding box. The zero BBox is treated as empty
+// until grown; use NewBBox or Grow.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+	valid                  bool
+}
+
+// NewBBox returns the bounding box of the given points.
+func NewBBox(pts ...Point) BBox {
+	var b BBox
+	for _, p := range pts {
+		b.Grow(p)
+	}
+	return b
+}
+
+// Grow extends b to include p.
+func (b *BBox) Grow(p Point) {
+	if !b.valid {
+		b.MinX, b.MinY, b.MaxX, b.MaxY = p.X, p.Y, p.X, p.Y
+		b.valid = true
+		return
+	}
+	b.MinX = math.Min(b.MinX, p.X)
+	b.MinY = math.Min(b.MinY, p.Y)
+	b.MaxX = math.Max(b.MaxX, p.X)
+	b.MaxY = math.Max(b.MaxY, p.Y)
+}
+
+// Union extends b to include all of o.
+func (b *BBox) Union(o BBox) {
+	if !o.valid {
+		return
+	}
+	b.Grow(Point{o.MinX, o.MinY})
+	b.Grow(Point{o.MaxX, o.MaxY})
+}
+
+// Valid reports whether the box contains at least one point.
+func (b BBox) Valid() bool { return b.valid }
+
+// W returns the box width.
+func (b BBox) W() float64 { return b.MaxX - b.MinX }
+
+// H returns the box height.
+func (b BBox) H() float64 { return b.MaxY - b.MinY }
+
+// HalfPerimeter returns W+H, the HPWL contribution of the box.
+func (b BBox) HalfPerimeter() float64 { return b.W() + b.H() }
+
+// Center returns the box center.
+func (b BBox) Center() Point { return Point{(b.MinX + b.MaxX) / 2, (b.MinY + b.MaxY) / 2} }
+
+// Contains reports whether p lies inside b (inclusive, with tolerance eps).
+func (b BBox) Contains(p Point, eps float64) bool {
+	return p.X >= b.MinX-eps && p.X <= b.MaxX+eps && p.Y >= b.MinY-eps && p.Y <= b.MaxY+eps
+}
+
+// Clamp returns p moved to the nearest point inside b.
+func (b BBox) Clamp(p Point) Point {
+	return Point{clamp(p.X, b.MinX, b.MaxX), clamp(p.Y, b.MinY, b.MaxY)}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,492 @@
+package insert
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dscts/internal/ctree"
+	"dscts/internal/tech"
+	"dscts/internal/timing"
+)
+
+// Solution is one DP candidate at a node (= clock-tree edge), describing the
+// state at the edge's upstream endpoint after the edge's pattern is applied.
+type Solution struct {
+	// Up is the side type of the upstream endpoint.
+	Up ctree.Side
+	// Cap is the effective downstream capacitance seen at the upstream
+	// endpoint.
+	Cap float64
+	// MaxD and MinD are the maximum and minimum delays from the upstream
+	// endpoint to any sink below.
+	MaxD, MinD float64
+	// Bufs and TSVs count the resources used in the subtree.
+	Bufs, TSVs int
+	// Pattern is the pattern assigned to this edge.
+	Pattern Pattern
+	// left and right are the chosen solution indices in the child DP
+	// nodes (-1 when absent), recorded for the top-down retrace.
+	left, right int32
+	// rootIdx records, for root-set candidates only, the chosen solution
+	// index within each root edge's DP node.
+	rootIdx []int32
+}
+
+// Config controls the DP.
+type Config struct {
+	// Tech is the technology view (required).
+	Tech *tech.Tech
+	// Alpha, Beta, Gamma weight latency, buffer count and nTSV count in
+	// the MOES root selection (Eq. 3). The paper's experiments use
+	// 1, 10, 1.
+	Alpha, Beta, Gamma float64
+	// ModeOf configures the inserting mode per DP node (identified by the
+	// clock-tree node id of the edge's downstream endpoint and the number
+	// of sinks the edge drives). Nil means full mode everywhere.
+	ModeOf func(treeID, fanout int) Mode
+	// MaxPerSide caps the pruned solution-set size per side type
+	// (diversity-preserving downsample). 0 means the default 48.
+	MaxPerSide int
+	// KeepRootSet retains all root candidates in the result (Fig. 10).
+	KeepRootSet bool
+	// DiversePruning adds the resource count (buffers+nTSVs) to the
+	// dominance test, so cheaper-but-slower solutions survive pruning.
+	// This widens the root set for design-space studies (Fig. 10) at the
+	// cost of a larger working set; the default 2-D (cap, delay) rule is
+	// the paper's and keeps MOES selection latency-strong.
+	DiversePruning bool
+	// SelectMinLatency ignores MOES and picks the minimum-latency root
+	// solution ("w/o MOES" ablation of Fig. 10).
+	SelectMinLatency bool
+}
+
+// DefaultConfig returns the paper's experimental settings (α,β,γ = 1,10,1).
+func DefaultConfig(tc *tech.Tech) Config {
+	return Config{Tech: tc, Alpha: 1, Beta: 10, Gamma: 1}
+}
+
+// RootCandidate summarizes one candidate solution at the DP root.
+type RootCandidate struct {
+	Latency float64 // ps, max source-to-sink delay below the root edge
+	Skew    float64 // ps, MaxD - MinD
+	Cap     float64 // fF at the clock root
+	Bufs    int
+	TSVs    int
+	MOES    float64
+}
+
+// Result reports the DP outcome. The input tree is annotated in place.
+type Result struct {
+	// Chosen is the selected root candidate.
+	Chosen RootCandidate
+	// Candidates holds the full root set when Config.KeepRootSet is set,
+	// sorted by latency.
+	Candidates []RootCandidate
+	// Solutions is the total number of candidate solutions generated,
+	// a measure of design-space size.
+	Solutions int
+	// Nodes is the number of DP nodes (clock-tree trunk edges).
+	Nodes int
+}
+
+// dpNode is one node of the heterogeneous DP tree (Step 1): it stands for
+// the clock-tree edge whose downstream endpoint is treeID.
+type dpNode struct {
+	treeID   int
+	length   float64
+	mode     Mode
+	children []int // dp node indices
+	sols     []Solution
+}
+
+// Run performs the four DP steps on the tree's trunk, leaving leaf nets
+// untouched, and writes the chosen patterns into the tree's edge wirings.
+func Run(t *ctree.Tree, cfg Config) (*Result, error) {
+	if cfg.Tech == nil {
+		return nil, fmt.Errorf("insert: nil tech")
+	}
+	if err := cfg.Tech.Validate(); err != nil {
+		return nil, fmt.Errorf("insert: %w", err)
+	}
+	if cfg.MaxPerSide <= 0 {
+		cfg.MaxPerSide = 48
+	}
+	fanout := t.SinkCounts()
+
+	// Step 1: build the heterogeneous DP tree over trunk edges.
+	nodes, rootDPs, err := buildDPTree(t, cfg, fanout)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Nodes: len(nodes)}
+
+	// Step 2: bottom-up generation (nodes are in postorder).
+	for i := range nodes {
+		if err := generate(t, &nodes[i], nodes, cfg, res); err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge the DP roots (children of the clock root vertex) into the
+	// final root set; the clock root pin is on the front side.
+	rootSet, err := mergeRoots(nodes, rootDPs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: multi-objective selection.
+	bestIdx := -1
+	bestScore := math.Inf(1)
+	for i, s := range rootSet {
+		lat := s.MaxD
+		score := cfg.Alpha*lat + cfg.Beta*float64(s.Bufs) + cfg.Gamma*float64(s.TSVs)
+		if cfg.SelectMinLatency {
+			score = lat
+		}
+		if score < bestScore {
+			bestScore, bestIdx = score, i
+		}
+		if cfg.KeepRootSet {
+			res.Candidates = append(res.Candidates, RootCandidate{
+				Latency: lat, Skew: s.MaxD - s.MinD, Cap: s.Cap,
+				Bufs: s.Bufs, TSVs: s.TSVs,
+				MOES: cfg.Alpha*lat + cfg.Beta*float64(s.Bufs) + cfg.Gamma*float64(s.TSVs),
+			})
+		}
+	}
+	if bestIdx < 0 {
+		return nil, fmt.Errorf("insert: no feasible root solution (max-cap too tight?)")
+	}
+	if cfg.KeepRootSet {
+		sort.Slice(res.Candidates, func(i, j int) bool {
+			return res.Candidates[i].Latency < res.Candidates[j].Latency
+		})
+	}
+	chosen := rootSet[bestIdx]
+	res.Chosen = RootCandidate{
+		Latency: chosen.MaxD, Skew: chosen.MaxD - chosen.MinD, Cap: chosen.Cap,
+		Bufs: chosen.Bufs, TSVs: chosen.TSVs,
+		MOES: cfg.Alpha*chosen.MaxD + cfg.Beta*float64(chosen.Bufs) + cfg.Gamma*float64(chosen.TSVs),
+	}
+
+	// Step 4: top-down decision.
+	decideRoots(t, nodes, rootDPs, chosen)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("insert: decided tree invalid: %w", err)
+	}
+	return res, nil
+}
+
+// buildDPTree creates one DP node per trunk edge in postorder (children
+// before parents) and returns the DP indices of the clock root's edges.
+func buildDPTree(t *ctree.Tree, cfg Config, fanout []int) (nodes []dpNode, rootDPs []int, err error) {
+	dpOf := make([]int, t.Len())
+	for i := range dpOf {
+		dpOf[i] = -1
+	}
+	order := make([]int, 0, t.Len())
+	t.PostOrder(func(id int) {
+		k := t.Nodes[id].Kind
+		if id != t.Root() && (k == ctree.KindSteiner || k == ctree.KindCentroid) {
+			order = append(order, id)
+		}
+	})
+	if len(order) == 0 {
+		return nil, nil, fmt.Errorf("insert: tree has no trunk edges")
+	}
+	for _, id := range order {
+		mode := ModeFull
+		if cfg.ModeOf != nil {
+			mode = cfg.ModeOf(id, fanout[id])
+		}
+		dp := dpNode{treeID: id, length: t.EdgeLen(id), mode: mode}
+		for _, c := range t.Nodes[id].Children {
+			k := t.Nodes[c].Kind
+			if k == ctree.KindSteiner || k == ctree.KindCentroid {
+				if dpOf[c] < 0 {
+					return nil, nil, fmt.Errorf("insert: postorder violated at %d", c)
+				}
+				dp.children = append(dp.children, dpOf[c])
+			}
+		}
+		if len(dp.children) > 2 {
+			return nil, nil, fmt.Errorf("insert: trunk vertex %d has %d trunk children; the clock tree must be binary", id, len(dp.children))
+		}
+		dpOf[id] = len(nodes)
+		nodes = append(nodes, dp)
+	}
+	for _, c := range t.Nodes[t.Root()].Children {
+		if dpOf[c] < 0 {
+			return nil, nil, fmt.Errorf("insert: root child %d is not a trunk edge", c)
+		}
+		rootDPs = append(rootDPs, dpOf[c])
+	}
+	return nodes, rootDPs, nil
+}
+
+// generate runs the merge and insert operations of Step 2 for one DP node.
+func generate(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, res *Result) error {
+	merged := mergeChildren(t, dp, nodes, cfg)
+	if len(merged) == 0 {
+		return fmt.Errorf("insert: node %d (tree %d): no merged candidates", dp.treeID, dp.treeID)
+	}
+	// Inserting: assign a pattern to this edge for every merged candidate.
+	var out []Solution
+	for _, m := range merged {
+		for p := Pattern(0); int(p) < numPatterns; p++ {
+			if !dp.mode.Allowed(p) {
+				continue
+			}
+			if p.DownSide() != m.Up {
+				continue // connectivity at the downstream vertex
+			}
+			upCap, maxD, minD, ok := transfer(p, cfg.Tech, dp.length, m.Cap, m.MaxD, m.MinD)
+			if !ok || upCap > cfg.Tech.Buf.MaxCap {
+				continue
+			}
+			out = append(out, Solution{
+				Up: p.UpSide(), Cap: upCap, MaxD: maxD, MinD: minD,
+				Bufs: m.Bufs + p.Buffers(), TSVs: m.TSVs + p.NTSVs(),
+				Pattern: p, left: m.left, right: m.right,
+			})
+		}
+	}
+	res.Solutions += len(out)
+	dp.sols = prune(out, cfg.MaxPerSide, cfg.DiversePruning)
+	if len(dp.sols) == 0 {
+		return fmt.Errorf("insert: node for tree edge %d has no feasible solutions (edge length %.2f µm, load %.2f fF, max cap %.2f fF)",
+			dp.treeID, dp.length, merged[0].Cap, cfg.Tech.Buf.MaxCap)
+	}
+	return nil
+}
+
+// mergeChildren produces the merged candidate set at the downstream vertex
+// of dp's edge: the "state before this edge's pattern is applied". The Up
+// field of a merged candidate holds the side type of the downstream vertex;
+// left/right record child solution indices.
+func mergeChildren(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config) []Solution {
+	switch len(dp.children) {
+	case 0:
+		// Leaf DP node: the downstream vertex is a low-level centroid
+		// driving its front-side star leaf net. (With zero-length leaf
+		// nets this reduces to the bare sink load.)
+		cap, maxD, minD := leafNetLoad(t, dp.treeID, cfg.Tech)
+		return []Solution{{Up: ctree.Front, Cap: cap, MaxD: maxD, MinD: minD, left: -1, right: -1}}
+	case 1:
+		kid := &nodes[dp.children[0]]
+		out := make([]Solution, 0, len(kid.sols))
+		for i, s := range kid.sols {
+			out = append(out, Solution{
+				Up: s.Up, Cap: s.Cap, MaxD: s.MaxD, MinD: s.MinD,
+				Bufs: s.Bufs, TSVs: s.TSVs, left: int32(i), right: -1,
+			})
+		}
+		return out
+	default:
+		a, b := &nodes[dp.children[0]], &nodes[dp.children[1]]
+		out := make([]Solution, 0, len(a.sols))
+		for i, sa := range a.sols {
+			for j, sb := range b.sols {
+				if sa.Up != sb.Up {
+					continue // connectivity at the shared vertex
+				}
+				out = append(out, Solution{
+					Up:   sa.Up,
+					Cap:  sa.Cap + sb.Cap,
+					MaxD: math.Max(sa.MaxD, sb.MaxD),
+					MinD: math.Min(sa.MinD, sb.MinD),
+					Bufs: sa.Bufs + sb.Bufs, TSVs: sa.TSVs + sb.TSVs,
+					left: int32(i), right: int32(j),
+				})
+			}
+		}
+		// Merged sets grow quadratically; prune before insertion too.
+		return prune(out, cfg.MaxPerSide, cfg.DiversePruning)
+	}
+}
+
+// leafNetLoad computes the load and internal delays of the star leaf net
+// hanging off centroid node id (front side, L-model).
+func leafNetLoad(t *ctree.Tree, id int, tc *tech.Tech) (cap, maxD, minD float64) {
+	front := tc.Front()
+	minD = math.Inf(1)
+	any := false
+	for _, c := range t.Nodes[id].Children {
+		n := &t.Nodes[c]
+		if n.Kind != ctree.KindSink {
+			continue
+		}
+		any = true
+		l := t.EdgeLen(c)
+		cap += timing.WireCap(front, l, tc.SinkCap)
+		d := timing.WireDelay(front, l, tc.SinkCap)
+		maxD = math.Max(maxD, d)
+		minD = math.Min(minD, d)
+	}
+	if !any {
+		// A trunk edge ending in a centroid with no sinks (can happen in
+		// synthetic trees): treat as a bare vertex.
+		return 0, 0, 0
+	}
+	return cap, maxD, minD
+}
+
+// prune keeps, per side type, the Pareto-optimal solutions — the
+// inferior-solution rule of [16] extended to the double-side scenario by
+// pruning front-side and back-side candidates separately (Sec. III-C2).
+// The default dominance test is the paper's (effective cap, max delay):
+// the min-latency solution is never dominated, so the DP is latency-
+// optimal. With diverse=true the resource count joins the test, so
+// cheaper-but-slower solutions also survive (design-space studies).
+// Sets beyond maxPerSide are thinned evenly along the cap axis, always
+// retaining the latency-best point.
+func prune(sols []Solution, maxPerSide int, diverse bool) []Solution {
+	out := pruneSide(sols, ctree.Front, maxPerSide, diverse)
+	return append(out, pruneSide(sols, ctree.Back, maxPerSide, diverse)...)
+}
+
+func pruneSide(sols []Solution, side ctree.Side, maxPerSide int, diverse bool) []Solution {
+	var g []Solution
+	for _, s := range sols {
+		if s.Up == side {
+			g = append(g, s)
+		}
+	}
+	if len(g) == 0 {
+		return nil
+	}
+	return paretoKeep(g, maxPerSide, diverse)
+}
+
+// paretoKeep filters dominated solutions (same-side input) and thins.
+func paretoKeep(g []Solution, maxKeep int, diverse bool) []Solution {
+	const eps = 1e-12
+	res := func(s *Solution) int {
+		if !diverse {
+			return 0 // resources do not participate in dominance
+		}
+		return s.Bufs + s.TSVs
+	}
+	sort.Slice(g, func(i, j int) bool {
+		if g[i].Cap != g[j].Cap {
+			return g[i].Cap < g[j].Cap
+		}
+		if g[i].MaxD != g[j].MaxD {
+			return g[i].MaxD < g[j].MaxD
+		}
+		return res(&g[i]) < res(&g[j])
+	})
+	keep := make([]Solution, 0, len(g))
+	for i := range g {
+		s := &g[i]
+		dominated := false
+		for k := range keep {
+			q := &keep[k] // q.Cap <= s.Cap by sort order
+			if q.MaxD <= s.MaxD+eps && res(q) <= res(s) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, *s)
+		}
+	}
+	if len(keep) > maxKeep && maxKeep > 1 {
+		bestD := 0
+		for i := range keep {
+			if keep[i].MaxD < keep[bestD].MaxD {
+				bestD = i
+			}
+		}
+		idx := map[int]bool{bestD: true}
+		for i := 0; i < maxKeep-1; i++ {
+			idx[i*(len(keep)-1)/(maxKeep-2)] = true
+		}
+		thin := make([]Solution, 0, len(idx))
+		for i := range keep {
+			if idx[i] {
+				thin = append(thin, keep[i])
+			}
+		}
+		keep = thin
+	}
+	return keep
+}
+
+// mergeRoots folds the DP root sets of the clock root's edges into final
+// root candidates. The clock root vertex is on the front side, so only
+// front-up solutions qualify.
+func mergeRoots(nodes []dpNode, rootDPs []int, cfg Config) ([]Solution, error) {
+	if len(rootDPs) == 0 {
+		return nil, fmt.Errorf("insert: no root edges")
+	}
+	// Start from the first root edge's front-side solutions, remembering
+	// which DP node each left/right index refers to via rootChoice.
+	var acc []Solution
+	for i, s := range nodes[rootDPs[0]].sols {
+		if s.Up != ctree.Front {
+			continue
+		}
+		c := s
+		c.left = int32(i) // index within nodes[rootDPs[0]].sols
+		c.right = -1
+		c.rootIdx = []int32{int32(i)}
+		acc = append(acc, c)
+	}
+	for r := 1; r < len(rootDPs); r++ {
+		var next []Solution
+		for _, a := range acc {
+			for j, sb := range nodes[rootDPs[r]].sols {
+				if sb.Up != ctree.Front {
+					continue
+				}
+				c := Solution{
+					Up:   ctree.Front,
+					Cap:  a.Cap + sb.Cap,
+					MaxD: math.Max(a.MaxD, sb.MaxD),
+					MinD: math.Min(a.MinD, sb.MinD),
+					Bufs: a.Bufs + sb.Bufs, TSVs: a.TSVs + sb.TSVs,
+				}
+				c.rootIdx = append(append([]int32{}, a.rootIdx...), int32(j))
+				next = append(next, c)
+			}
+		}
+		acc = prunePreserveRoot(next, cfg.MaxPerSide*4, cfg.DiversePruning)
+	}
+	if len(acc) == 0 {
+		return nil, fmt.Errorf("insert: no front-side root candidates")
+	}
+	return acc, nil
+}
+
+// prunePreserveRoot prunes like prune; Solution values (including the
+// rootIdx bookkeeping) are kept wholesale.
+func prunePreserveRoot(sols []Solution, maxKeep int, diverse bool) []Solution {
+	return paretoKeep(sols, maxKeep, diverse)
+}
+
+// decideRoots applies the chosen root candidate's per-root-edge solution
+// indices and retraces each subtree top-down.
+func decideRoots(t *ctree.Tree, nodes []dpNode, rootDPs []int, chosen Solution) {
+	for r, dpIdx := range rootDPs {
+		decide(t, nodes, dpIdx, int(chosen.rootIdx[r]))
+	}
+}
+
+// decide writes the pattern of solution solIdx at DP node dpIdx into the
+// tree and recurses into the recorded child solutions.
+func decide(t *ctree.Tree, nodes []dpNode, dpIdx, solIdx int) {
+	dp := &nodes[dpIdx]
+	s := dp.sols[solIdx]
+	t.Nodes[dp.treeID].Wiring = s.Pattern.Wiring()
+	switch len(dp.children) {
+	case 0:
+	case 1:
+		decide(t, nodes, dp.children[0], int(s.left))
+	default:
+		decide(t, nodes, dp.children[0], int(s.left))
+		decide(t, nodes, dp.children[1], int(s.right))
+	}
+}

@@ -1,0 +1,174 @@
+package legal
+
+import (
+	"strings"
+	"testing"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/ctree"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+func smallTree() *ctree.Tree {
+	t := ctree.New(geom.Pt(50, 50))
+	st := t.Add(0, ctree.KindSteiner, geom.Pt(60, 50))
+	t.Nodes[st].Wiring = ctree.EdgeWiring{BufMid: true}
+	c := t.AddCentroid(st, geom.Pt(70, 55), 0)
+	t.Nodes[c].Wiring = ctree.EdgeWiring{WireSide: ctree.Back, TSVUp: true, TSVDown: true}
+	t.Nodes[c].BufferAtNode = true
+	t.AddSink(c, geom.Pt(71, 56), 0)
+	return t
+}
+
+func TestLegalizeBasics(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := smallTree()
+	die := geom.NewBBox(geom.Pt(0, 0), geom.Pt(100, 100))
+	res, err := Legalize(tr, die, nil, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 mid buffer + 1 node buffer + 2 nTSVs.
+	if len(res.Cells) != 4 {
+		t.Fatalf("got %d cells", len(res.Cells))
+	}
+	bufs, tsvs := 0, 0
+	for _, c := range res.Cells {
+		switch c.Kind {
+		case KindBuffer:
+			bufs++
+			if c.Macro != tc.Buf.Name {
+				t.Errorf("buffer macro %q", c.Macro)
+			}
+		case KindNTSV:
+			tsvs++
+			if c.Macro != tc.TSV.Name {
+				t.Errorf("ntsv macro %q", c.Macro)
+			}
+		}
+		if !die.Contains(c.Got, 1e-9) {
+			t.Errorf("cell %s at %v outside die", c.Name, c.Got)
+		}
+		if !strings.HasPrefix(c.Name, "clk_") {
+			t.Errorf("cell name %q", c.Name)
+		}
+	}
+	if bufs != 2 || tsvs != 2 {
+		t.Fatalf("bufs/tsvs = %d/%d", bufs, tsvs)
+	}
+	// Displacements are sub-µm on an empty die (grid rounding only).
+	if res.MaxDisp > 1.0 {
+		t.Errorf("max displacement %v too large", res.MaxDisp)
+	}
+	if res.AvgDisp > res.MaxDisp {
+		t.Errorf("avg %v > max %v", res.AvgDisp, res.MaxDisp)
+	}
+}
+
+func TestLegalizeAvoidsMacros(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := smallTree()
+	die := geom.NewBBox(geom.Pt(0, 0), geom.Pt(100, 100))
+	// A macro right on top of every wanted position.
+	macro := geom.NewBBox(geom.Pt(45, 45), geom.Pt(75, 60))
+	res, err := Legalize(tr, die, []geom.BBox{macro}, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if macro.Contains(c.Got, -1e-9) {
+			t.Fatalf("cell %s placed inside macro at %v", c.Name, c.Got)
+		}
+	}
+	// Everything had to move out of the macro.
+	if res.MaxDisp == 0 {
+		t.Fatal("expected displacement around the macro")
+	}
+}
+
+func TestLegalizeNoOverlaps(t *testing.T) {
+	tc := tech.ASAP7()
+	// Many buffers asked at the same point: all must land on distinct
+	// sites.
+	tr := ctree.New(geom.Pt(10, 10))
+	c := tr.AddCentroid(0, geom.Pt(10, 10), 0)
+	tr.Nodes[c].BufferAtNode = true
+	for i := 0; i < 30; i++ {
+		s := tr.AddSink(c, geom.Pt(10, 10), i)
+		_ = s
+	}
+	// Build 20 sibling centroids at the same spot, each with a buffer.
+	for k := 1; k < 20; k++ {
+		cc := tr.AddCentroid(0, geom.Pt(10, 10), k)
+		tr.Nodes[cc].BufferAtNode = true
+		tr.AddSink(cc, geom.Pt(10, 10), 100+k)
+	}
+	die := geom.NewBBox(geom.Pt(0, 0), geom.Pt(40, 40))
+	res, err := Legalize(tr, die, nil, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[geom.Point]bool{}
+	for _, cell := range res.Cells {
+		if seen[cell.Got] {
+			t.Fatalf("two cells share site %v", cell.Got)
+		}
+		seen[cell.Got] = true
+	}
+}
+
+func TestLegalizeFailsWhenNoRoom(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := smallTree()
+	die := geom.NewBBox(geom.Pt(0, 0), geom.Pt(100, 100))
+	// Macro covering the entire die except a sliver far away: search
+	// radius is bounded, so legalization must fail loudly.
+	macro := geom.NewBBox(geom.Pt(0, 0), geom.Pt(100, 99))
+	if _, err := Legalize(tr, die, []geom.BBox{macro}, tc, Options{MaxSearchRadius: 5}); err == nil {
+		t.Fatal("expected failure with no reachable free sites")
+	}
+}
+
+func TestLegalizeErrors(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := smallTree()
+	var empty geom.BBox
+	if _, err := Legalize(tr, empty, nil, tc, Options{}); err == nil {
+		t.Error("invalid die should error")
+	}
+}
+
+func TestLegalizeFullFlowTree(t *testing.T) {
+	tc := tech.ASAP7()
+	d, err := bench.ByID("C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Generate(d, 1)
+	out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Legalize(out.Tree, p.Die, p.Macros, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs, tsvs := out.Tree.Counts()
+	nb, nt := 0, 0
+	for _, c := range res.Cells {
+		if c.Kind == KindBuffer {
+			nb++
+		} else {
+			nt++
+		}
+	}
+	if nb != bufs || nt != tsvs {
+		t.Fatalf("legalized %d/%d cells for %d/%d in tree", nb, nt, bufs, tsvs)
+	}
+	// Clock cells displace by at most a few sites at realistic density.
+	if res.AvgDisp > 2.0 {
+		t.Errorf("average displacement %v µm is suspicious", res.AvgDisp)
+	}
+}

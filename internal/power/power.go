@@ -1,0 +1,100 @@
+// Package power estimates clock-tree dynamic power — the quantity the
+// paper's wirelength objective stands in for ("the wirelength is still
+// largely determined by the clock routing topology and impacts power
+// significantly", Sec. III-B). The clock net switches every cycle, so
+//
+//	P_dyn  = f · Vdd² · C_total      (switching, α = 1 for clocks)
+//	P_int  = f · Σ E_buf             (buffer internal energy)
+//
+// with C_total decomposed into front wire, back wire, nTSV, buffer input
+// and sink pin capacitance, letting experiments attribute power to the
+// side assignment.
+package power
+
+import (
+	"fmt"
+
+	"dscts/internal/ctree"
+	"dscts/internal/tech"
+)
+
+// Params are the electrical operating conditions.
+type Params struct {
+	FreqGHz float64 // clock frequency
+	Vdd     float64 // supply voltage (V)
+	// BufEnergyFJ is the internal (short-circuit + parasitic) energy per
+	// buffer toggle in fJ; 0 uses a default derived from the buffer size.
+	BufEnergyFJ float64
+}
+
+// DefaultParams returns 1 GHz at the ASAP7 nominal 0.7 V.
+func DefaultParams() Params {
+	return Params{FreqGHz: 1.0, Vdd: 0.7, BufEnergyFJ: 2.0}
+}
+
+// Breakdown is the capacitance and power decomposition.
+type Breakdown struct {
+	// Capacitance components (fF).
+	FrontWireCap float64
+	BackWireCap  float64
+	NTSVCap      float64
+	BufInputCap  float64
+	SinkPinCap   float64
+
+	// Power components (mW). Note fF·GHz·V² = µW, reported in mW.
+	SwitchingMW float64
+	InternalMW  float64
+	TotalMW     float64
+}
+
+// TotalCap returns the switched capacitance in fF.
+func (b *Breakdown) TotalCap() float64 {
+	return b.FrontWireCap + b.BackWireCap + b.NTSVCap + b.BufInputCap + b.SinkPinCap
+}
+
+// Estimate computes the power breakdown of an annotated clock tree.
+func Estimate(t *ctree.Tree, tc *tech.Tech, p Params) (*Breakdown, error) {
+	if p.FreqGHz <= 0 || p.Vdd <= 0 {
+		return nil, fmt.Errorf("power: non-physical operating point %+v", p)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("power: %w", err)
+	}
+	if p.BufEnergyFJ == 0 {
+		p.BufEnergyFJ = 2.0
+	}
+	front, back, tsv, buf := tc.Front(), tc.Back(), tc.TSV, tc.Buf
+	var b Breakdown
+	buffers := 0
+	for id := 1; id < t.Len(); id++ {
+		n := &t.Nodes[id]
+		l := t.EdgeLen(id)
+		if n.Kind == ctree.KindSink {
+			b.FrontWireCap += front.UnitCap * l
+			b.SinkPinCap += tc.SinkCap
+			continue
+		}
+		w := n.Wiring
+		if w.WireSide == ctree.Back {
+			b.BackWireCap += back.UnitCap * l
+		} else {
+			b.FrontWireCap += front.UnitCap * l
+		}
+		b.NTSVCap += float64(w.NTSVCount()) * tsv.Cap
+		nb := w.BufferCount()
+		if n.BufferAtNode {
+			nb++
+		}
+		buffers += nb
+		b.BufInputCap += float64(nb) * buf.InputCap
+	}
+	if t.Nodes[t.Root()].BufferAtNode {
+		buffers++
+		b.BufInputCap += buf.InputCap
+	}
+	// fF × GHz × V² = µW; /1000 → mW.
+	b.SwitchingMW = b.TotalCap() * p.FreqGHz * p.Vdd * p.Vdd / 1000
+	b.InternalMW = float64(buffers) * p.BufEnergyFJ * p.FreqGHz / 1000
+	b.TotalMW = b.SwitchingMW + b.InternalMW
+	return &b, nil
+}

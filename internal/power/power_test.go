@@ -1,0 +1,129 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/ctree"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+func TestEstimateByHand(t *testing.T) {
+	tc := tech.ASAP7()
+	// root --50µm front--> centroid --2µm leaf--> sink.
+	tr := ctree.New(geom.Pt(0, 0))
+	c := tr.AddCentroid(0, geom.Pt(50, 0), 0)
+	tr.AddSink(c, geom.Pt(52, 0), 0)
+	p := Params{FreqGHz: 2, Vdd: 0.7, BufEnergyFJ: 2}
+	b, err := Estimate(tr, tc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := tc.Front()
+	wantFront := front.UnitCap * 52
+	if math.Abs(b.FrontWireCap-wantFront) > 1e-9 {
+		t.Errorf("front cap %v want %v", b.FrontWireCap, wantFront)
+	}
+	if b.SinkPinCap != tc.SinkCap || b.BackWireCap != 0 || b.NTSVCap != 0 || b.BufInputCap != 0 {
+		t.Errorf("breakdown %+v", b)
+	}
+	wantSw := (wantFront + tc.SinkCap) * 2 * 0.49 / 1000
+	if math.Abs(b.SwitchingMW-wantSw) > 1e-12 {
+		t.Errorf("switching %v want %v", b.SwitchingMW, wantSw)
+	}
+	if b.InternalMW != 0 {
+		t.Errorf("internal %v for bufferless tree", b.InternalMW)
+	}
+	if math.Abs(b.TotalMW-(b.SwitchingMW+b.InternalMW)) > 1e-15 {
+		t.Error("total != sum")
+	}
+}
+
+func TestEstimateCountsSides(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := ctree.New(geom.Pt(0, 0))
+	c := tr.AddCentroid(0, geom.Pt(100, 0), 0)
+	tr.Nodes[c].Wiring = ctree.EdgeWiring{WireSide: ctree.Back, TSVUp: true, TSVDown: true}
+	tr.Nodes[c].BufferAtNode = true
+	tr.AddSink(c, geom.Pt(100, 0), 0)
+	b, err := Estimate(tr, tc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BackWireCap <= 0 || b.FrontWireCap != 0 {
+		t.Errorf("side attribution wrong: %+v", b)
+	}
+	if math.Abs(b.NTSVCap-2*tc.TSV.Cap) > 1e-12 {
+		t.Errorf("ntsv cap %v", b.NTSVCap)
+	}
+	if b.BufInputCap != tc.Buf.InputCap {
+		t.Errorf("buf cap %v", b.BufInputCap)
+	}
+	if b.InternalMW <= 0 {
+		t.Error("buffer internal power missing")
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := ctree.New(geom.Pt(0, 0))
+	tr.AddCentroid(0, geom.Pt(1, 1), 0)
+	if _, err := Estimate(tr, tc, Params{FreqGHz: 0, Vdd: 1}); err == nil {
+		t.Error("zero frequency should error")
+	}
+	if _, err := Estimate(tr, tc, Params{FreqGHz: 1, Vdd: -1}); err == nil {
+		t.Error("negative vdd should error")
+	}
+	bad := ctree.New(geom.Pt(0, 0))
+	c := bad.AddCentroid(0, geom.Pt(5, 0), 0)
+	s := bad.AddSink(c, geom.Pt(6, 0), 0)
+	bad.Nodes[s].Wiring = ctree.EdgeWiring{WireSide: ctree.Back}
+	if _, err := Estimate(bad, tc, DefaultParams()); err == nil {
+		t.Error("invalid tree should error")
+	}
+}
+
+// The back side saves wire power on the same topology only through lower
+// *latency*-driven buffer counts — unit caps are similar — so total power
+// of the double-side tree must come out in the same ballpark as the
+// single-side tree, not wildly off (sanity envelope).
+func TestEstimateFullFlowComparison(t *testing.T) {
+	tc := tech.ASAP7()
+	d, err := bench.ByID("C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Generate(d, 1)
+	ds, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{Mode: core.SingleSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := Estimate(ds.Tree, tc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Estimate(ss.Tree, tc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.BackWireCap == 0 {
+		t.Error("double-side tree shows no back-side cap")
+	}
+	if bs.BackWireCap != 0 {
+		t.Error("single-side tree shows back-side cap")
+	}
+	ratio := bd.TotalMW / bs.TotalMW
+	if ratio < 0.5 || ratio > 1.5 {
+		t.Errorf("power ratio %v outside sanity envelope", ratio)
+	}
+	if bd.TotalMW <= 0 {
+		t.Error("non-positive power")
+	}
+}

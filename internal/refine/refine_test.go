@@ -1,0 +1,177 @@
+package refine
+
+import (
+	"math"
+	"testing"
+
+	"dscts/internal/ctree"
+	"dscts/internal/eval"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+func TestAdaptiveTMatchesFig8(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0.10},
+		{1000, 0.10},
+		{6000, 0.10},  // x = 0.6 boundary
+		{8000, 0.08},  // midpoint of the ramp
+		{10000, 0.06}, // x = 1.0
+		{20000, 0.06}, // saturated
+	}
+	for _, c := range cases {
+		if got := AdaptiveT(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("AdaptiveT(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+	// Monotone non-increasing over the whole range.
+	prev := math.Inf(1)
+	for n := 0; n <= 30000; n += 100 {
+		v := AdaptiveT(n)
+		if v > prev+1e-15 {
+			t.Fatalf("AdaptiveT not non-increasing at %d", n)
+		}
+		prev = v
+	}
+}
+
+func TestBudget(t *testing.T) {
+	p := DefaultParams()
+	// Small design: N·t below m.
+	if got := Budget(100, p); got != 10 {
+		t.Errorf("Budget(100) = %d, want 10", got)
+	}
+	// Large design: clipped at m = 33.
+	if got := Budget(14338, p); got != 33 {
+		t.Errorf("Budget(14338) = %d, want 33", got)
+	}
+	if got := Budget(1, p); got != 1 {
+		t.Errorf("Budget(1) = %d, want 1", got)
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.TriggerPct != 23 || p.MaxEndpoints != 33 {
+		t.Fatalf("p=%v m=%d; paper uses 23/33", p.TriggerPct, p.MaxEndpoints)
+	}
+}
+
+// skewedTree builds a tree with a deliberately imbalanced pair of clusters:
+// one hangs off a long heavy branch.
+func skewedTree() *ctree.Tree {
+	tr := ctree.New(geom.Pt(0, 0))
+	st := tr.Add(0, ctree.KindSteiner, geom.Pt(10, 0))
+	near := tr.AddCentroid(st, geom.Pt(20, 10), 0)
+	far := tr.AddCentroid(st, geom.Pt(250, -10), 1)
+	s := 0
+	for i := 0; i < 6; i++ {
+		tr.AddSink(near, geom.Pt(21+float64(i), 11), s)
+		s++
+	}
+	for i := 0; i < 25; i++ {
+		tr.AddSink(far, geom.Pt(251+float64(i%5), -11-float64(i/5)), s)
+		s++
+	}
+	return tr
+}
+
+func TestRefineReducesSkew(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := skewedTree()
+	before, err := eval.New(tc, eval.Elmore).Evaluate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Refine(tr, tc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Triggered {
+		t.Fatalf("expected trigger: skew %v latency %v", before.Skew, before.Latency)
+	}
+	if rep.After.Skew >= before.Skew {
+		t.Fatalf("skew not reduced: %v → %v", before.Skew, rep.After.Skew)
+	}
+	if rep.Inserted == 0 {
+		t.Fatal("no buffers inserted")
+	}
+	// Latency must stay within the guard band per accepted buffer.
+	if rep.After.Latency > before.Latency*math.Pow(1.02, float64(rep.Inserted))+1e-9 {
+		t.Fatalf("latency blew up: %v → %v", before.Latency, rep.After.Latency)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineNoTriggerOnBalancedTree(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := ctree.New(geom.Pt(0, 0))
+	st := tr.Add(0, ctree.KindSteiner, geom.Pt(10, 0))
+	a := tr.AddCentroid(st, geom.Pt(20, 10), 0)
+	b := tr.AddCentroid(st, geom.Pt(20, -10), 1)
+	tr.AddSink(a, geom.Pt(21, 11), 0)
+	tr.AddSink(b, geom.Pt(21, -11), 1)
+	rep, err := Refine(tr, tc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triggered || rep.Inserted != 0 {
+		t.Fatalf("balanced tree must not trigger: %+v", rep)
+	}
+	bufs, _ := tr.Counts()
+	if bufs != 0 {
+		t.Fatal("buffers inserted without trigger")
+	}
+}
+
+func TestRefineRespectsBudget(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := skewedTree()
+	p := DefaultParams()
+	p.MaxEndpoints = 1
+	rep, err := Refine(tr, tc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempted > 1 {
+		t.Fatalf("attempted %d > budget 1", rep.Attempted)
+	}
+	if rep.Inserted > 1 {
+		t.Fatalf("inserted %d > budget 1", rep.Inserted)
+	}
+}
+
+func TestRefineParamValidation(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := skewedTree()
+	if _, err := Refine(tr, tc, Params{TriggerPct: 0}); err == nil {
+		t.Fatal("zero trigger must error")
+	}
+}
+
+func TestRefineRollbackKeepsMetricsConsistent(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := skewedTree()
+	rep, err := Refine(tr, tc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reported After metrics must match a fresh evaluation of the tree.
+	m, err := eval.New(tc, eval.Elmore).Evaluate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Skew-rep.After.Skew) > 1e-9 || math.Abs(m.Latency-rep.After.Latency) > 1e-9 {
+		t.Fatalf("report (%v, %v) inconsistent with tree (%v, %v)",
+			rep.After.Latency, rep.After.Skew, m.Latency, m.Skew)
+	}
+	bufs, _ := tr.Counts()
+	if bufs != rep.Inserted {
+		t.Fatalf("tree has %d buffers, report says %d", bufs, rep.Inserted)
+	}
+}

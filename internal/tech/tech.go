@@ -1,0 +1,208 @@
+// Package tech models the double-side technology: metal layer unit parasitics
+// (front side M1-M9 and back side BM1-BM3 from the ASAP7-derived Table I of
+// the paper), the clock buffer cell and the nano-TSV (nTSV) cell.
+//
+// Units follow DESIGN.md: lengths in µm, resistance in kΩ, capacitance in fF.
+// The product kΩ·fF is ps, so all delays computed from these values are in
+// picoseconds directly.
+package tech
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Layer describes one routing layer's unit parasitics.
+type Layer struct {
+	Name    string
+	UnitRes float64 // kΩ/µm
+	UnitCap float64 // fF/µm
+	Back    bool    // true for back-side metal (BM*)
+}
+
+// Buffer is the clock buffer cell model. The paper uses a single buffer kind
+// (BUFx4_ASAP7_75t_R) following OpenROAD's default CTS flow; sizing is left
+// to downstream optimization.
+type Buffer struct {
+	Name      string
+	InputCap  float64 // fF, load presented to the driving net
+	DriveRes  float64 // kΩ, linear output resistance
+	Intrinsic float64 // ps, parasitic delay at zero load
+	MaxCap    float64 // fF, maximum load the buffer may legally drive
+	Width     float64 // µm, footprint
+	Height    float64 // µm
+}
+
+// Delay returns the buffer stage delay driving the given load (fF) using the
+// linear gate model D = intrinsic + Rdrive·Cload. This is the model the DP
+// optimizes; NLDM evaluation lives in internal/timing.
+func (b Buffer) Delay(load float64) float64 {
+	return b.Intrinsic + b.DriveRes*load
+}
+
+// NTSV is the nano-TSV cell model: a resistive via connecting a front-side
+// landing pad to a back-side one, as in [1] (Chen et al., IEDM'21).
+type NTSV struct {
+	Name   string
+	Res    float64 // kΩ
+	Cap    float64 // fF
+	Width  float64 // µm
+	Height float64 // µm
+}
+
+// Tech aggregates the full technology view consumed by the CTS flow.
+type Tech struct {
+	Layers []Layer
+	Buf    Buffer
+	TSV    NTSV
+
+	// FrontLayer / BackLayer are the layers used for delay evaluation.
+	// The paper follows OpenROAD's convention of using M3 for front-side
+	// clock wires, and BM1-BM3 (identical parasitics) for the back side.
+	FrontLayer string
+	BackLayer  string
+
+	// SinkCap is the clock input pin capacitance of a sink (FF), fF.
+	SinkCap float64
+
+	// MaxFanout bounds the number of sinks a leaf-level net may drive.
+	MaxFanout int
+}
+
+// Errors returned by Validate.
+var (
+	ErrNoLayers   = errors.New("tech: no layers defined")
+	ErrLayerNames = errors.New("tech: front/back layer not found")
+	ErrNonPhys    = errors.New("tech: non-physical parameter")
+)
+
+// ASAP7 returns the default technology of the paper's experiments:
+// Table I layer parasitics, the BUFx4_ASAP7_75t_R buffer and the nTSV
+// of Sec. IV-A (R = 0.020 kΩ, C = 0.004 fF).
+func ASAP7() *Tech {
+	return &Tech{
+		Layers: []Layer{
+			{Name: "M1", UnitRes: 0.138890, UnitCap: 0.11368},
+			{Name: "M2", UnitRes: 0.024222, UnitCap: 0.13426},
+			{Name: "M3", UnitRes: 0.024222, UnitCap: 0.12918},
+			{Name: "M4", UnitRes: 0.016778, UnitCap: 0.11396},
+			{Name: "M5", UnitRes: 0.014677, UnitCap: 0.13323},
+			{Name: "M6", UnitRes: 0.010371, UnitCap: 0.11575},
+			{Name: "M7", UnitRes: 0.009672, UnitCap: 0.13293},
+			{Name: "M8", UnitRes: 0.007431, UnitCap: 0.11822},
+			{Name: "M9", UnitRes: 0.006874, UnitCap: 0.13497},
+			{Name: "BM1", UnitRes: 0.000384, UnitCap: 0.116264, Back: true},
+			{Name: "BM2", UnitRes: 0.000384, UnitCap: 0.116264, Back: true},
+			{Name: "BM3", UnitRes: 0.000384, UnitCap: 0.116264, Back: true},
+		},
+		Buf: Buffer{
+			Name:      "BUFx4_ASAP7_75t_R",
+			InputCap:  1.2,
+			DriveRes:  0.60,
+			Intrinsic: 12.0,
+			MaxCap:    60.0,
+			Width:     0.378,
+			Height:    0.270,
+		},
+		TSV: NTSV{
+			Name:   "NTSV",
+			Res:    0.020,
+			Cap:    0.004,
+			Width:  0.270,
+			Height: 0.270,
+		},
+		FrontLayer: "M3",
+		BackLayer:  "BM1",
+		SinkCap:    0.8,
+		MaxFanout:  40,
+	}
+}
+
+// Layer returns the named layer.
+func (t *Tech) Layer(name string) (Layer, bool) {
+	for _, l := range t.Layers {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Layer{}, false
+}
+
+// Front returns the front-side evaluation layer.
+func (t *Tech) Front() Layer {
+	l, _ := t.Layer(t.FrontLayer)
+	return l
+}
+
+// Back returns the back-side evaluation layer.
+func (t *Tech) Back() Layer {
+	l, _ := t.Layer(t.BackLayer)
+	return l
+}
+
+// Validate checks the technology for internal consistency and physical
+// plausibility. Flows call this once at startup.
+func (t *Tech) Validate() error {
+	if len(t.Layers) == 0 {
+		return ErrNoLayers
+	}
+	names := map[string]bool{}
+	for _, l := range t.Layers {
+		if l.UnitRes <= 0 || l.UnitCap <= 0 {
+			return fmt.Errorf("%w: layer %s r=%g c=%g", ErrNonPhys, l.Name, l.UnitRes, l.UnitCap)
+		}
+		if names[l.Name] {
+			return fmt.Errorf("tech: duplicate layer %s", l.Name)
+		}
+		names[l.Name] = true
+	}
+	if !names[t.FrontLayer] || !names[t.BackLayer] {
+		return ErrLayerNames
+	}
+	fl, _ := t.Layer(t.FrontLayer)
+	bl, _ := t.Layer(t.BackLayer)
+	if fl.Back {
+		return fmt.Errorf("tech: front layer %s is marked back-side", t.FrontLayer)
+	}
+	if !bl.Back {
+		return fmt.Errorf("tech: back layer %s is not marked back-side", t.BackLayer)
+	}
+	if t.Buf.InputCap <= 0 || t.Buf.DriveRes <= 0 || t.Buf.Intrinsic < 0 || t.Buf.MaxCap <= 0 {
+		return fmt.Errorf("%w: buffer %+v", ErrNonPhys, t.Buf)
+	}
+	if t.TSV.Res <= 0 || t.TSV.Cap <= 0 {
+		return fmt.Errorf("%w: ntsv %+v", ErrNonPhys, t.TSV)
+	}
+	if t.SinkCap <= 0 {
+		return fmt.Errorf("%w: sink cap %g", ErrNonPhys, t.SinkCap)
+	}
+	if t.MaxFanout <= 0 {
+		return fmt.Errorf("%w: max fanout %d", ErrNonPhys, t.MaxFanout)
+	}
+	// The whole premise of double-side CTS: back metal must be much less
+	// resistive than front metal (r_b·c_b << r_f·c_f in Sec. II-B).
+	if bl.UnitRes*bl.UnitCap >= fl.UnitRes*fl.UnitCap {
+		return fmt.Errorf("tech: back-side RC (%g) not below front-side RC (%g)",
+			bl.UnitRes*bl.UnitCap, fl.UnitRes*fl.UnitCap)
+	}
+	return nil
+}
+
+// SortedLayerNames returns layer names, front side first in definition order,
+// then back side; used for stable table output.
+func (t *Tech) SortedLayerNames() []string {
+	names := make([]string, 0, len(t.Layers))
+	for _, l := range t.Layers {
+		names = append(names, l.Name)
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		li, _ := t.Layer(names[i])
+		lj, _ := t.Layer(names[j])
+		if li.Back != lj.Back {
+			return !li.Back
+		}
+		return false // stable: keep definition order within a side
+	})
+	return names
+}

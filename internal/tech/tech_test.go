@@ -1,0 +1,129 @@
+package tech
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASAP7Valid(t *testing.T) {
+	tc := ASAP7()
+	if err := tc.Validate(); err != nil {
+		t.Fatalf("default tech invalid: %v", err)
+	}
+}
+
+func TestTableIValues(t *testing.T) {
+	// Spot-check values against Table I of the paper.
+	tc := ASAP7()
+	cases := []struct {
+		layer string
+		r, c  float64
+	}{
+		{"M1", 0.138890, 0.11368},
+		{"M3", 0.024222, 0.12918},
+		{"M9", 0.006874, 0.13497},
+		{"BM1", 0.000384, 0.116264},
+		{"BM3", 0.000384, 0.116264},
+	}
+	for _, cse := range cases {
+		l, ok := tc.Layer(cse.layer)
+		if !ok {
+			t.Fatalf("layer %s missing", cse.layer)
+		}
+		if l.UnitRes != cse.r || l.UnitCap != cse.c {
+			t.Errorf("%s = (%g,%g), want (%g,%g)", cse.layer, l.UnitRes, l.UnitCap, cse.r, cse.c)
+		}
+	}
+	if tc.TSV.Res != 0.020 || tc.TSV.Cap != 0.004 {
+		t.Errorf("nTSV R/C = %g/%g, want 0.020/0.004", tc.TSV.Res, tc.TSV.Cap)
+	}
+}
+
+func TestFrontBackSelection(t *testing.T) {
+	tc := ASAP7()
+	if tc.Front().Name != "M3" || tc.Front().Back {
+		t.Errorf("Front = %+v", tc.Front())
+	}
+	if tc.Back().Name != "BM1" || !tc.Back().Back {
+		t.Errorf("Back = %+v", tc.Back())
+	}
+	// The double-side premise: back RC per unit length far below front.
+	f, b := tc.Front(), tc.Back()
+	if b.UnitRes*b.UnitCap > f.UnitRes*f.UnitCap/10 {
+		t.Errorf("back RC %g not << front RC %g", b.UnitRes*b.UnitCap, f.UnitRes*f.UnitCap)
+	}
+}
+
+func TestBufferDelayMonotone(t *testing.T) {
+	b := ASAP7().Buf
+	prev := b.Delay(0)
+	if prev != b.Intrinsic {
+		t.Errorf("Delay(0) = %v, want intrinsic %v", prev, b.Intrinsic)
+	}
+	for load := 1.0; load <= 100; load += 1 {
+		d := b.Delay(load)
+		if d <= prev {
+			t.Fatalf("buffer delay not strictly increasing at load %v", load)
+		}
+		prev = d
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func(mut func(*Tech)) *Tech {
+		tc := ASAP7()
+		mut(tc)
+		return tc
+	}
+	cases := []struct {
+		name string
+		tc   *Tech
+		want string
+	}{
+		{"no layers", mk(func(tc *Tech) { tc.Layers = nil }), "no layers"},
+		{"bad front name", mk(func(tc *Tech) { tc.FrontLayer = "M99" }), "not found"},
+		{"bad back name", mk(func(tc *Tech) { tc.BackLayer = "BM99" }), "not found"},
+		{"negative res", mk(func(tc *Tech) { tc.Layers[0].UnitRes = -1 }), "non-physical"},
+		{"zero cap", mk(func(tc *Tech) { tc.Layers[2].UnitCap = 0 }), "non-physical"},
+		{"dup layer", mk(func(tc *Tech) { tc.Layers[1].Name = "M1" }), "duplicate"},
+		{"front is back", mk(func(tc *Tech) { tc.FrontLayer = "BM1" }), "marked back-side"},
+		{"back is front", mk(func(tc *Tech) { tc.BackLayer = "M3" }), "not marked back-side"},
+		{"bad buffer", mk(func(tc *Tech) { tc.Buf.DriveRes = 0 }), "non-physical"},
+		{"bad ntsv", mk(func(tc *Tech) { tc.TSV.Cap = 0 }), "non-physical"},
+		{"bad sink cap", mk(func(tc *Tech) { tc.SinkCap = -1 }), "non-physical"},
+		{"bad fanout", mk(func(tc *Tech) { tc.MaxFanout = 0 }), "non-physical"},
+		{"back not better", mk(func(tc *Tech) {
+			for i := range tc.Layers {
+				if tc.Layers[i].Back {
+					tc.Layers[i].UnitRes = 1.0
+				}
+			}
+		}), "not below"},
+	}
+	for _, c := range cases {
+		err := c.tc.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSortedLayerNames(t *testing.T) {
+	names := ASAP7().SortedLayerNames()
+	if len(names) != 12 {
+		t.Fatalf("got %d names", len(names))
+	}
+	if names[0] != "M1" || names[8] != "M9" || names[9] != "BM1" {
+		t.Errorf("order wrong: %v", names)
+	}
+}
+
+func TestLayerLookupMissing(t *testing.T) {
+	if _, ok := ASAP7().Layer("nope"); ok {
+		t.Error("expected miss")
+	}
+}

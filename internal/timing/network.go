@@ -1,0 +1,217 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"dscts/internal/tech"
+)
+
+// Network is a staged RC tree: wire/via elements hang off a root driver, and
+// buffers open new stages. It is the evaluation backend used by
+// internal/eval to compute per-sink latency and skew of a finished clock
+// tree, independent of how the tree was constructed.
+//
+// Node 0 is always the root driver (the clock source). Every other node has
+// a parent, a series resistance to its parent and a grounded capacitance.
+// A node may carry a buffer: the buffer's input pin terminates the upstream
+// stage (only Buffer.InputCap is visible upstream) and its output drives the
+// node's children as a new stage.
+type Network struct {
+	nodes []netNode
+}
+
+type netNode struct {
+	parent int
+	res    float64
+	cap    float64
+	buf    *tech.Buffer
+	kids   []int
+}
+
+// NewNetwork returns a network containing only the root driver node (id 0)
+// with the given drive resistance modeled as... the root is an ideal source
+// with optional internal resistance rootRes applied to stage 0.
+func NewNetwork(rootRes float64) *Network {
+	n := &Network{}
+	n.nodes = append(n.nodes, netNode{parent: -1, res: rootRes})
+	return n
+}
+
+// Len returns the number of nodes including the root.
+func (n *Network) Len() int { return len(n.nodes) }
+
+// AddWire appends a node connected to parent through resistance res with
+// grounded capacitance cap, returning its id.
+func (n *Network) AddWire(parent int, res, cap float64) int {
+	n.checkParent(parent)
+	id := len(n.nodes)
+	n.nodes = append(n.nodes, netNode{parent: parent, res: res, cap: cap})
+	n.nodes[parent].kids = append(n.nodes[parent].kids, id)
+	return id
+}
+
+// AddBuffer appends a buffer node at the end of a wire of resistance res.
+// The node's grounded cap is the buffer input capacitance; downstream of the
+// returned node is a new stage driven by the buffer.
+func (n *Network) AddBuffer(parent int, res float64, b tech.Buffer) int {
+	n.checkParent(parent)
+	id := len(n.nodes)
+	n.nodes = append(n.nodes, netNode{parent: parent, res: res, cap: b.InputCap, buf: &b})
+	n.nodes[parent].kids = append(n.nodes[parent].kids, id)
+	return id
+}
+
+// AddSink appends a leaf node with the given wire resistance and pin cap.
+func (n *Network) AddSink(parent int, res, pinCap float64) int {
+	return n.AddWire(parent, res, pinCap)
+}
+
+func (n *Network) checkParent(parent int) {
+	if parent < 0 || parent >= len(n.nodes) {
+		panic(fmt.Sprintf("timing: invalid parent %d of %d", parent, len(n.nodes)))
+	}
+}
+
+// stageLoad computes, for every node, the capacitance visible to its stage
+// driver looking downstream from (and including) that node. Buffers shield:
+// a buffer node contributes only its input cap upstream.
+func (n *Network) stageLoads() []float64 {
+	load := make([]float64, len(n.nodes))
+	// Children precede parents nowhere; nodes are appended after their
+	// parents, so iterate in reverse for a valid postorder.
+	for i := len(n.nodes) - 1; i >= 0; i-- {
+		nd := &n.nodes[i]
+		l := nd.cap
+		for _, k := range nd.kids {
+			if n.nodes[k].buf != nil {
+				l += n.nodes[k].buf.InputCap
+			} else {
+				l += load[k]
+			}
+		}
+		// A buffer node's own load[] value is what ITS OUTPUT drives:
+		// children subtrees only (input cap belongs upstream).
+		if nd.buf != nil {
+			l -= nd.cap
+		}
+		load[i] = l
+	}
+	return load
+}
+
+// Delays returns the Elmore delay from the root source to every node.
+// Buffer nodes report the delay at their OUTPUT (input arrival + gate
+// delay); wire nodes report the delay at the node itself.
+func (n *Network) Delays() []float64 {
+	load := n.stageLoads()
+	d := make([]float64, len(n.nodes))
+	for i := 1; i < len(n.nodes); i++ {
+		nd := &n.nodes[i]
+		up := d[nd.parent]
+		// Resistance from parent sees this node's shielded subtree cap.
+		visible := load[i]
+		if nd.buf != nil {
+			visible = nd.buf.InputCap
+		}
+		at := up + nd.res*visible
+		if nd.buf != nil {
+			at += nd.buf.Delay(load[i])
+		}
+		d[i] = at
+	}
+	// Root stage driver resistance: model as extra series res on stage 0.
+	if r := n.nodes[0].res; r != 0 {
+		// Every node in stage 0 (reachable from root without crossing a
+		// buffer) and every node beyond inherits the same source term
+		// r × (stage-0 load).
+		src := r * load[0]
+		for i := 1; i < len(n.nodes); i++ {
+			d[i] += src
+		}
+	}
+	return d
+}
+
+// elmoreSeg returns the per-segment Elmore step used for slew degradation:
+// the local RC time constant of the element that feeds node i.
+func (n *Network) elmoreSeg(i int, load []float64) float64 {
+	nd := &n.nodes[i]
+	visible := load[i]
+	if nd.buf != nil {
+		visible = nd.buf.InputCap
+	}
+	return nd.res * visible
+}
+
+// Slews returns the transition time at every node using PERI propagation
+// (slew_out² = slew_in² + step²) with wire step = ln9 · Elmore of the
+// segment, and buffer output slew from the supplied table (nil table falls
+// back to a linear model derived from the buffer parameters).
+func (n *Network) Slews(inputSlew float64, tbl *NLDM) []float64 {
+	load := n.stageLoads()
+	s := make([]float64, len(n.nodes))
+	s[0] = inputSlew
+	const ln9 = 2.1972245773362196
+	for i := 1; i < len(n.nodes); i++ {
+		nd := &n.nodes[i]
+		up := s[nd.parent]
+		step := ln9 * n.elmoreSeg(i, load)
+		at := math.Sqrt(up*up + step*step)
+		if nd.buf != nil {
+			if tbl != nil {
+				at = tbl.Slew(at, load[i])
+			} else {
+				at = defaultOutSlew(*nd.buf, load[i])
+			}
+		}
+		s[i] = at
+	}
+	return s
+}
+
+// DelaysNLDM returns per-node delays using NLDM gate lookup for buffers
+// (delay depends on input slew and load) and Elmore for wires. This is the
+// paper's evaluation mode ("the Elmore delay, the slew model and the NLDM
+// for delay computation", Sec. IV-A).
+func (n *Network) DelaysNLDM(inputSlew float64, tbl *NLDM) []float64 {
+	load := n.stageLoads()
+	d := make([]float64, len(n.nodes))
+	s := make([]float64, len(n.nodes))
+	s[0] = inputSlew
+	const ln9 = 2.1972245773362196
+	for i := 1; i < len(n.nodes); i++ {
+		nd := &n.nodes[i]
+		visible := load[i]
+		if nd.buf != nil {
+			visible = nd.buf.InputCap
+		}
+		step := nd.res * visible
+		at := d[nd.parent] + step
+		sl := math.Sqrt(s[nd.parent]*s[nd.parent] + (ln9*step)*(ln9*step))
+		if nd.buf != nil {
+			if tbl != nil {
+				at += tbl.Delay(sl, load[i])
+				sl = tbl.Slew(sl, load[i])
+			} else {
+				at += nd.buf.Delay(load[i])
+				sl = defaultOutSlew(*nd.buf, load[i])
+			}
+		}
+		d[i] = at
+		s[i] = sl
+	}
+	if r := n.nodes[0].res; r != 0 {
+		src := r * load[0]
+		for i := 1; i < len(n.nodes); i++ {
+			d[i] += src
+		}
+	}
+	return d
+}
+
+// defaultOutSlew is the linear fallback output-slew model.
+func defaultOutSlew(b tech.Buffer, load float64) float64 {
+	const ln9 = 2.1972245773362196
+	return ln9 * b.DriveRes * (load + 0.5)
+}

@@ -1,0 +1,129 @@
+// Package viz renders a synthesized double-side clock tree as an SVG:
+// front-side wires in blue, back-side wires in red, buffers as green
+// squares, nTSVs as orange diamonds, sinks as gray dots and macros as
+// hatched boxes. Useful for eyeballing the side assignment the DP chose
+// (compare with Fig. 2 of the paper).
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"dscts/internal/ctree"
+	"dscts/internal/geom"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// WidthPx is the output image width in pixels (height follows the die
+	// aspect ratio). 0 means 900.
+	WidthPx float64
+	// ShowLeafNets draws centroid→sink star wires (can be dense).
+	ShowLeafNets bool
+	Title        string
+}
+
+// WriteSVG renders the tree onto the die with macro blockages.
+func WriteSVG(w io.Writer, t *ctree.Tree, die geom.BBox, macros []geom.BBox, opt Options) error {
+	if !die.Valid() || die.W() <= 0 || die.H() <= 0 {
+		return fmt.Errorf("viz: invalid die")
+	}
+	if opt.WidthPx <= 0 {
+		opt.WidthPx = 900
+	}
+	scale := opt.WidthPx / die.W()
+	hPx := die.H() * scale
+	bw := bufio.NewWriter(w)
+	// SVG y grows downward; flip so the die's MinY lands at the bottom.
+	X := func(x float64) float64 { return (x - die.MinX) * scale }
+	Y := func(y float64) float64 { return hPx - (y-die.MinY)*scale }
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		opt.WidthPx, hPx, opt.WidthPx, hPx)
+	fmt.Fprintf(bw, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="#fbfbf8" stroke="#444"/>`+"\n", opt.WidthPx, hPx)
+	if opt.Title != "" {
+		fmt.Fprintf(bw, `<text x="8" y="16" font-family="monospace" font-size="13">%s</text>`+"\n", opt.Title)
+	}
+	for _, m := range macros {
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#ddd" stroke="#999"/>`+"\n",
+			X(m.MinX), Y(m.MaxY), m.W()*scale, m.H()*scale)
+	}
+
+	// Wires: draw the L-route of every edge.
+	line := func(a, b geom.Point, style string) {
+		if a == b {
+			return
+		}
+		corner := geom.Pt(b.X, a.Y)
+		fmt.Fprintf(bw, `<polyline points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="none" %s/>`+"\n",
+			X(a.X), Y(a.Y), X(corner.X), Y(corner.Y), X(b.X), Y(b.Y), style)
+	}
+	const (
+		frontStyle = `stroke="#2060c0" stroke-width="1.2"`
+		backStyle  = `stroke="#c03030" stroke-width="1.8" stroke-dasharray="5,3"`
+		leafStyle  = `stroke="#9ab" stroke-width="0.5"`
+	)
+	t.PreOrder(func(id int) {
+		if id == t.Root() {
+			return
+		}
+		n := &t.Nodes[id]
+		a := t.Nodes[n.Parent].Pos
+		b := n.Pos
+		switch {
+		case n.Kind == ctree.KindSink:
+			if opt.ShowLeafNets {
+				line(a, b, leafStyle)
+			}
+		case n.Wiring.WireSide == ctree.Back:
+			line(a, b, backStyle)
+		default:
+			line(a, b, frontStyle)
+		}
+	})
+
+	// Cells on top of wires.
+	bufCount, tsvCount := 0, 0
+	mark := func(p geom.Point, kind string) {
+		switch kind {
+		case "buf":
+			bufCount++
+			fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="6" height="6" fill="#20a040" stroke="#064"/>`+"\n",
+				X(p.X)-3, Y(p.Y)-3)
+		case "tsv":
+			tsvCount++
+			fmt.Fprintf(bw, `<path d="M %.1f %.1f l 4 4 l -4 4 l -4 -4 z" fill="#f0a020" stroke="#940"/>`+"\n",
+				X(p.X), Y(p.Y)-4)
+		}
+	}
+	t.PreOrder(func(id int) {
+		n := &t.Nodes[id]
+		if id != t.Root() {
+			up := t.Nodes[n.Parent].Pos
+			w := n.Wiring
+			if w.BufMid {
+				mark(ctree.PointAlongL(up, n.Pos, 0.5), "buf")
+			}
+			if w.WireSide == ctree.Back && w.TSVUp {
+				mark(up, "tsv")
+			}
+			if w.WireSide == ctree.Back && w.TSVDown {
+				mark(n.Pos, "tsv")
+			}
+		}
+		if n.BufferAtNode {
+			mark(n.Pos, "buf")
+		}
+		if n.Kind == ctree.KindSink {
+			fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="1.2" fill="#888"/>`+"\n", X(n.Pos.X), Y(n.Pos.Y))
+		}
+	})
+	// Root marker.
+	rp := t.Nodes[t.Root()].Pos
+	fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="5" fill="#000"/>`+"\n", X(rp.X), Y(rp.Y))
+	fmt.Fprintf(bw, `<text x="8" y="%.0f" font-family="monospace" font-size="11">front=blue back=red(dashed) buf=%d tsv=%d</text>`+"\n",
+		hPx-8, bufCount, tsvCount)
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}

@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+func TestWriteSVGFullFlow(t *testing.T) {
+	tc := tech.ASAP7()
+	d, err := bench.ByID("C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Generate(d, 1)
+	out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, out.Tree, p.Die, p.Macros, Options{Title: "C4"}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a well-formed SVG envelope")
+	}
+	bufs, tsvs := out.Tree.Counts()
+	if !strings.Contains(svg, fmt.Sprintf("buf=%d tsv=%d", bufs, tsvs)) {
+		t.Errorf("legend missing counts buf=%d tsv=%d", bufs, tsvs)
+	}
+	// One circle per sink plus the root marker.
+	if got := strings.Count(svg, "<circle"); got != len(p.Sinks)+1 {
+		t.Errorf("%d circles, want %d", got, len(p.Sinks)+1)
+	}
+	// Back-side wires present and dashed.
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("no dashed back-side wires rendered")
+	}
+	if !strings.Contains(svg, "C4") {
+		t.Error("title missing")
+	}
+}
+
+func TestWriteSVGLeafNetsToggle(t *testing.T) {
+	tc := tech.ASAP7()
+	d, _ := bench.ByID("C4")
+	p := bench.Generate(d, 1)
+	out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var with, without bytes.Buffer
+	if err := WriteSVG(&with, out.Tree, p.Die, nil, Options{ShowLeafNets: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSVG(&without, out.Tree, p.Die, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if with.Len() <= without.Len() {
+		t.Error("leaf nets should add geometry")
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var empty geom.BBox
+	if err := WriteSVG(&bytes.Buffer{}, nil, empty, nil, Options{}); err == nil {
+		t.Fatal("invalid die must error")
+	}
+}
