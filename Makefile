@@ -1,0 +1,28 @@
+# Tier-1 verification and benchmarking entry points.
+#
+#   make ci      - build + vet + test (what the roadmap calls tier-1)
+#   make bench   - the substrate + parallel-engine benchmarks
+#   make report  - regenerate BENCH_parallel.json
+
+GO ?= go
+
+.PHONY: all build test vet ci bench report
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+ci: build vet test
+
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSubstrates|BenchmarkParallelSynthesize' -benchmem .
+
+report:
+	$(GO) run ./cmd/benchgen -bench -bench-out BENCH_parallel.json

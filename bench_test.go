@@ -8,6 +8,7 @@ package dscts
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dscts/internal/baseline"
@@ -310,19 +311,42 @@ func BenchmarkAblationMOESWeights(b *testing.B) {
 	}
 }
 
-// BenchmarkSubstrates measures the individual pipeline stages on C3.
+// BenchmarkSubstrates measures the individual pipeline stages on C3. The
+// plain "clustering"/"insertion" variants run single-threaded (the
+// algorithmic speed of the grid-accelerated k-means and allocation-lean
+// DP); the "-parallel" variants add the worker pool at GOMAXPROCS, and
+// "clustering-brute" keeps the pre-grid O(n·k) assignment scan as the
+// reference point.
 func BenchmarkSubstrates(b *testing.B) {
 	tc := tech.ASAP7()
 	p := mustPlacement(b, "C3")
 	front := tc.Front()
 	dualOpt := cluster.DualOptions{
-		HighSize: 3000, LowSize: 30, Seed: 1, MaxIter: 40,
+		HighSize: 3000, LowSize: 30, Seed: 1, MaxIter: 40, Workers: 1,
 		CapOf:    func(s, c Point) float64 { return tc.SinkCap + front.UnitCap*s.Dist(c) },
 		CapLimit: 0.6 * tc.Buf.MaxCap,
 	}
 	b.Run("clustering", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := cluster.DualLevel(p.Sinks, dualOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clustering-parallel", func(b *testing.B) {
+		opt := dualOpt
+		opt.Workers = runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.DualLevel(p.Sinks, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clustering-brute", func(b *testing.B) {
+		opt := dualOpt
+		opt.Brute = true
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.DualLevel(p.Sinks, opt); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -345,7 +369,19 @@ func BenchmarkSubstrates(b *testing.B) {
 	b.Run("insertion", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tr := routed.Clone()
-			if _, err := insert.Run(tr, insert.DefaultConfig(tc)); err != nil {
+			cfg := insert.DefaultConfig(tc)
+			cfg.Workers = 1
+			if _, err := insert.Run(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insertion-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := routed.Clone()
+			cfg := insert.DefaultConfig(tc)
+			cfg.Workers = runtime.GOMAXPROCS(0)
+			if _, err := insert.Run(tr, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -370,6 +406,29 @@ func BenchmarkSubstrates(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelSynthesize measures the end-to-end flow at one worker
+// versus the full pool, per design. The Workers=1 column is the
+// algorithmic baseline; on a multi-core machine the GOMAXPROCS column adds
+// the parallel engine on top. Both produce identical Metrics (see
+// TestWorkersDeterminism).
+func BenchmarkParallelSynthesize(b *testing.B) {
+	tc := tech.ASAP7()
+	for _, id := range []string{"C3", "C5"} {
+		p := mustPlacement(b, id)
+		for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("%s/workers%d", id, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportMetrics(b, out.Metrics)
+				}
+			})
+		}
+	}
 }
 
 func reportTree(b *testing.B, tc *tech.Tech, tr *Tree) {

@@ -3,6 +3,13 @@
 // tools — or the dscts CLI via -def — can consume them.
 //
 //	benchgen -out ./benchmarks [-seed 1] [-design C3]
+//
+// With -bench it instead measures the parallel synthesis engine stage by
+// stage (grid vs brute-force clustering, single- vs multi-worker DP
+// insertion, end-to-end synthesis) and writes a machine-readable
+// BENCH_parallel.json with ns/op and allocs/op per stage:
+//
+//	benchgen -bench [-bench-out BENCH_parallel.json]
 package main
 
 import (
@@ -17,11 +24,19 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", "benchmarks", "output directory")
-		seed   = flag.Int64("seed", 1, "placement seed")
-		design = flag.String("design", "", "single design to emit (default: all)")
+		out      = flag.String("out", "benchmarks", "output directory")
+		seed     = flag.Int64("seed", 1, "placement seed")
+		design   = flag.String("design", "", "single design to emit (default: all)")
+		doBench  = flag.Bool("bench", false, "measure the parallel engine and write a JSON report instead of emitting DEFs")
+		benchOut = flag.String("bench-out", "BENCH_parallel.json", "report path for -bench")
 	)
 	flag.Parse()
+	if *doBench {
+		if err := runBench(*benchOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

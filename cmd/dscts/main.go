@@ -30,6 +30,7 @@ func main() {
 		svgOut    = flag.String("svg", "", "write an SVG rendering of the tree")
 		defOut    = flag.String("export-def", "", "legalize cells and write the clock tree as DEF")
 		showPower = flag.Bool("power", false, "print the clock power breakdown @1GHz/0.7V")
+		workers   = flag.Int("workers", 0, "worker pool size for all phases (0 = all CPUs; results are identical for any value)")
 	)
 	flag.Parse()
 	tc := tech.ASAP7()
@@ -40,6 +41,7 @@ func main() {
 		FanoutThreshold: *fanout,
 		SkipRefine:      *skipSR,
 		Alpha:           *alpha, Beta: *beta, Gamma: *gamma,
+		Workers:         *workers,
 	}
 	if *single {
 		opt.Mode = core.SingleSide

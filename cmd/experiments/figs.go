@@ -128,11 +128,11 @@ func fig12(cfg config) error {
 	if err != nil {
 		return err
 	}
-	f7, err := dse.SweepFanoutFlip(buffered.Tree, tc, thresholds)
+	f7, err := dse.SweepFanoutFlip(buffered.Tree, tc, thresholds, 0)
 	if err != nil {
 		return err
 	}
-	f6, err := dse.SweepCriticalFlip(buffered.Tree, tc, fractions)
+	f6, err := dse.SweepCriticalFlip(buffered.Tree, tc, fractions, 0)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module dscts
+
+go 1.24

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dscts/internal/geom"
+	"dscts/internal/par"
 )
 
 // Dual is the dual-level clustering hierarchy of Fig. 5(a)-(b): high-level
@@ -34,6 +35,16 @@ type DualOptions struct {
 	Seed     int64
 	MaxIter  int
 
+	// Workers shards the k-means loops and runs the independent low-level
+	// clusterings of different high clusters concurrently; <= 0 means all
+	// CPUs. Per-cluster seeds depend only on the high-cluster index, so
+	// the hierarchy is identical for every worker count.
+	Workers int
+	// Brute forces the reference O(n·k) nearest-centroid scan instead of
+	// the spatial grid. The grid is exact, so this exists only for
+	// benchmarking the accelerator against its baseline.
+	Brute bool
+
 	// CapOf, when set, gives the load a sink contributes to a leaf net
 	// rooted at the given centroid (pin cap plus wire cap, typically).
 	// Low-level clusters whose total exceeds CapLimit are split further so
@@ -56,25 +67,47 @@ func DualLevel(sinks []geom.Point, opt DualOptions) (*Dual, error) {
 	if opt.LowSize > opt.HighSize {
 		return nil, fmt.Errorf("cluster: Lc=%d exceeds Hc=%d", opt.LowSize, opt.HighSize)
 	}
+	workers := par.N(opt.Workers)
 	high, err := KMeans(sinks, Options{
 		TargetSize: opt.HighSize, MaxIter: opt.MaxIter, Seed: opt.Seed, Balance: false,
+		Workers: workers, Brute: opt.Brute,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: high level: %w", err)
 	}
 	d := &Dual{High: high, Low: make([]*Result, high.K())}
-	for h := 0; h < high.K(); h++ {
+
+	// The low-level clusterings of distinct high clusters are independent;
+	// run them concurrently and distribute the worker budget between the
+	// outer fan-out and each k-means' inner assignment loop. Results land
+	// in d.Low[h] by index, so the outcome is order- (and worker-count-)
+	// independent.
+	inner := workers / high.K()
+	if inner < 1 {
+		inner = 1
+	}
+	lowErr := make([]error, high.K())
+	par.ForEach(workers, high.K(), func(h int) {
 		sub := make([]geom.Point, len(high.Members[h]))
 		for i, idx := range high.Members[h] {
 			sub[i] = sinks[idx]
 		}
-		low, err := KMeans(sub, Options{
+		d.Low[h], lowErr[h] = KMeans(sub, Options{
 			TargetSize: opt.LowSize, MaxIter: opt.MaxIter, Seed: opt.Seed + int64(h) + 1, Balance: true,
+			Workers: inner, Brute: opt.Brute,
 		})
+	})
+	for h, err := range lowErr {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: low level %d: %w", h, err)
 		}
-		d.Low[h] = low
+	}
+
+	// The cap-aware flattening stays sequential: its recursive split seeds
+	// depend on the global append order, and preserving that order keeps
+	// the hierarchy bit-identical to the single-threaded reference.
+	for h := 0; h < high.K(); h++ {
+		low := d.Low[h]
 		for lc := 0; lc < low.K(); lc++ {
 			sub := make([]geom.Point, len(low.Members[lc]))
 			orig := make([]int, len(low.Members[lc]))
@@ -97,8 +130,12 @@ func (d *Dual) appendCapAware(pts []geom.Point, orig []int, centroid geom.Point,
 			total += opt.CapOf(p, centroid)
 		}
 		if total > opt.CapLimit {
+			// This pass is sequential by design (its seeds depend on the
+			// global append order), so the bipartitions run
+			// single-threaded to honor the Workers bound.
 			two, err := KMeans(pts, Options{
 				TargetSize: (len(pts) + 1) / 2, MaxIter: opt.MaxIter, Seed: opt.Seed + int64(len(d.LowSinks)) + 17,
+				Workers: 1, Brute: opt.Brute,
 			})
 			if err == nil && two.K() >= 2 {
 				for k := 0; k < two.K(); k++ {

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"math"
+
+	"dscts/internal/geom"
+)
+
+// centGrid is a uniform spatial hash over the current centroid set, used to
+// answer exact nearest-centroid queries without scanning all k centroids.
+// Cells are sized so the grid holds ~1 centroid per cell; a query walks
+// Chebyshev rings outward from the query point's cell and stops as soon as
+// no unvisited ring can contain a closer centroid.
+//
+// The search is exact and breaks distance ties by the lowest centroid
+// index, so it returns precisely the centroid the brute-force scan of
+// assignBrute would return — the grid is a pure accelerator, never a
+// heuristic.
+type centGrid struct {
+	minX, minY float64
+	cell       float64 // cell edge length, µm
+	inv        float64 // 1/cell
+	nx, ny     int
+	// CSR bucket layout: items[start[c]:start[c+1]] are the centroid
+	// indices in cell c (row-major). Rebuilt once per Lloyd iteration.
+	start []int32
+	items []int32
+	fill  []int32
+}
+
+// gridMinCentroids is the centroid count below which the brute-force scan
+// wins (grid build + ring bookkeeping costs more than k distance checks).
+const gridMinCentroids = 16
+
+// newCentGrid sizes the grid for k ~ len(cents) occupied cells. It returns
+// nil when the centroid set is too small or degenerate (zero spatial
+// extent), in which case the caller falls back to the brute-force scan.
+func newCentGrid(cents []geom.Point) *centGrid {
+	k := len(cents)
+	if k < gridMinCentroids {
+		return nil
+	}
+	bb := geom.NewBBox(cents...)
+	w, h := bb.W(), bb.H()
+	if w <= 0 && h <= 0 {
+		return nil // all centroids coincide
+	}
+	// Aim for ~1 centroid per cell, but never more than ~2√k cells per
+	// axis: an anisotropic point set (one extent near zero) would
+	// otherwise shatter the long axis into k·(long/short) mostly-empty
+	// cells and turn each ring walk into a crawl. Cells stay square — the
+	// (r-1)·cell ring lower bound depends on that.
+	maxPerAxis := 2*math.Sqrt(float64(k)) + 1
+	cell := math.Sqrt(math.Max(w, 1e-9) * math.Max(h, 1e-9) / float64(k))
+	cell = math.Max(cell, math.Max(w, h)/maxPerAxis)
+	if cell <= 0 {
+		return nil
+	}
+	nx := int(w/cell) + 1
+	ny := int(h/cell) + 1
+	// The caller rebuilds the buckets (build) before each query round;
+	// the constructor only sizes the arenas.
+	return &centGrid{
+		minX: bb.MinX, minY: bb.MinY,
+		cell: cell, inv: 1 / cell,
+		nx: nx, ny: ny,
+		start: make([]int32, nx*ny+1),
+		items: make([]int32, k),
+		fill:  make([]int32, nx*ny),
+	}
+}
+
+// build re-buckets the centroids (called once per Lloyd iteration, since
+// centroids move between iterations but the bounding box is re-used: points
+// drifting outside are clamped into border cells, which keeps the search
+// exact because the ring lower bound is measured from the clamped cell).
+func (g *centGrid) build(cents []geom.Point) {
+	for i := range g.start {
+		g.start[i] = 0
+	}
+	cellIdx := func(p geom.Point) int {
+		cx := clampInt(int((p.X-g.minX)*g.inv), 0, g.nx-1)
+		cy := clampInt(int((p.Y-g.minY)*g.inv), 0, g.ny-1)
+		return cy*g.nx + cx
+	}
+	for _, c := range cents {
+		g.start[cellIdx(c)+1]++
+	}
+	for i := 1; i < len(g.start); i++ {
+		g.start[i] += g.start[i-1]
+	}
+	for i := range g.fill {
+		g.fill[i] = 0
+	}
+	for i, c := range cents {
+		cell := cellIdx(c)
+		g.items[g.start[cell]+g.fill[cell]] = int32(i)
+		g.fill[cell]++
+	}
+}
+
+// nearest returns the index of the exact nearest centroid to p (ties broken
+// by lowest index, matching bruteNearest). Distances are compared squared:
+// the ordering is identical and the hot loop avoids math.Hypot.
+func (g *centGrid) nearest(p geom.Point, cents []geom.Point) int {
+	cx := clampInt(int((p.X-g.minX)*g.inv), 0, g.nx-1)
+	cy := clampInt(int((p.Y-g.minY)*g.inv), 0, g.ny-1)
+	best := -1
+	bestD2 := math.Inf(1)
+	scanRow := func(x0, x1, y int) bool {
+		if y < 0 || y >= g.ny {
+			return false
+		}
+		if x0 < 0 {
+			x0 = 0
+		}
+		if x1 >= g.nx {
+			x1 = g.nx - 1
+		}
+		if x0 > x1 {
+			return false
+		}
+		row := y * g.nx
+		for _, ci := range g.items[g.start[row+x0]:g.start[row+x1+1]] {
+			c := int(ci)
+			if d2 := p.Dist2(cents[c]); d2 < bestD2 || (d2 == bestD2 && c < best) {
+				best, bestD2 = c, d2
+			}
+		}
+		return true
+	}
+	scanCell := func(x, y int) bool {
+		if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+			return false
+		}
+		cell := y*g.nx + x
+		for _, ci := range g.items[g.start[cell]:g.start[cell+1]] {
+			c := int(ci)
+			if d2 := p.Dist2(cents[c]); d2 < bestD2 || (d2 == bestD2 && c < best) {
+				best, bestD2 = c, d2
+			}
+		}
+		return true
+	}
+	for r := 0; ; r++ {
+		// Any centroid bucketed in a ring-r cell is at least (r-1)·cell
+		// away from p: clamping is 1-Lipschitz, so cell-index distance
+		// lower-bounds true distance. Once that bound strictly exceeds
+		// the best distance (ties at exactly bestD2 could still have a
+		// lower index), no further ring can improve the answer.
+		if best >= 0 && r >= 1 {
+			lb := float64(r-1) * g.cell
+			if lb*lb > bestD2 {
+				return best
+			}
+		}
+		visited := false
+		if r == 0 {
+			visited = scanCell(cx, cy)
+		} else {
+			// Top and bottom rows of the ring (contiguous in memory),
+			// then the two side columns.
+			visited = scanRow(cx-r, cx+r, cy-r) || visited
+			visited = scanRow(cx-r, cx+r, cy+r) || visited
+			for y := cy - r + 1; y <= cy+r-1; y++ {
+				visited = scanCell(cx-r, y) || visited
+				visited = scanCell(cx+r, y) || visited
+			}
+		}
+		if !visited && best >= 0 {
+			return best // ring fully outside the grid; nothing further out
+		}
+		if !visited && r > g.nx+g.ny {
+			return best // unreachable guard: empty grid
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"dscts/internal/geom"
+)
+
+// TestGridMatchesBrute pins the accelerator contract: the spatial-grid
+// nearest-centroid search must reproduce the brute-force clustering
+// exactly — same assignments, same centroids — for any worker count,
+// including clustered (hotspot-like) and degenerate point sets.
+func TestGridMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		n := 300 + rng.Intn(2500)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			switch trial % 3 {
+			case 0: // uniform
+				pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*800)
+			case 1: // hotspots, like the Table II generator
+				cx, cy := float64(rng.Intn(4))*250, float64(rng.Intn(3))*250
+				pts[i] = geom.Pt(cx+rng.NormFloat64()*40, cy+rng.NormFloat64()*40)
+			default: // near-collinear (degenerate vertical extent)
+				pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1e-6)
+			}
+		}
+		grid, err := KMeans(pts, Options{TargetSize: 25, Seed: int64(trial), Balance: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := KMeans(pts, Options{TargetSize: 25, Seed: int64(trial), Balance: true, Workers: 5, Brute: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grid.K() != brute.K() {
+			t.Fatalf("trial %d: K %d vs %d", trial, grid.K(), brute.K())
+		}
+		for i := range grid.Assign {
+			if grid.Assign[i] != brute.Assign[i] {
+				t.Fatalf("trial %d: assign[%d] = %d (grid) vs %d (brute)", trial, i, grid.Assign[i], brute.Assign[i])
+			}
+		}
+		for c := range grid.Centroids {
+			if grid.Centroids[c] != brute.Centroids[c] {
+				t.Fatalf("trial %d: centroid %d differs: %v vs %v", trial, c, grid.Centroids[c], brute.Centroids[c])
+			}
+		}
+	}
+}
+
+// TestDualLevelWorkerInvariance checks the full dual-level hierarchy is
+// identical across worker counts (the parallel path covers the
+// per-high-cluster fan-out and the sharded assignment loop).
+func TestDualLevelWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geom.Point, 5000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*2000, rng.Float64()*1500)
+	}
+	opt := DualOptions{HighSize: 1500, LowSize: 30, Seed: 1, MaxIter: 40}
+	opt.Workers = 1
+	a, err := DualLevel(pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 7
+	b, err := DualLevel(pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLow() != b.NumLow() {
+		t.Fatalf("low cluster counts differ: %d vs %d", a.NumLow(), b.NumLow())
+	}
+	for lc := range a.LowCentroids {
+		if a.LowCentroids[lc] != b.LowCentroids[lc] {
+			t.Fatalf("low centroid %d differs: %v vs %v", lc, a.LowCentroids[lc], b.LowCentroids[lc])
+		}
+		if len(a.LowSinks[lc]) != len(b.LowSinks[lc]) {
+			t.Fatalf("low cluster %d sizes differ", lc)
+		}
+		for i := range a.LowSinks[lc] {
+			if a.LowSinks[lc][i] != b.LowSinks[lc][i] {
+				t.Fatalf("low cluster %d member %d differs", lc, i)
+			}
+		}
+	}
+}

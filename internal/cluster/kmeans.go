@@ -4,15 +4,31 @@
 // of target size Hc (3000 in the paper) and, within each, low-level clusters
 // of target size Lc (30). Centroids of both levels are recorded for the
 // hierarchical DME step and for skew-refinement buffer sites.
+//
+// The Lloyd assignment step — the hot loop of the whole synthesis flow — is
+// accelerated two ways, neither of which changes the result:
+//
+//   - a spatial grid over the centroids answers exact nearest-centroid
+//     queries by ring search instead of the naive O(k) scan (see grid.go);
+//   - the per-point assignment loop is sharded across a worker pool
+//     (Options.Workers). Assignments are pure per-point functions of the
+//     centroid set and centroid updates are accumulated sequentially, so any
+//     worker count produces bit-identical clusterings.
+//
+// Iterations also stop as soon as the centroid set reaches a fixed point
+// (exact equality), which skips the trailing no-op assignment passes of a
+// fixed iteration budget.
 package cluster
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
+	"slices"
 	"sort"
 
 	"dscts/internal/geom"
+	"dscts/internal/par"
 )
 
 // Result is one clustering solution.
@@ -52,6 +68,13 @@ type Options struct {
 	// nearest non-full cluster. This keeps low-level clusters within the
 	// leaf-net fanout bound.
 	Balance bool
+	// Workers shards the assignment loop; <= 0 means all CPUs. The result
+	// is identical for every worker count.
+	Workers int
+	// Brute disables the spatial-grid nearest-centroid accelerator and
+	// forces the reference O(n·k) scan. The grid is exact, so this only
+	// exists for benchmarking and cross-checking (see grid.go).
+	Brute bool
 }
 
 // KMeans clusters pts into ceil(len(pts)/TargetSize) groups.
@@ -73,13 +96,33 @@ func KMeans(pts []geom.Point, opt Options) (*Result, error) {
 	if k > n {
 		k = n
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	// PCG seeding is effectively free, which matters because the
+	// cap-aware splitting of the dual-level hierarchy re-enters KMeans
+	// hundreds of times on small point sets.
+	rng := rand.New(rand.NewPCG(uint64(opt.Seed), 0x9e3779b97f4a7c15))
 	cents := seedPlusPlus(pts, k, rng)
 	assign := make([]int, n)
+	workers := par.N(opt.Workers)
+	var grid *centGrid
+	if !opt.Brute {
+		grid = newCentGrid(cents)
+	}
+	prev := make([]geom.Point, k)
+	changedBy := make([]bool, (n+assignChunk-1)/assignChunk)
 	for iter := 0; iter < opt.MaxIter; iter++ {
-		changed := assignNearest(pts, cents, assign)
+		if grid != nil {
+			grid.build(cents)
+		}
+		changed := assignNearest(pts, cents, assign, grid, workers, changedBy)
+		copy(prev, cents)
 		cents = recompute(pts, assign, k, cents)
 		if !changed && iter > 0 {
+			break
+		}
+		// Fixed point: if no centroid moved at all, the next assignment
+		// pass cannot change anything either — stop early. Exact equality
+		// keeps the final (assign, cents) identical to the full loop.
+		if slices.Equal(prev, cents) {
 			break
 		}
 	}
@@ -94,19 +137,17 @@ func KMeans(pts []geom.Point, opt Options) (*Result, error) {
 // probability proportional to squared distance from the nearest chosen seed.
 func seedPlusPlus(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
 	cents := make([]geom.Point, 0, k)
-	cents = append(cents, pts[rng.Intn(len(pts))])
+	cents = append(cents, pts[rng.IntN(len(pts))])
 	d2 := make([]float64, len(pts))
+	var total float64
 	for i, p := range pts {
-		d2[i] = sq(p.DistEuclid(cents[0]))
+		d2[i] = p.Dist2(cents[0])
+		total += d2[i]
 	}
 	for len(cents) < k {
-		var total float64
-		for _, v := range d2 {
-			total += v
-		}
 		var next int
 		if total <= 0 {
-			next = rng.Intn(len(pts))
+			next = rng.IntN(len(pts))
 		} else {
 			r := rng.Float64() * total
 			acc := 0.0
@@ -121,32 +162,70 @@ func seedPlusPlus(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
 		}
 		c := pts[next]
 		cents = append(cents, c)
+		// Tighten the distance field and rebuild its sum in one pass
+		// (recomputing rather than decrementing keeps the sum exact).
+		total = 0
 		for i, p := range pts {
-			if v := sq(p.DistEuclid(c)); v < d2[i] {
+			if v := p.Dist2(c); v < d2[i] {
 				d2[i] = v
 			}
+			total += d2[i]
 		}
 	}
 	return cents
 }
 
-func sq(v float64) float64 { return v * v }
+// assignChunk is the fixed shard size of the parallel assignment loop. The
+// chunk boundaries depend only on the point count, so sharding never
+// affects which points compare against which centroids.
+const assignChunk = 2048
 
-func assignNearest(pts []geom.Point, cents []geom.Point, assign []int) bool {
-	changed := false
-	for i, p := range pts {
-		best, bestD := 0, math.Inf(1)
-		for c, cp := range cents {
-			if d := p.DistEuclid(cp); d < bestD {
-				best, bestD = c, d
+// assignNearest writes the index of the exact nearest centroid (lowest
+// index on ties) for every point, using the grid accelerator when one is
+// available and sharding across workers. Each point's assignment is an
+// independent pure function, so the output is schedule-independent.
+func assignNearest(pts []geom.Point, cents []geom.Point, assign []int, grid *centGrid, workers int, changedBy []bool) bool {
+	n := len(pts)
+	for i := range changedBy {
+		changedBy[i] = false
+	}
+	par.Chunks(workers, n, assignChunk, func(lo, hi int) {
+		chunkChanged := false
+		for i := lo; i < hi; i++ {
+			var best int
+			if grid != nil {
+				best = grid.nearest(pts[i], cents)
+			} else {
+				best = bruteNearest(pts[i], cents)
+			}
+			if assign[i] != best {
+				assign[i] = best
+				chunkChanged = true
 			}
 		}
-		if assign[i] != best {
-			assign[i] = best
-			changed = true
+		if chunkChanged {
+			changedBy[lo/assignChunk] = true
+		}
+	})
+	for _, c := range changedBy {
+		if c {
+			return true
 		}
 	}
-	return changed
+	return false
+}
+
+// bruteNearest is the reference O(k) scan; first minimum wins, which equals
+// the lowest index among distance ties. Squared distances order identically
+// to Euclidean ones, so this matches the grid search exactly.
+func bruteNearest(p geom.Point, cents []geom.Point) int {
+	best, bestD2 := 0, math.Inf(1)
+	for c, cp := range cents {
+		if d2 := p.Dist2(cp); d2 < bestD2 {
+			best, bestD2 = c, d2
+		}
+	}
+	return best
 }
 
 func recompute(pts []geom.Point, assign []int, k int, prev []geom.Point) []geom.Point {
@@ -190,19 +269,19 @@ func balance(pts []geom.Point, cents []geom.Point, assign []int, target int) {
 		// Evict points farthest from the centroid first.
 		m := members[c]
 		sort.Slice(m, func(i, j int) bool {
-			return pts[m[i]].DistEuclid(cents[c]) < pts[m[j]].DistEuclid(cents[c])
+			return pts[m[i]].Dist2(cents[c]) < pts[m[j]].Dist2(cents[c])
 		})
 		for len(m) > capSize {
 			p := m[len(m)-1]
 			m = m[:len(m)-1]
 			// Nearest cluster with headroom.
-			best, bestD := -1, math.Inf(1)
+			best, bestD2 := -1, math.Inf(1)
 			for o := 0; o < k; o++ {
 				if o == c || size[o] >= capSize {
 					continue
 				}
-				if d := pts[p].DistEuclid(cents[o]); d < bestD {
-					best, bestD = o, d
+				if d2 := pts[p].Dist2(cents[o]); d2 < bestD2 {
+					best, bestD2 = o, d2
 				}
 			}
 			if best < 0 {

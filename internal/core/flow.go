@@ -74,6 +74,13 @@ type Options struct {
 	// UseFlatDME replaces hierarchical DME with matching-based DME
 	// (Fig. 5(c) ablation).
 	UseFlatDME bool
+	// Workers bounds the concurrency of every parallel phase (clustering,
+	// DP insertion, skew refinement; DSE sweeps also consult it). 0 or
+	// negative means one worker per CPU. The flow is deterministic in the
+	// worker count: Workers=1 and Workers=N produce identical trees and
+	// Metrics — parallel loops only distribute pure per-item work and all
+	// floating-point reductions run in a fixed order.
+	Workers int
 }
 
 // Outcome is the result of a synthesis run.
@@ -114,6 +121,7 @@ func Synthesize(rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Optio
 	if d.MaxIter == 0 {
 		d.MaxIter = 40
 	}
+	d.Workers = opt.Workers
 	front := tc.Front()
 	if d.CapOf == nil {
 		d.CapOf = func(s, c geom.Point) float64 { return tc.SinkCap + front.UnitCap*s.Dist(c) }
@@ -156,6 +164,7 @@ func Synthesize(rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Optio
 	cfg.KeepRootSet = opt.KeepRootSet
 	cfg.DiversePruning = opt.DiversePruning
 	cfg.MaxPerSide = opt.MaxPerSide
+	cfg.Workers = opt.Workers
 	switch {
 	case opt.Mode == SingleSide:
 		cfg.ModeOf = func(treeID, fanout int) insert.Mode { return insert.ModeIntra }
@@ -182,6 +191,7 @@ func Synthesize(rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Optio
 		if rp.TriggerPct == 0 {
 			rp = refine.DefaultParams()
 		}
+		rp.Workers = opt.Workers
 		rr, err := refine.Refine(tree, tc, rp)
 		if err != nil {
 			return nil, fmt.Errorf("core: refinement: %w", err)

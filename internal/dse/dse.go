@@ -8,12 +8,14 @@ package dse
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"dscts/internal/baseline"
 	"dscts/internal/core"
 	"dscts/internal/ctree"
 	"dscts/internal/eval"
 	"dscts/internal/geom"
+	"dscts/internal/par"
 	"dscts/internal/tech"
 )
 
@@ -33,20 +35,48 @@ func (p Point) Resources() int { return p.Bufs + p.TSVs }
 
 // SweepFanout runs the paper's DSE flow: the full synthesis with the DP
 // inserting modes controlled by each fanout threshold (Sec. IV-E sweeps 20
-// to 1000 step 10).
+// to 1000 step 10). Sweep points are independent whole syntheses, so they
+// run concurrently — base.Workers (0 = all CPUs) bounds the total budget,
+// split between the sweep fan-out and each point's inner phases. Results
+// are indexed by threshold position, so the output order (and, since
+// every phase is deterministic, the output itself) is identical for every
+// worker count.
 func SweepFanout(root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds []int, base core.Options) ([]Point, error) {
 	if len(thresholds) == 0 {
 		return nil, fmt.Errorf("dse: no thresholds")
 	}
-	var out []Point
-	for _, th := range thresholds {
+	workers := par.N(base.Workers)
+	// Split the worker budget between the sweep fan-out and each point's
+	// inner phases, so short sweeps on wide machines still saturate.
+	inner := workers / len(thresholds)
+	if inner < 1 {
+		inner = 1
+	}
+	out := make([]Point, len(thresholds))
+	errs := make([]error, len(thresholds))
+	// On failure the sweep aborts instead of paying for the remaining
+	// points; which error surfaces may then depend on timing, but the
+	// success path stays fully deterministic.
+	var failed atomic.Bool
+	par.ForEach(workers, len(thresholds), func(i int) {
+		if failed.Load() {
+			return
+		}
 		opt := base
-		opt.FanoutThreshold = th
+		opt.FanoutThreshold = thresholds[i]
+		opt.Workers = inner
 		o, err := core.Synthesize(root, sinks, tc, opt)
 		if err != nil {
-			return nil, fmt.Errorf("dse: threshold %d: %w", th, err)
+			errs[i] = fmt.Errorf("dse: threshold %d: %w", thresholds[i], err)
+			failed.Store(true)
+			return
 		}
-		out = append(out, fromMetrics("ours-dse", float64(th), o.Metrics))
+		out[i] = fromMetrics("ours-dse", float64(thresholds[i]), o.Metrics)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -76,39 +106,71 @@ func Fractions(lo, hi, step float64) []float64 {
 }
 
 // SweepFanoutFlip applies baseline [7] to clones of a buffered clock tree
-// for each threshold.
-func SweepFanoutFlip(buffered *ctree.Tree, tc *tech.Tech, thresholds []int) ([]Point, error) {
-	ev := eval.New(tc, eval.Elmore)
-	var out []Point
-	for _, th := range thresholds {
+// for each threshold, one concurrent clone per point (workers <= 0 means
+// all CPUs). Result order follows the threshold order regardless of the
+// worker count.
+func SweepFanoutFlip(buffered *ctree.Tree, tc *tech.Tech, thresholds []int, workers int) ([]Point, error) {
+	out := make([]Point, len(thresholds))
+	errs := make([]error, len(thresholds))
+	var failed atomic.Bool
+	par.ForEach(workers, len(thresholds), func(i int) {
+		if failed.Load() {
+			return
+		}
+		th := thresholds[i]
 		tr := buffered.Clone()
 		if _, err := baseline.FanoutFlip(tr, th); err != nil {
-			return nil, fmt.Errorf("dse: fanout flip %d: %w", th, err)
+			errs[i] = fmt.Errorf("dse: fanout flip %d: %w", th, err)
+			failed.Store(true)
+			return
 		}
-		m, err := ev.Evaluate(tr)
+		m, err := eval.New(tc, eval.Elmore).Evaluate(tr)
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
+		out[i] = fromMetrics("buffered+[7]", float64(th), m)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, fromMetrics("buffered+[7]", float64(th), m))
 	}
 	return out, nil
 }
 
 // SweepCriticalFlip applies baseline [6] to clones of a buffered clock tree
-// for each criticality fraction.
-func SweepCriticalFlip(buffered *ctree.Tree, tc *tech.Tech, fractions []float64) ([]Point, error) {
-	ev := eval.New(tc, eval.Elmore)
-	var out []Point
-	for _, q := range fractions {
+// for each criticality fraction, one concurrent clone per point (workers
+// <= 0 means all CPUs). Result order follows the fraction order regardless
+// of the worker count.
+func SweepCriticalFlip(buffered *ctree.Tree, tc *tech.Tech, fractions []float64, workers int) ([]Point, error) {
+	out := make([]Point, len(fractions))
+	errs := make([]error, len(fractions))
+	var failed atomic.Bool
+	par.ForEach(workers, len(fractions), func(i int) {
+		if failed.Load() {
+			return
+		}
+		q := fractions[i]
 		tr := buffered.Clone()
 		if _, err := baseline.CriticalFlip(tr, tc, q); err != nil {
-			return nil, fmt.Errorf("dse: critical flip %g: %w", q, err)
+			errs[i] = fmt.Errorf("dse: critical flip %g: %w", q, err)
+			failed.Store(true)
+			return
 		}
-		m, err := ev.Evaluate(tr)
+		m, err := eval.New(tc, eval.Elmore).Evaluate(tr)
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
+		out[i] = fromMetrics("buffered+[6]", q, m)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, fromMetrics("buffered+[6]", q, m))
 	}
 	return out, nil
 }

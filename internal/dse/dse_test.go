@@ -108,14 +108,14 @@ func TestSweepsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f7, err := SweepFanoutFlip(buffered.Tree, tc, []int{50, 500})
+	f7, err := SweepFanoutFlip(buffered.Tree, tc, []int{50, 500}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(f7) != 2 {
 		t.Fatalf("f7 points %d", len(f7))
 	}
-	f6, err := SweepCriticalFlip(buffered.Tree, tc, []float64{0.3, 0.7})
+	f6, err := SweepCriticalFlip(buffered.Tree, tc, []float64{0.3, 0.7}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +143,10 @@ func TestSweepErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SweepFanoutFlip(buffered.Tree, tc, []int{0}); err == nil {
+	if _, err := SweepFanoutFlip(buffered.Tree, tc, []int{0}, 1); err == nil {
 		t.Error("zero threshold should error")
 	}
-	if _, err := SweepCriticalFlip(buffered.Tree, tc, []float64{2}); err == nil {
+	if _, err := SweepCriticalFlip(buffered.Tree, tc, []float64{2}, 1); err == nil {
 		t.Error("fraction > 1 should error")
 	}
 }

@@ -1,0 +1,207 @@
+package eval
+
+import (
+	"math"
+
+	"dscts/internal/ctree"
+	"dscts/internal/tech"
+)
+
+// WhatIf answers "what would latency and skew be if an end-point buffer
+// were added at this centroid?" without rebuilding the RC network or
+// allocating per query. It exists for the skew-refinement loop, whose
+// accept/reject trials dominated the end-to-end synthesis runtime when
+// each trial re-ran a full Evaluate (tree validation, network
+// construction and a sink-delay map per attempt).
+//
+// The network is lowered once, with a zero-impedance pass-through "slot"
+// node at every centroid that could receive an end-point buffer. A trial
+// evaluates the network with one extra slot treated as a buffer; a commit
+// flips the slot permanently. Evaluations against the same committed state
+// are independent pure functions, so trials for different candidates may
+// run concurrently on separate scratches — the basis of the speculative
+// parallel refinement pass.
+type WhatIf struct {
+	parent []int32
+	res    []float64
+	capv   []float64
+	kind   []uint8 // wire / fixed buffer / toggleable slot
+	on     []bool  // slot state (committed buffers)
+
+	buf     tech.Buffer
+	rootRes float64
+
+	sinkNet []int32 // network node of each sink record
+	sinkIdx []int32 // original sink index of each sink record
+	slotOf  map[int]int32
+}
+
+const (
+	wiWire uint8 = iota
+	wiBuf
+	wiSlot
+)
+
+// WhatIfScratch is the reusable per-evaluation workspace. Evaluations on
+// distinct scratches are safe to run concurrently.
+type WhatIfScratch struct {
+	load, d []float64
+}
+
+// NewScratch returns a workspace sized for this network.
+func (w *WhatIf) NewScratch() *WhatIfScratch {
+	n := len(w.parent)
+	return &WhatIfScratch{load: make([]float64, n), d: make([]float64, n)}
+}
+
+// NewWhatIf lowers the annotated tree once, mirroring BuildNetwork's RC
+// rules, and plants a toggleable buffer slot at every centroid that does
+// not already carry a node buffer. The tree must already be valid (the
+// caller's initial Evaluate checks that).
+func NewWhatIf(t *ctree.Tree, tc *tech.Tech) *WhatIf {
+	front, back, tsv, buf := tc.Front(), tc.Back(), tc.TSV, tc.Buf
+	w := &WhatIf{buf: buf, rootRes: buf.DriveRes, slotOf: make(map[int]int32)}
+	w.addNode(-1, 0, 0, wiWire) // node 0: root driver
+	netOf := make([]int32, t.Len())
+	netOf[t.Root()] = 0
+	if t.Nodes[t.Root()].BufferAtNode {
+		netOf[t.Root()] = w.addNode(0, 0, buf.InputCap, wiBuf)
+	}
+	t.PreOrder(func(id int) {
+		if id == t.Root() {
+			return
+		}
+		n := &t.Nodes[id]
+		parent := netOf[n.Parent]
+		length := t.EdgeLen(id)
+		wr := n.Wiring
+		var at int32
+		switch {
+		case n.Kind == ctree.KindSink:
+			at = w.addNode(parent, front.UnitRes*length, front.UnitCap*length+tc.SinkCap, wiWire)
+			w.sinkNet = append(w.sinkNet, at)
+			w.sinkIdx = append(w.sinkIdx, int32(n.SinkIdx))
+		case wr.BufMid:
+			h := length / 2
+			upw := w.addNode(parent, front.UnitRes*h, front.UnitCap*h, wiWire)
+			bufn := w.addNode(upw, 0, buf.InputCap, wiBuf)
+			at = w.addNode(bufn, front.UnitRes*h, front.UnitCap*h, wiWire)
+		case wr.WireSide == ctree.Back:
+			cur := parent
+			if wr.TSVUp {
+				cur = w.addNode(cur, tsv.Res, tsv.Cap, wiWire)
+			}
+			cur = w.addNode(cur, back.UnitRes*length, back.UnitCap*length, wiWire)
+			if wr.TSVDown {
+				cur = w.addNode(cur, tsv.Res, tsv.Cap, wiWire)
+			}
+			at = cur
+		default: // plain front wire
+			at = w.addNode(parent, front.UnitRes*length, front.UnitCap*length, wiWire)
+		}
+		switch {
+		case n.BufferAtNode:
+			at = w.addNode(at, 0, buf.InputCap, wiBuf)
+		case n.Kind == ctree.KindCentroid:
+			at = w.addNode(at, 0, 0, wiSlot)
+			w.slotOf[id] = at
+		}
+		netOf[id] = at
+	})
+	w.on = make([]bool, len(w.parent))
+	return w
+}
+
+func (w *WhatIf) addNode(parent int32, res, capv float64, kind uint8) int32 {
+	id := int32(len(w.parent))
+	w.parent = append(w.parent, parent)
+	w.res = append(w.res, res)
+	w.capv = append(w.capv, capv)
+	w.kind = append(w.kind, kind)
+	return id
+}
+
+// SlotOf returns the slot node of a centroid tree node, or -1 when the
+// centroid already carries a fixed buffer.
+func (w *WhatIf) SlotOf(treeNode int) int32 {
+	if s, ok := w.slotOf[treeNode]; ok {
+		return s
+	}
+	return -1
+}
+
+// Committed reports whether the slot is already a buffer.
+func (w *WhatIf) Committed(slot int32) bool { return w.on[slot] }
+
+// Commit turns the slot into a buffer for all subsequent evaluations.
+func (w *WhatIf) Commit(slot int32) { w.on[slot] = true }
+
+// CommittedTreeNodes returns the tree node ids of all committed slots.
+func (w *WhatIf) CommittedTreeNodes() []int {
+	var out []int
+	for id, s := range w.slotOf {
+		if w.on[s] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Eval computes (latency, skew) of the network with slot `extra` (-1 for
+// none) treated as a buffer on top of the committed state. When dst is
+// non-nil it must be indexable by every original sink index; the per-sink
+// delays are written into it. Eval does not mutate w and may run
+// concurrently on distinct scratches.
+func (w *WhatIf) Eval(extra int32, sc *WhatIfScratch, dst []float64) (latency, skew float64) {
+	n := len(w.parent)
+	load := sc.load[:n]
+	for i := range load {
+		load[i] = 0
+	}
+	inCap := w.buf.InputCap
+	// Bottom-up loads (children have larger indices than parents).
+	for i := n - 1; i >= 1; i-- {
+		active := w.kind[i] == wiBuf || (w.kind[i] == wiSlot && (w.on[i] || int32(i) == extra))
+		l := load[i]
+		if !active {
+			l += w.capv[i]
+		}
+		load[i] = l
+		p := w.parent[i]
+		if active {
+			load[p] += inCap
+		} else {
+			load[p] += l
+		}
+	}
+	// Top-down delays.
+	d := sc.d[:n]
+	d[0] = 0
+	for i := 1; i < n; i++ {
+		active := w.kind[i] == wiBuf || (w.kind[i] == wiSlot && (w.on[i] || int32(i) == extra))
+		visible := load[i]
+		if active {
+			visible = inCap
+		}
+		at := d[w.parent[i]] + w.res[i]*visible
+		if active {
+			at += w.buf.Delay(load[i])
+		}
+		d[i] = at
+	}
+	src := w.rootRes * load[0]
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k, nn := range w.sinkNet {
+		dd := d[nn] + src
+		if dst != nil {
+			dst[w.sinkIdx[k]] = dd
+		}
+		if dd < lo {
+			lo = dd
+		}
+		if dd > hi {
+			hi = dd
+		}
+	}
+	return hi, hi - lo
+}

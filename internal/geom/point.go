@@ -44,6 +44,15 @@ func (p Point) DistEuclid(q Point) float64 {
 	return math.Hypot(dx, dy)
 }
 
+// Dist2 returns the squared Euclidean distance between p and q. Comparing
+// squared distances orders points identically to DistEuclid without the
+// overflow-guarded math.Hypot, which makes it the right primitive for the
+// nearest-centroid hot loop of clustering.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
 // Lerp returns the point a fraction t of the way from p to q along the
 // straight segment pq. t outside [0,1] extrapolates.
 func (p Point) Lerp(q Point, t float64) Point {

@@ -3,9 +3,13 @@ package insert
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dscts/internal/ctree"
+	"dscts/internal/par"
 	"dscts/internal/tech"
 	"dscts/internal/timing"
 )
@@ -59,6 +63,13 @@ type Config struct {
 	// SelectMinLatency ignores MOES and picks the minimum-latency root
 	// solution ("w/o MOES" ablation of Fig. 10).
 	SelectMinLatency bool
+	// Workers bounds the concurrency of the bottom-up generation pass;
+	// <= 0 means all CPUs. The DP tree is binary and a node only needs its
+	// children's solution sets, so independent subtrees generate
+	// concurrently through a ready-queue. Every per-node computation is a
+	// pure function of its children, so any worker count produces
+	// identical solution sets (and therefore identical trees).
+	Workers int
 }
 
 // DefaultConfig returns the paper's experimental settings (α,β,γ = 1,10,1).
@@ -122,11 +133,12 @@ func Run(t *ctree.Tree, cfg Config) (*Result, error) {
 
 	res := &Result{Nodes: len(nodes)}
 
-	// Step 2: bottom-up generation (nodes are in postorder).
-	for i := range nodes {
-		if err := generate(t, &nodes[i], nodes, cfg, res); err != nil {
-			return nil, err
-		}
+	// Step 2: bottom-up generation (nodes are in postorder). A node is
+	// ready as soon as its children are done, so the pass runs on a
+	// ready-queue worker pool; with one worker it degenerates to the
+	// plain postorder loop.
+	if err := generateAll(t, nodes, cfg, res); err != nil {
+		return nil, err
 	}
 
 	// Merge the DP roots (children of the clock root vertex) into the
@@ -226,14 +238,105 @@ func buildDPTree(t *ctree.Tree, cfg Config, fanout []int) (nodes []dpNode, rootD
 	return nodes, rootDPs, nil
 }
 
-// generate runs the merge and insert operations of Step 2 for one DP node.
-func generate(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, res *Result) error {
-	merged := mergeChildren(t, dp, nodes, cfg)
+// genScratch is the per-worker buffer set of the generation pass. All
+// transient candidate sets are built in these reusable arenas, so the
+// steady-state pass allocates only each node's final compact solution set.
+type genScratch struct {
+	merged []Solution // raw merge products (single-child copy / two-child cross)
+	mid    []Solution // pruned merged set of the two-child case
+	out    []Solution // insertion products before the final prune
+	pruned []Solution // final prune result (copied into dp.sols)
+	side   []Solution // per-side collection inside pruneSide
+	keep   []Solution // dominance survivors inside paretoKeep
+	mark   []bool     // thinning selection marks
+}
+
+// generateAll runs Step 2 over every DP node, concurrently when
+// cfg.Workers allows. Scheduling never affects results: each node's
+// solution set is a pure function of its children's sets.
+func generateAll(t *ctree.Tree, nodes []dpNode, cfg Config, res *Result) error {
+	workers := par.N(cfg.Workers)
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		sc := &genScratch{}
+		for i := range nodes {
+			n, err := generate(t, &nodes[i], nodes, cfg, sc)
+			if err != nil {
+				return err
+			}
+			res.Solutions += n
+		}
+		return nil
+	}
+
+	// Ready-queue schedule: a node enters the queue when its last child
+	// finishes. The queue is buffered to the node count, so sends never
+	// block and no worker waits on another except through readiness.
+	parentOf := make([]int32, len(nodes))
+	pending := make([]int32, len(nodes))
+	for i := range parentOf {
+		parentOf[i] = -1
+	}
+	for i := range nodes {
+		for _, c := range nodes[i].children {
+			parentOf[c] = int32(i)
+		}
+		pending[i] = int32(len(nodes[i].children))
+	}
+	queue := make(chan int32, len(nodes))
+	counts := make([]int, len(nodes))
+	errs := make([]error, len(nodes))
+	var remaining atomic.Int64
+	remaining.Store(int64(len(nodes)))
+	for i := range nodes {
+		if pending[i] == 0 {
+			queue <- int32(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			sc := &genScratch{}
+			for id := range queue {
+				n, err := generate(t, &nodes[id], nodes, cfg, sc)
+				counts[id], errs[id] = n, err
+				if p := parentOf[id]; p >= 0 {
+					if atomic.AddInt32(&pending[p], -1) == 0 {
+						queue <- p
+					}
+				}
+				if remaining.Add(-1) == 0 {
+					close(queue)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// An upstream failure cascades into its ancestors; report the
+	// deepest (lowest-index, since nodes are postorder) error — the same
+	// one the sequential loop would have returned.
+	for i, err := range errs {
+		if err != nil {
+			return err
+		}
+		res.Solutions += counts[i]
+	}
+	return nil
+}
+
+// generate runs the merge and insert operations of Step 2 for one DP node,
+// returning the number of candidate solutions produced before pruning.
+func generate(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, sc *genScratch) (int, error) {
+	merged := mergeChildren(t, dp, nodes, cfg, sc)
 	if len(merged) == 0 {
-		return fmt.Errorf("insert: node %d (tree %d): no merged candidates", dp.treeID, dp.treeID)
+		return 0, fmt.Errorf("insert: node %d (tree %d): no merged candidates", dp.treeID, dp.treeID)
 	}
 	// Inserting: assign a pattern to this edge for every merged candidate.
-	var out []Solution
+	out := sc.out[:0]
 	for _, m := range merged {
 		for p := Pattern(0); int(p) < numPatterns; p++ {
 			if !dp.mode.Allowed(p) {
@@ -253,40 +356,44 @@ func generate(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, res *Result
 			})
 		}
 	}
-	res.Solutions += len(out)
-	dp.sols = prune(out, cfg.MaxPerSide, cfg.DiversePruning)
+	sc.out = out
+	sc.pruned = pruneInto(sc.pruned[:0], out, cfg.MaxPerSide, cfg.DiversePruning, sc)
+	dp.sols = append(make([]Solution, 0, len(sc.pruned)), sc.pruned...)
 	if len(dp.sols) == 0 {
-		return fmt.Errorf("insert: node for tree edge %d has no feasible solutions (edge length %.2f µm, load %.2f fF, max cap %.2f fF)",
+		return len(out), fmt.Errorf("insert: node for tree edge %d has no feasible solutions (edge length %.2f µm, load %.2f fF, max cap %.2f fF)",
 			dp.treeID, dp.length, merged[0].Cap, cfg.Tech.Buf.MaxCap)
 	}
-	return nil
+	return len(out), nil
 }
 
 // mergeChildren produces the merged candidate set at the downstream vertex
 // of dp's edge: the "state before this edge's pattern is applied". The Up
 // field of a merged candidate holds the side type of the downstream vertex;
-// left/right record child solution indices.
-func mergeChildren(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config) []Solution {
+// left/right record child solution indices. The returned slice aliases the
+// scratch arenas and is only valid until the next scratch use.
+func mergeChildren(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, sc *genScratch) []Solution {
 	switch len(dp.children) {
 	case 0:
 		// Leaf DP node: the downstream vertex is a low-level centroid
 		// driving its front-side star leaf net. (With zero-length leaf
 		// nets this reduces to the bare sink load.)
-		cap, maxD, minD := leafNetLoad(t, dp.treeID, cfg.Tech)
-		return []Solution{{Up: ctree.Front, Cap: cap, MaxD: maxD, MinD: minD, left: -1, right: -1}}
+		load, maxD, minD := leafNetLoad(t, dp.treeID, cfg.Tech)
+		sc.merged = append(sc.merged[:0], Solution{Up: ctree.Front, Cap: load, MaxD: maxD, MinD: minD, left: -1, right: -1})
+		return sc.merged
 	case 1:
 		kid := &nodes[dp.children[0]]
-		out := make([]Solution, 0, len(kid.sols))
+		out := sc.merged[:0]
 		for i, s := range kid.sols {
 			out = append(out, Solution{
 				Up: s.Up, Cap: s.Cap, MaxD: s.MaxD, MinD: s.MinD,
 				Bufs: s.Bufs, TSVs: s.TSVs, left: int32(i), right: -1,
 			})
 		}
+		sc.merged = out
 		return out
 	default:
 		a, b := &nodes[dp.children[0]], &nodes[dp.children[1]]
-		out := make([]Solution, 0, len(a.sols))
+		out := sc.merged[:0]
 		for i, sa := range a.sols {
 			for j, sb := range b.sols {
 				if sa.Up != sb.Up {
@@ -302,14 +409,16 @@ func mergeChildren(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config) []Solu
 				})
 			}
 		}
+		sc.merged = out
 		// Merged sets grow quadratically; prune before insertion too.
-		return prune(out, cfg.MaxPerSide, cfg.DiversePruning)
+		sc.mid = pruneInto(sc.mid[:0], out, cfg.MaxPerSide, cfg.DiversePruning, sc)
+		return sc.mid
 	}
 }
 
 // leafNetLoad computes the load and internal delays of the star leaf net
 // hanging off centroid node id (front side, L-model).
-func leafNetLoad(t *ctree.Tree, id int, tc *tech.Tech) (cap, maxD, minD float64) {
+func leafNetLoad(t *ctree.Tree, id int, tc *tech.Tech) (load, maxD, minD float64) {
 	front := tc.Front()
 	minD = math.Inf(1)
 	any := false
@@ -320,7 +429,7 @@ func leafNetLoad(t *ctree.Tree, id int, tc *tech.Tech) (cap, maxD, minD float64)
 		}
 		any = true
 		l := t.EdgeLen(c)
-		cap += timing.WireCap(front, l, tc.SinkCap)
+		load += timing.WireCap(front, l, tc.SinkCap)
 		d := timing.WireDelay(front, l, tc.SinkCap)
 		maxD = math.Max(maxD, d)
 		minD = math.Min(minD, d)
@@ -330,7 +439,7 @@ func leafNetLoad(t *ctree.Tree, id int, tc *tech.Tech) (cap, maxD, minD float64)
 		// synthetic trees): treat as a bare vertex.
 		return 0, 0, 0
 	}
-	return cap, maxD, minD
+	return load, maxD, minD
 }
 
 // prune keeps, per side type, the Pareto-optimal solutions — the
@@ -343,25 +452,80 @@ func leafNetLoad(t *ctree.Tree, id int, tc *tech.Tech) (cap, maxD, minD float64)
 // Sets beyond maxPerSide are thinned evenly along the cap axis, always
 // retaining the latency-best point.
 func prune(sols []Solution, maxPerSide int, diverse bool) []Solution {
-	out := pruneSide(sols, ctree.Front, maxPerSide, diverse)
-	return append(out, pruneSide(sols, ctree.Back, maxPerSide, diverse)...)
+	return pruneInto(nil, sols, maxPerSide, diverse, &genScratch{})
 }
 
-func pruneSide(sols []Solution, side ctree.Side, maxPerSide int, diverse bool) []Solution {
-	var g []Solution
+// pruneInto is the arena-backed prune: survivors are appended to dst and
+// all transient sets live in the scratch buffers.
+func pruneInto(dst, sols []Solution, maxPerSide int, diverse bool, sc *genScratch) []Solution {
+	dst = pruneSideInto(dst, sols, ctree.Front, maxPerSide, diverse, sc)
+	return pruneSideInto(dst, sols, ctree.Back, maxPerSide, diverse, sc)
+}
+
+func pruneSideInto(dst, sols []Solution, side ctree.Side, maxPerSide int, diverse bool, sc *genScratch) []Solution {
+	g := sc.side[:0]
 	for _, s := range sols {
 		if s.Up == side {
 			g = append(g, s)
 		}
 	}
+	sc.side = g
 	if len(g) == 0 {
-		return nil
+		return dst
 	}
-	return paretoKeep(g, maxPerSide, diverse)
+	return paretoKeepInto(dst, g, maxPerSide, diverse, sc)
 }
 
-// paretoKeep filters dominated solutions (same-side input) and thins.
-func paretoKeep(g []Solution, maxKeep int, diverse bool) []Solution {
+// solCompare is a strict total order on solutions: the pruning keys
+// (effective cap, max delay, resources) first, then every remaining field
+// as a tie-breaker. A total order makes the sorted sequence — and with it
+// the dominance filter and the thinning — independent of the sorting
+// algorithm, which keeps pruning deterministic.
+func solCompare(a, b *Solution, diverse bool) int {
+	if a.Cap != b.Cap {
+		if a.Cap < b.Cap {
+			return -1
+		}
+		return 1
+	}
+	if a.MaxD != b.MaxD {
+		if a.MaxD < b.MaxD {
+			return -1
+		}
+		return 1
+	}
+	if diverse {
+		if ra, rb := a.Bufs+a.TSVs, b.Bufs+b.TSVs; ra != rb {
+			return ra - rb
+		}
+	}
+	// Among candidates identical in the pruning keys, prefer the higher
+	// minimum delay (lower downstream skew), then deterministic
+	// bookkeeping fields.
+	if a.MinD != b.MinD {
+		if a.MinD > b.MinD {
+			return -1
+		}
+		return 1
+	}
+	if a.Bufs != b.Bufs {
+		return a.Bufs - b.Bufs
+	}
+	if a.TSVs != b.TSVs {
+		return a.TSVs - b.TSVs
+	}
+	if a.Pattern != b.Pattern {
+		return int(a.Pattern) - int(b.Pattern)
+	}
+	if a.left != b.left {
+		return int(a.left) - int(b.left)
+	}
+	return int(a.right) - int(b.right)
+}
+
+// paretoKeepInto filters dominated solutions (same-side input, sorted in
+// place) and thins, appending survivors to dst.
+func paretoKeepInto(dst, g []Solution, maxKeep int, diverse bool, sc *genScratch) []Solution {
 	const eps = 1e-12
 	res := func(s *Solution) int {
 		if !diverse {
@@ -369,16 +533,8 @@ func paretoKeep(g []Solution, maxKeep int, diverse bool) []Solution {
 		}
 		return s.Bufs + s.TSVs
 	}
-	sort.Slice(g, func(i, j int) bool {
-		if g[i].Cap != g[j].Cap {
-			return g[i].Cap < g[j].Cap
-		}
-		if g[i].MaxD != g[j].MaxD {
-			return g[i].MaxD < g[j].MaxD
-		}
-		return res(&g[i]) < res(&g[j])
-	})
-	keep := make([]Solution, 0, len(g))
+	slices.SortFunc(g, func(a, b Solution) int { return solCompare(&a, &b, diverse) })
+	keep := sc.keep[:0]
 	for i := range g {
 		s := &g[i]
 		dominated := false
@@ -393,26 +549,39 @@ func paretoKeep(g []Solution, maxKeep int, diverse bool) []Solution {
 			keep = append(keep, *s)
 		}
 	}
-	if len(keep) > maxKeep && maxKeep > 1 {
-		bestD := 0
-		for i := range keep {
-			if keep[i].MaxD < keep[bestD].MaxD {
-				bestD = i
-			}
-		}
-		idx := map[int]bool{bestD: true}
-		for i := 0; i < maxKeep-1; i++ {
-			idx[i*(len(keep)-1)/(maxKeep-2)] = true
-		}
-		thin := make([]Solution, 0, len(idx))
-		for i := range keep {
-			if idx[i] {
-				thin = append(thin, keep[i])
-			}
-		}
-		keep = thin
+	sc.keep = keep
+	if len(keep) <= maxKeep || maxKeep <= 1 {
+		return append(dst, keep...)
 	}
-	return keep
+	// Thin evenly along the cap axis, always retaining the latency-best
+	// point.
+	if cap(sc.mark) < len(keep) {
+		sc.mark = make([]bool, len(keep))
+	}
+	mark := sc.mark[:len(keep)]
+	for i := range mark {
+		mark[i] = false
+	}
+	bestD := 0
+	for i := range keep {
+		if keep[i].MaxD < keep[bestD].MaxD {
+			bestD = i
+		}
+	}
+	mark[bestD] = true
+	div := maxKeep - 2
+	if div < 1 {
+		div = 1 // maxKeep == 2: keep the latency-best point plus the cap-min end
+	}
+	for i := 0; i < maxKeep-1; i++ {
+		mark[i*(len(keep)-1)/div] = true
+	}
+	for i := range keep {
+		if mark[i] {
+			dst = append(dst, keep[i])
+		}
+	}
+	return dst
 }
 
 // mergeRoots folds the DP root sets of the clock root's edges into final
@@ -462,9 +631,10 @@ func mergeRoots(nodes []dpNode, rootDPs []int, cfg Config) ([]Solution, error) {
 }
 
 // prunePreserveRoot prunes like prune; Solution values (including the
-// rootIdx bookkeeping) are kept wholesale.
+// rootIdx bookkeeping) are kept wholesale. All candidates are front-side
+// by construction, so no per-side split is needed.
 func prunePreserveRoot(sols []Solution, maxKeep int, diverse bool) []Solution {
-	return paretoKeep(sols, maxKeep, diverse)
+	return paretoKeepInto(nil, sols, maxKeep, diverse, &genScratch{})
 }
 
 // decideRoots applies the chosen root candidate's per-root-edge solution

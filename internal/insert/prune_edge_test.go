@@ -1,0 +1,38 @@
+package insert
+
+import (
+	"testing"
+
+	"dscts/internal/ctree"
+)
+
+// TestPruneTinyBudgets pins the thinning path for the smallest budgets:
+// MaxPerSide is public API with no documented minimum, and maxKeep == 2
+// used to divide by zero in the stride computation.
+func TestPruneTinyBudgets(t *testing.T) {
+	sols := []Solution{
+		{Up: ctree.Front, Cap: 1, MaxD: 40},
+		{Up: ctree.Front, Cap: 2, MaxD: 30},
+		{Up: ctree.Front, Cap: 3, MaxD: 20},
+		{Up: ctree.Front, Cap: 4, MaxD: 10},
+	}
+	for _, maxKeep := range []int{1, 2, 3} {
+		out := prune(sols, maxKeep, false)
+		if len(out) == 0 {
+			t.Fatalf("maxKeep=%d: pruned to nothing", maxKeep)
+		}
+		if maxKeep > 1 && len(out) > maxKeep {
+			t.Fatalf("maxKeep=%d: kept %d", maxKeep, len(out))
+		}
+		// The latency-best point must always survive thinning.
+		found := false
+		for _, s := range out {
+			if s.MaxD == 10 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("maxKeep=%d: latency-best solution thinned away: %+v", maxKeep, out)
+		}
+	}
+}

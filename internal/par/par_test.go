@@ -1,0 +1,59 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestN(t *testing.T) {
+	if got := N(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("N(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := N(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("N(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := N(5); got != 5 {
+		t.Fatalf("N(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		const n = 1000
+		var hits [n]int32
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+	// n smaller than workers and n == 0 must be safe.
+	var count atomic.Int32
+	ForEach(8, 3, func(i int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Fatalf("short run executed %d of 3", count.Load())
+	}
+	ForEach(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		const n, chunk = 1037, 64
+		var hits [n]int32
+		Chunks(workers, n, chunk, func(lo, hi int) {
+			if hi-lo > chunk || lo >= hi {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, h)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"dscts/internal/ctree"
 	"dscts/internal/eval"
+	"dscts/internal/par"
 	"dscts/internal/tech"
 )
 
@@ -38,6 +39,12 @@ type Params struct {
 	LatencyGuard float64
 	// EnablePadding enables the fast-side padding pass.
 	EnablePadding bool
+	// Workers bounds the concurrency of the speculative trial
+	// evaluations; <= 0 means all CPUs. Candidates are still consumed in
+	// rank order against the same accepted state, so every worker count
+	// makes exactly the same accept/reject decisions as the sequential
+	// pass.
+	Workers int
 }
 
 // DefaultParams returns the paper's experimental settings.
@@ -81,6 +88,14 @@ type Report struct {
 }
 
 // Refine runs skew refinement on the tree in place.
+//
+// The accept/reject loop evaluates candidates against a WhatIf view of the
+// RC network (built once) instead of re-running a full Evaluate per
+// attempt. Trials are speculatively evaluated in parallel batches of up to
+// Params.Workers candidates: every candidate in a batch is judged against
+// the same accepted state, the batch is then consumed in rank order, and
+// the first acceptance discards the stale remainder — which is exactly the
+// decision sequence of the sequential loop, for every worker count.
 func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 	if p.TriggerPct <= 0 {
 		return nil, fmt.Errorf("refine: trigger percentage must be positive, got %v", p.TriggerPct)
@@ -98,16 +113,39 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 	rep.Triggered = true
 
 	n := Budget(len(before.SinkDelays), p)
+	workers := par.N(p.Workers)
+
+	w := eval.NewWhatIf(t, tc)
+	scratches := make([]*eval.WhatIfScratch, workers)
+	for i := range scratches {
+		scratches[i] = w.NewScratch()
+	}
+	// Per-sink delays of the current accepted state, indexed by original
+	// sink index (the ranking key).
+	maxSink := 0
+	for idx := range before.SinkDelays {
+		if idx > maxSink {
+			maxSink = idx
+		}
+	}
+	sinkDelay := make([]float64, maxSink+1)
+	// Seed the loop state from the WhatIf model itself (not the reference
+	// Evaluate, which sums in a different order and agrees only to ~1e-9)
+	// so every accept/reject comparison is internally consistent.
+	curLat, curSkew := w.Eval(-1, scratches[0], sinkDelay)
+	delaysStale := false
 
 	// Rank centroids by the delay of their slowest sink (descending).
 	type endpoint struct {
 		node  int
+		slot  int32
 		delay float64
 	}
-	rank := func(m *eval.Metrics, slowFirst bool) []endpoint {
+	rank := func(slowFirst bool) []endpoint {
 		var eps []endpoint
 		for _, cid := range t.Centroids() {
-			if t.Nodes[cid].BufferAtNode {
+			slot := w.SlotOf(cid)
+			if t.Nodes[cid].BufferAtNode || slot < 0 || w.Committed(slot) {
 				continue
 			}
 			worst, best := math.Inf(-1), math.Inf(1)
@@ -116,7 +154,7 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 				if sn.Kind != ctree.KindSink {
 					continue
 				}
-				d := m.SinkDelays[sn.SinkIdx]
+				d := sinkDelay[sn.SinkIdx]
 				worst = math.Max(worst, d)
 				best = math.Min(best, d)
 			}
@@ -124,9 +162,9 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 				continue
 			}
 			if slowFirst {
-				eps = append(eps, endpoint{cid, worst})
+				eps = append(eps, endpoint{cid, slot, worst})
 			} else {
-				eps = append(eps, endpoint{cid, best})
+				eps = append(eps, endpoint{cid, slot, best})
 			}
 		}
 		sort.Slice(eps, func(i, j int) bool {
@@ -138,9 +176,16 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 		return eps
 	}
 
-	cur := *before
+	lats := make([]float64, workers)
+	skews := make([]float64, workers)
 	tryPass := func(slowFirst bool) {
-		eps := rank(&cur, slowFirst)
+		if delaysStale {
+			// Ranking reads per-sink delays; refresh them once per pass
+			// rather than on every accept.
+			w.Eval(-1, scratches[0], sinkDelay)
+			delaysStale = false
+		}
+		eps := rank(slowFirst)
 		// The budget n counts refined (accepted) end-points; attempts are
 		// bounded separately so rejected trials cannot stall the pass.
 		maxAttempts := 4 * n
@@ -148,20 +193,38 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 			maxAttempts = 50
 		}
 		attempts := 0
-		for _, ep := range eps {
-			if rep.Inserted >= n || attempts >= maxAttempts || cur.Skew <= target {
+		for i := 0; i < len(eps); {
+			if rep.Inserted >= n || attempts >= maxAttempts || curSkew <= target {
 				return
 			}
-			attempts++
-			rep.Attempted++
-			t.Nodes[ep.node].BufferAtNode = true
-			m, err := ev.Evaluate(t)
-			if err != nil || m.Skew >= cur.Skew || m.Latency > cur.Latency*(1+p.LatencyGuard) {
-				t.Nodes[ep.node].BufferAtNode = false // roll back
-				continue
+			batch := workers
+			if rem := len(eps) - i; batch > rem {
+				batch = rem
 			}
-			cur = *m
-			rep.Inserted++
+			// Speculate: judge the next `batch` candidates against the
+			// same accepted state, each on its own scratch.
+			par.ForEach(workers, batch, func(b int) {
+				lats[b], skews[b] = w.Eval(eps[i+b].slot, scratches[b], nil)
+			})
+			accepted := false
+			for b := 0; b < batch && !accepted; b++ {
+				if rep.Inserted >= n || attempts >= maxAttempts || curSkew <= target {
+					return
+				}
+				attempts++
+				rep.Attempted++
+				i++
+				if skews[b] >= curSkew || lats[b] > curLat*(1+p.LatencyGuard) {
+					continue // rejected, exactly as the sequential loop
+				}
+				w.Commit(eps[i-1].slot)
+				// The trial already evaluated exactly this committed
+				// state (same active slot set, same arithmetic).
+				curLat, curSkew = lats[b], skews[b]
+				delaysStale = true
+				rep.Inserted++
+				accepted = true // rest of the batch is stale; re-speculate
+			}
 		}
 	}
 
@@ -169,13 +232,23 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 	tryPass(true)
 	// Pass 2 (extension): pad the fast side while it helps, re-ranking
 	// after each round since accepted buffers shift the delay profile.
-	for round := 0; p.EnablePadding && round < 6 && cur.Skew > target && rep.Inserted < n; round++ {
+	for round := 0; p.EnablePadding && round < 6 && curSkew > target && rep.Inserted < n; round++ {
 		ins := rep.Inserted
 		tryPass(false)
 		if rep.Inserted == ins {
 			break
 		}
 	}
-	rep.After = cur
+
+	// Apply the committed end-point buffers to the tree and report the
+	// exact final metrics from a standard evaluation.
+	for _, cid := range w.CommittedTreeNodes() {
+		t.Nodes[cid].BufferAtNode = true
+	}
+	after, err := ev.Evaluate(t)
+	if err != nil {
+		return nil, fmt.Errorf("refine: %w", err)
+	}
+	rep.After = *after
 	return rep, nil
 }
