@@ -1,12 +1,14 @@
 # Tier-1 verification and benchmarking entry points.
 #
 #   make ci      - build + vet + test (what the roadmap calls tier-1)
+#   make race    - race detector on the determinism + service suites
 #   make bench   - the substrate + parallel-engine benchmarks
 #   make report  - regenerate BENCH_parallel.json
+#   make load    - regenerate BENCH_serve.json (service load test)
 
 GO ?= go
 
-.PHONY: all build test vet ci bench report
+.PHONY: all build test vet ci race bench report load
 
 all: ci
 
@@ -15,11 +17,20 @@ build:
 
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 
 test:
 	$(GO) test ./...
 
 ci: build vet test
+
+race:
+	$(GO) test -race -count=1 -run 'Determinism|Parallel' .
+	$(GO) test -race -count=1 ./internal/serve/
+
+load:
+	$(GO) run ./cmd/benchgen -load
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSubstrates|BenchmarkParallelSynthesize' -benchmem .

@@ -10,6 +10,12 @@
 // BENCH_parallel.json with ns/op and allocs/op per stage:
 //
 //	benchgen -bench [-bench-out BENCH_parallel.json]
+//
+// With -load it replays concurrent synthesis jobs against an in-process
+// dsctsd service and writes throughput/latency percentiles to a
+// machine-readable BENCH_serve.json:
+//
+//	benchgen -load [-load-jobs 40] [-load-conc 8] [-load-distinct 20] [-load-out BENCH_serve.json]
 package main
 
 import (
@@ -29,10 +35,21 @@ func main() {
 		design   = flag.String("design", "", "single design to emit (default: all)")
 		doBench  = flag.Bool("bench", false, "measure the parallel engine and write a JSON report instead of emitting DEFs")
 		benchOut = flag.String("bench-out", "BENCH_parallel.json", "report path for -bench")
+		doLoad   = flag.Bool("load", false, "replay concurrent jobs against an in-process dsctsd and write a JSON report")
+		loadOut  = flag.String("load-out", "BENCH_serve.json", "report path for -load")
+		loadJobs = flag.Int("load-jobs", 40, "total jobs to replay with -load")
+		loadConc = flag.Int("load-conc", 8, "concurrent clients (and running-job slots) for -load")
+		loadDist = flag.Int("load-distinct", 0, "distinct request shapes for -load (0 = jobs/2, so half the replay can hit the cache)")
 	)
 	flag.Parse()
 	if *doBench {
 		if err := runBench(*benchOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *doLoad {
+		if err := runLoad(*loadOut, *loadJobs, *loadConc, *loadDist); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,8 +1,12 @@
 // Command dscts runs the double-side CTS flow on a DEF file (or a named
-// Table II benchmark) and prints the resulting clock-tree metrics.
+// Table II benchmark) and prints the resulting clock-tree metrics. With
+// -json the metrics go to stdout as a single machine-readable JSON object
+// (human chatter suppressed); every error path exits nonzero, so scripts
+// and smoke tests can assert on both.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,7 @@ func main() {
 		defOut    = flag.String("export-def", "", "legalize cells and write the clock tree as DEF")
 		showPower = flag.Bool("power", false, "print the clock power breakdown @1GHz/0.7V")
 		workers   = flag.Int("workers", 0, "worker pool size for all phases (0 = all CPUs; results are identical for any value)")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable metrics JSON to stdout instead of the human report")
 	)
 	flag.Parse()
 	tc := tech.ASAP7()
@@ -41,7 +46,7 @@ func main() {
 		FanoutThreshold: *fanout,
 		SkipRefine:      *skipSR,
 		Alpha:           *alpha, Beta: *beta, Gamma: *gamma,
-		Workers:         *workers,
+		Workers: *workers,
 	}
 	if *single {
 		opt.Mode = core.SingleSide
@@ -80,27 +85,56 @@ func main() {
 		fatal(err)
 	}
 	m := out.Metrics
-	fmt.Printf("design   %s (%d sinks, root %.1f,%.1f)\n", p.Design.Name, sinks, rootX, rootY)
-	fmt.Printf("latency  %.3f ps\n", m.Latency)
-	fmt.Printf("skew     %.3f ps\n", m.Skew)
-	fmt.Printf("buffers  %d\n", m.Buffers)
-	fmt.Printf("nTSVs    %d\n", m.NTSVs)
-	fmt.Printf("clk WL   %.1f um (%.3f x1e6 nm)\n", m.WL, m.WL*1000/1e6)
-	fmt.Printf("runtime  %.3fs (route %.3fs, insert %.3fs, refine %.3fs)\n",
-		out.TotalTime.Seconds(), out.RouteTime.Seconds(), out.InsertTime.Seconds(), out.RefineTime.Seconds())
-	if out.Refine != nil && out.Refine.Triggered {
-		fmt.Printf("skew refinement: %d buffers, skew %.3f -> %.3f ps\n",
-			out.Refine.Inserted, out.Refine.Before.Skew, out.Refine.After.Skew)
-	}
-	fmt.Printf("DP: %d nodes, %d candidate solutions\n", out.DP.Nodes, out.DP.Solutions)
-
+	var pw *power.Breakdown
 	if *showPower {
-		pw, err := power.Estimate(out.Tree, tc, power.DefaultParams())
-		if err != nil {
+		if pw, err = power.Estimate(out.Tree, tc, power.DefaultParams()); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("power    %.3f mW @1GHz (switching %.3f, buffer internal %.3f)\n",
-			pw.TotalMW, pw.SwitchingMW, pw.InternalMW)
+	}
+	if *jsonOut {
+		rep := jsonReport{
+			Design: p.Design.Name, Sinks: sinks,
+			Root:      xy{rootX, rootY},
+			LatencyPS: m.Latency, SkewPS: m.Skew,
+			Buffers: m.Buffers, NTSVs: m.NTSVs, WLum: m.WL,
+			RuntimeS: runtimes{
+				Total: out.TotalTime.Seconds(), Route: out.RouteTime.Seconds(),
+				Insert: out.InsertTime.Seconds(), Refine: out.RefineTime.Seconds(),
+			},
+			DP: dpStats{Nodes: out.DP.Nodes, Solutions: out.DP.Solutions},
+		}
+		if out.Refine != nil {
+			rep.Refine = &refineStats{
+				Triggered: out.Refine.Triggered, Inserted: out.Refine.Inserted,
+				SkewBeforePS: out.Refine.Before.Skew, SkewAfterPS: out.Refine.After.Skew,
+			}
+		}
+		if pw != nil {
+			rep.Power = &powerStats{TotalMW: pw.TotalMW, SwitchingMW: pw.SwitchingMW, InternalMW: pw.InternalMW}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("design   %s (%d sinks, root %.1f,%.1f)\n", p.Design.Name, sinks, rootX, rootY)
+		fmt.Printf("latency  %.3f ps\n", m.Latency)
+		fmt.Printf("skew     %.3f ps\n", m.Skew)
+		fmt.Printf("buffers  %d\n", m.Buffers)
+		fmt.Printf("nTSVs    %d\n", m.NTSVs)
+		fmt.Printf("clk WL   %.1f um (%.3f x1e6 nm)\n", m.WL, m.WL*1000/1e6)
+		fmt.Printf("runtime  %.3fs (route %.3fs, insert %.3fs, refine %.3fs)\n",
+			out.TotalTime.Seconds(), out.RouteTime.Seconds(), out.InsertTime.Seconds(), out.RefineTime.Seconds())
+		if out.Refine != nil && out.Refine.Triggered {
+			fmt.Printf("skew refinement: %d buffers, skew %.3f -> %.3f ps\n",
+				out.Refine.Inserted, out.Refine.Before.Skew, out.Refine.After.Skew)
+		}
+		fmt.Printf("DP: %d nodes, %d candidate solutions\n", out.DP.Nodes, out.DP.Solutions)
+		if pw != nil {
+			fmt.Printf("power    %.3f mW @1GHz (switching %.3f, buffer internal %.3f)\n",
+				pw.TotalMW, pw.SwitchingMW, pw.InternalMW)
+		}
 	}
 	if *defOut != "" {
 		f, err := os.Create(*defOut)
@@ -114,7 +148,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("exported %d legalized cells (max disp %.3f um) -> %s\n", len(cells.Cells), cells.MaxDisp, *defOut)
+		note(*jsonOut, "exported %d legalized cells (max disp %.3f um) -> %s\n", len(cells.Cells), cells.MaxDisp, *defOut)
 	}
 	if *svgOut != "" {
 		f, err := os.Create(*svgOut)
@@ -128,8 +162,65 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("rendering -> %s\n", *svgOut)
+		note(*jsonOut, "rendering -> %s\n", *svgOut)
 	}
+}
+
+// jsonReport is the -json output: everything the human report prints, as
+// one stable machine-readable object on stdout.
+type jsonReport struct {
+	Design    string       `json:"design"`
+	Sinks     int          `json:"sinks"`
+	Root      xy           `json:"root"`
+	LatencyPS float64      `json:"latency_ps"`
+	SkewPS    float64      `json:"skew_ps"`
+	Buffers   int          `json:"buffers"`
+	NTSVs     int          `json:"ntsvs"`
+	WLum      float64      `json:"wirelength_um"`
+	RuntimeS  runtimes     `json:"runtime_s"`
+	DP        dpStats      `json:"dp"`
+	Refine    *refineStats `json:"refine,omitempty"`
+	Power     *powerStats  `json:"power,omitempty"`
+}
+
+type xy struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type runtimes struct {
+	Total  float64 `json:"total"`
+	Route  float64 `json:"route"`
+	Insert float64 `json:"insert"`
+	Refine float64 `json:"refine"`
+}
+
+type dpStats struct {
+	Nodes     int `json:"nodes"`
+	Solutions int `json:"solutions"`
+}
+
+type refineStats struct {
+	Triggered    bool    `json:"triggered"`
+	Inserted     int     `json:"inserted"`
+	SkewBeforePS float64 `json:"skew_before_ps"`
+	SkewAfterPS  float64 `json:"skew_after_ps"`
+}
+
+type powerStats struct {
+	TotalMW     float64 `json:"total_mw"`
+	SwitchingMW float64 `json:"switching_mw"`
+	InternalMW  float64 `json:"internal_mw"`
+}
+
+// note prints side-effect confirmations; under -json they go to stderr so
+// stdout stays a single parseable object.
+func note(jsonMode bool, format string, args ...any) {
+	w := os.Stdout
+	if jsonMode {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format, args...)
 }
 
 func fatal(err error) {

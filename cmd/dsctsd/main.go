@@ -1,0 +1,78 @@
+// Command dsctsd serves the double-side CTS engine as a multi-tenant HTTP
+// service: a bounded job queue with admission control and per-job worker
+// budgets, a content-addressed result cache, and NDJSON progress streaming.
+//
+//	dsctsd [-addr :8577] [-max-running 4] [-max-queued 64] [-workers 0] [-cache 128]
+//
+// API (see internal/serve):
+//
+//	POST /synthesize?mode=sync|async|stream   body: serve.Request JSON
+//	POST /dse?mode=...                        body: serve.Request with thresholds
+//	GET  /jobs/{id}                           job snapshot (?mode=stream for NDJSON)
+//	POST /jobs/{id}/cancel                    stop a queued or running job
+//	GET  /healthz                             liveness
+//	GET  /stats                               queue + cache counters
+//
+// Example:
+//
+//	curl -s localhost:8577/synthesize -d '{"design":"C3"}'
+//	curl -s localhost:8577/dse -d '{"design":"C4","thresholds":[50,200,800]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dscts/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8577", "listen address")
+		maxRunning = flag.Int("max-running", 4, "jobs executing concurrently")
+		maxQueued  = flag.Int("max-queued", 64, "admitted jobs waiting beyond the running set (admission control)")
+		workers    = flag.Int("workers", 0, "total synthesis worker budget shared by running jobs (0 = all CPUs)")
+		cacheSize  = flag.Int("cache", 128, "result cache capacity (entries, LRU)")
+		retain     = flag.Int("retain-jobs", 1024, "finished job records kept for GET /jobs/{id}")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		MaxRunning: *maxRunning, MaxQueued: *maxQueued,
+		Workers: *workers, CacheEntries: *cacheSize, RetainJobs: *retain,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dsctsd: listening on %s (max-running %d, max-queued %d)", *addr, *maxRunning, *maxQueued)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		fmt.Fprintln(os.Stderr, "dsctsd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		log.Printf("dsctsd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "dsctsd: shutdown:", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		srv.Close() // cancels in-flight jobs, joins runners
+	}
+}

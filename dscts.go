@@ -43,6 +43,16 @@
 // end-to-end synthesis at one worker versus the original implementation;
 // see PERFORMANCE.md and BENCH_parallel.json for the numbers.
 //
+// # Serving
+//
+// The flow is cancellable and observable: SynthesizeContext threads a
+// context.Context through every phase (including the DP ready-queue and the
+// refinement trial batches) and Options.Progress streams per-phase events.
+// On top of that, internal/serve and the cmd/dsctsd daemon expose the
+// engine as a multi-tenant HTTP service with a bounded job queue, a
+// content-addressed result cache and NDJSON progress streaming; see
+// README.md for service usage.
+//
 // The subpackages under internal/ carry the substrates (geometry, timing
 // models, DME, DP insertion, baselines, DEF/LEF I/O); this package exposes
 // the surface a downstream user needs. See DESIGN.md for the system
@@ -50,6 +60,7 @@
 package dscts
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -115,6 +126,35 @@ type Tree = ctree.Tree
 func Synthesize(root Point, sinks []Point, tc *Tech, opt Options) (*Outcome, error) {
 	return core.Synthesize(root, sinks, tc, opt)
 }
+
+// SynthesizeContext is Synthesize with cancellation: the flow observes ctx
+// between phases and inside the long-running inner loops (DP generation,
+// refinement batches), so a running synthesis stops promptly when ctx is
+// cancelled, returning an error that wraps ctx.Err().
+func SynthesizeContext(ctx context.Context, root Point, sinks []Point, tc *Tech, opt Options) (*Outcome, error) {
+	return core.SynthesizeContext(ctx, root, sinks, tc, opt)
+}
+
+// Progress is a flow progress event; deliver a ProgressFunc in
+// Options.Progress to observe per-phase starts/finishes (and per-point
+// completions in DSE sweeps).
+type Progress = core.Progress
+
+// ProgressFunc observes flow progress; it may be called from multiple
+// goroutines.
+type ProgressFunc = core.ProgressFunc
+
+// Phase names a stage of the flow in Progress events.
+type Phase = core.Phase
+
+// The flow's phases as reported in Progress events.
+const (
+	PhaseRoute  Phase = core.PhaseRoute
+	PhaseInsert Phase = core.PhaseInsert
+	PhaseRefine Phase = core.PhaseRefine
+	PhaseEval   Phase = core.PhaseEval
+	PhaseSweep  Phase = core.PhaseSweep
+)
 
 // Evaluate computes metrics for any (possibly externally built) clock tree
 // using the Elmore model.
@@ -194,9 +234,17 @@ func FlipByCriticality(t *Tree, tc *Tech, fraction float64) (int, error) {
 type DSEPoint = dse.Point
 
 // ExploreFanout sweeps the DSE fanout threshold (Sec. III-E), returning one
-// point per threshold.
-func ExploreFanout(root Point, sinks []Point, tc *Tech, thresholds []int) ([]DSEPoint, error) {
-	return dse.SweepFanout(root, sinks, tc, thresholds, Options{})
+// point per threshold. The caller's opt (workers, weights, side mode, skew
+// refinement, …) applies to every sweep point; opt.FanoutThreshold itself
+// is overridden by each swept value.
+func ExploreFanout(root Point, sinks []Point, tc *Tech, thresholds []int, opt Options) ([]DSEPoint, error) {
+	return dse.SweepFanout(root, sinks, tc, thresholds, opt)
+}
+
+// ExploreFanoutContext is ExploreFanout with cancellation threaded into
+// every sweep point's synthesis.
+func ExploreFanoutContext(ctx context.Context, root Point, sinks []Point, tc *Tech, thresholds []int, opt Options) ([]DSEPoint, error) {
+	return dse.SweepFanoutContext(ctx, root, sinks, tc, thresholds, opt)
 }
 
 // ParetoLatency extracts the non-dominated front over

@@ -50,6 +50,61 @@ func TestPublicAPIDEFRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDEFRoundTripPreservesPlacement checks ParseDEF(WriteDEF(p)) preserves
+// the clock root, sink count and every sink coordinate for C1..C3. DEF
+// stores integer database units at 1000 DBU/µm, so coordinates survive up
+// to half a nanometre.
+func TestDEFRoundTripPreservesPlacement(t *testing.T) {
+	const tol = 0.5e-3 // µm: half a DBU at 1000 DBU/µm
+	near := func(a, b float64) bool {
+		d := a - b
+		return d <= tol && d >= -tol
+	}
+	for _, id := range []string{"C1", "C2", "C3"} {
+		p, err := GenerateBenchmark(id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteDEF(p, &buf); err != nil {
+			t.Fatalf("%s: write: %v", id, err)
+		}
+		back, err := ParseDEF(&buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", id, err)
+		}
+		if !near(back.Root.X, p.Root.X) || !near(back.Root.Y, p.Root.Y) {
+			t.Fatalf("%s: root %v round-tripped to %v", id, p.Root, back.Root)
+		}
+		if len(back.Sinks) != len(p.Sinks) {
+			t.Fatalf("%s: %d sinks round-tripped to %d", id, len(p.Sinks), len(back.Sinks))
+		}
+		for i, s := range p.Sinks {
+			if !near(back.Sinks[i].X, s.X) || !near(back.Sinks[i].Y, s.Y) {
+				t.Fatalf("%s: sink %d %v round-tripped to %v", id, i, s, back.Sinks[i])
+			}
+		}
+	}
+}
+
+// TestParseDEFMalformed covers the parser's error paths: syntactically
+// broken files and structurally clock-less ones must error, never yield a
+// placement.
+func TestParseDEFMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"truncated section": "VERSION 5.8 ;\nDESIGN x ;\nCOMPONENTS 1 ;\n- ff_0 DFF + PLACED ( 10 10 ) N ;\n", // no END COMPONENTS / END DESIGN
+		"bad dbu":           "VERSION 5.8 ;\nDESIGN x ;\nUNITS DISTANCE MICRONS zap ;\nEND DESIGN\n",
+		"bad coordinate":    "VERSION 5.8 ;\nDESIGN x ;\nDIEAREA ( 0 0 ) ( 10 oops ) ;\nEND DESIGN\n",
+		"no clock net":      "VERSION 5.8 ;\nDESIGN x ;\nDIEAREA ( 0 0 ) ( 1000 1000 ) ;\nEND DESIGN\n",
+	}
+	for name, body := range cases {
+		if _, err := ParseDEF(bytes.NewReader([]byte(body))); err == nil {
+			t.Errorf("%s: malformed DEF parsed without error", name)
+		}
+	}
+}
+
 func TestPublicAPIBaselinesAndEval(t *testing.T) {
 	p, err := GenerateBenchmark("C4", 3)
 	if err != nil {
@@ -107,7 +162,7 @@ func TestPublicAPIDSE(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts, err := ExploreFanout(p.Root, p.Sinks, ASAP7(), []int{50, 200, 800})
+	pts, err := ExploreFanout(p.Root, p.Sinks, ASAP7(), []int{50, 200, 800}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func main() {
 	for th := 20; th <= 1000; th += 70 {
 		thresholds = append(thresholds, th)
 	}
-	pts, err := dscts.ExploreFanout(p.Root, p.Sinks, tc, thresholds)
+	pts, err := dscts.ExploreFanout(p.Root, p.Sinks, tc, thresholds, dscts.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

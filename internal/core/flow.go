@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,36 @@ const (
 	// Table III).
 	SingleSide
 )
+
+// Phase names a stage of the flow, as reported through Options.Progress.
+type Phase string
+
+// The flow's phases, in execution order. PhaseSweep is emitted by DSE
+// sweeps (one event per completed sweep point) rather than by Synthesize.
+const (
+	PhaseRoute  Phase = "route"
+	PhaseInsert Phase = "insert"
+	PhaseRefine Phase = "refine"
+	PhaseEval   Phase = "eval"
+	PhaseSweep  Phase = "sweep"
+)
+
+// Progress is one flow progress event. For synthesis phases, Done marks the
+// end of the phase and Elapsed its runtime. For PhaseSweep events Point and
+// Total carry the completed/total sweep-point counts.
+type Progress struct {
+	Phase   Phase
+	Done    bool
+	Elapsed time.Duration
+	Point   int
+	Total   int
+}
+
+// ProgressFunc observes flow progress. Callbacks may be invoked from
+// multiple goroutines (DSE sweeps report points concurrently), so
+// implementations must be safe for concurrent use. They should return
+// quickly: the flow calls them inline.
+type ProgressFunc func(Progress)
 
 // Options configures Synthesize.
 type Options struct {
@@ -81,6 +112,10 @@ type Options struct {
 	// Metrics — parallel loops only distribute pure per-item work and all
 	// floating-point reductions run in a fixed order.
 	Workers int
+	// Progress, when non-nil, receives one event at the start and end of
+	// each phase (and per completed point in DSE sweeps). It never affects
+	// results. Must be safe for concurrent use; see ProgressFunc.
+	Progress ProgressFunc
 }
 
 // Outcome is the result of a synthesis run.
@@ -100,6 +135,18 @@ type Outcome struct {
 
 // Synthesize runs the full flow on the given clock root and sink placement.
 func Synthesize(rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Options) (*Outcome, error) {
+	return SynthesizeContext(context.Background(), rootPos, sinks, tc, opt)
+}
+
+// SynthesizeContext is Synthesize with cancellation: the flow checks ctx
+// between phases and the long-running inner loops (the DP ready-queue,
+// refinement trial batches) observe it mid-phase, so a queued or running
+// synthesis stops promptly — without leaking goroutines — when ctx is
+// cancelled. On cancellation the returned error wraps ctx.Err().
+// Cancellation never corrupts results: a run either returns a complete
+// Outcome or an error, and a run that completes is bit-identical to an
+// uncancellable one.
+func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Options) (*Outcome, error) {
 	if tc == nil {
 		return nil, fmt.Errorf("core: nil tech")
 	}
@@ -134,8 +181,17 @@ func Synthesize(rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Optio
 	}
 
 	out := &Outcome{}
+	emit := func(ph Phase, done bool, elapsed time.Duration) {
+		if opt.Progress != nil {
+			opt.Progress(Progress{Phase: ph, Done: done, Elapsed: elapsed})
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	// Phase 1: hierarchical clock routing.
+	emit(PhaseRoute, false, 0)
 	t0 := time.Now()
 	dual, err := cluster.DualLevel(sinks, d)
 	if err != nil {
@@ -153,8 +209,13 @@ func Synthesize(rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Optio
 	}
 	out.Tree = tree
 	out.RouteTime = time.Since(t0)
+	emit(PhaseRoute, true, out.RouteTime)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	// Phase 2: concurrent buffer and nTSV insertion.
+	emit(PhaseInsert, false, 0)
 	t1 := time.Now()
 	cfg := insert.DefaultConfig(tc)
 	if opt.Alpha != 0 || opt.Beta != 0 || opt.Gamma != 0 {
@@ -177,34 +238,46 @@ func Synthesize(rootPos geom.Point, sinks []geom.Point, tc *tech.Tech, opt Optio
 			return insert.ModeIntra
 		}
 	}
-	dp, err := insert.Run(tree, cfg)
+	dp, err := insert.RunContext(ctx, tree, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: insertion: %w", err)
 	}
 	out.DP = dp
 	out.InsertTime = time.Since(t1)
+	emit(PhaseInsert, true, out.InsertTime)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	// Phase 3: skew refinement.
 	if !opt.SkipRefine {
+		emit(PhaseRefine, false, 0)
 		t2 := time.Now()
 		rp := opt.Refine
 		if rp.TriggerPct == 0 {
 			rp = refine.DefaultParams()
 		}
 		rp.Workers = opt.Workers
-		rr, err := refine.Refine(tree, tc, rp)
+		rr, err := refine.RefineContext(ctx, tree, tc, rp)
 		if err != nil {
 			return nil, fmt.Errorf("core: refinement: %w", err)
 		}
 		out.Refine = rr
 		out.RefineTime = time.Since(t2)
+		emit(PhaseRefine, true, out.RefineTime)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
+	emit(PhaseEval, false, 0)
+	t3 := time.Now()
 	m, err := eval.New(tc, eval.Elmore).Evaluate(tree)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluation: %w", err)
 	}
 	out.Metrics = m
+	emit(PhaseEval, true, time.Since(t3))
 	out.TotalTime = time.Since(start)
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"dscts/internal/bench"
@@ -135,6 +137,78 @@ func TestSynthesizeFlatDMEAblation(t *testing.T) {
 	}
 	if out.Metrics.Latency <= 0 {
 		t.Fatal("flat DME flow failed")
+	}
+}
+
+// TestSynthesizeContextCancel cancels at every phase boundary (driven by
+// the progress callback) and checks the flow stops with a wrapped
+// context.Canceled instead of returning a partial Outcome.
+func TestSynthesizeContextCancel(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	// Pre-cancelled context: nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SynthesizeContext(ctx, p.Root, p.Sinks, tc, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v", err)
+	}
+	// Cancel as each phase starts; later phases must never run.
+	for _, stopAt := range []Phase{PhaseRoute, PhaseInsert, PhaseRefine} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var after []Phase
+		opt := Options{Progress: func(pr Progress) {
+			if pr.Phase == stopAt && !pr.Done {
+				cancel()
+			}
+			if pr.Done {
+				after = append(after, pr.Phase)
+			}
+		}}
+		out, err := SynthesizeContext(ctx, p.Root, p.Sinks, tc, opt)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel at %s: err = %v", stopAt, err)
+		}
+		if out != nil {
+			t.Fatalf("cancel at %s: got a partial outcome", stopAt)
+		}
+		for _, ph := range after {
+			if ph == PhaseEval {
+				t.Fatalf("cancel at %s: evaluation still ran", stopAt)
+			}
+		}
+	}
+}
+
+// TestProgressEvents checks the phase event sequence of a full run: each
+// phase emits start then done, in flow order, ending with evaluation.
+func TestProgressEvents(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+	type ev struct {
+		ph   Phase
+		done bool
+	}
+	var got []ev
+	_, err := Synthesize(p.Root, p.Sinks, tc, Options{Progress: func(pr Progress) {
+		got = append(got, ev{pr.Phase, pr.Done})
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ev{
+		{PhaseRoute, false}, {PhaseRoute, true},
+		{PhaseInsert, false}, {PhaseInsert, true},
+		{PhaseRefine, false}, {PhaseRefine, true},
+		{PhaseEval, false}, {PhaseEval, true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
 	}
 }
 

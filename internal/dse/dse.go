@@ -6,6 +6,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -42,6 +43,17 @@ func (p Point) Resources() int { return p.Bufs + p.TSVs }
 // every phase is deterministic, the output itself) is identical for every
 // worker count.
 func SweepFanout(root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds []int, base core.Options) ([]Point, error) {
+	return SweepFanoutContext(context.Background(), root, sinks, tc, thresholds, base)
+}
+
+// SweepFanoutContext is SweepFanout with cancellation: the context is
+// threaded into every sweep point's synthesis, so a cancelled sweep stops
+// mid-phase inside whichever points are in flight and skips the rest,
+// returning an error wrapping ctx.Err(). If base.Progress is set it
+// receives one core.PhaseSweep event per completed point (with the
+// completed/total counts) instead of the points' inner phase events, which
+// would interleave meaninglessly across concurrent syntheses.
+func SweepFanoutContext(ctx context.Context, root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds []int, base core.Options) ([]Point, error) {
 	if len(thresholds) == 0 {
 		return nil, fmt.Errorf("dse: no thresholds")
 	}
@@ -52,6 +64,8 @@ func SweepFanout(root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds 
 	if inner < 1 {
 		inner = 1
 	}
+	progress := base.Progress
+	var completed atomic.Int64
 	out := make([]Point, len(thresholds))
 	errs := make([]error, len(thresholds))
 	// On failure the sweep aborts instead of paying for the remaining
@@ -59,20 +73,30 @@ func SweepFanout(root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds 
 	// success path stays fully deterministic.
 	var failed atomic.Bool
 	par.ForEach(workers, len(thresholds), func(i int) {
-		if failed.Load() {
+		if failed.Load() || ctx.Err() != nil {
 			return
 		}
 		opt := base
 		opt.FanoutThreshold = thresholds[i]
 		opt.Workers = inner
-		o, err := core.Synthesize(root, sinks, tc, opt)
+		opt.Progress = nil
+		o, err := core.SynthesizeContext(ctx, root, sinks, tc, opt)
 		if err != nil {
 			errs[i] = fmt.Errorf("dse: threshold %d: %w", thresholds[i], err)
 			failed.Store(true)
 			return
 		}
 		out[i] = fromMetrics("ours-dse", float64(thresholds[i]), o.Metrics)
+		if progress != nil {
+			progress(core.Progress{
+				Phase: core.PhaseSweep, Done: true,
+				Point: int(completed.Add(1)), Total: len(thresholds),
+			})
+		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

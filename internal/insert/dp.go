@@ -1,6 +1,7 @@
 package insert
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -114,6 +115,15 @@ type dpNode struct {
 // Run performs the four DP steps on the tree's trunk, leaving leaf nets
 // untouched, and writes the chosen patterns into the tree's edge wirings.
 func Run(t *ctree.Tree, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), t, cfg)
+}
+
+// RunContext is Run with cancellation: the bottom-up generation pass — the
+// DP's dominant cost — observes ctx per node, so a cancelled run stops
+// mid-pass, its ready-queue workers all exit (no goroutine leaks), and the
+// call returns an error wrapping ctx.Err() without touching the tree's
+// wiring annotations.
+func RunContext(ctx context.Context, t *ctree.Tree, cfg Config) (*Result, error) {
 	if cfg.Tech == nil {
 		return nil, fmt.Errorf("insert: nil tech")
 	}
@@ -137,7 +147,7 @@ func Run(t *ctree.Tree, cfg Config) (*Result, error) {
 	// ready as soon as its children are done, so the pass runs on a
 	// ready-queue worker pool; with one worker it degenerates to the
 	// plain postorder loop.
-	if err := generateAll(t, nodes, cfg, res); err != nil {
+	if err := generateAll(ctx, t, nodes, cfg, res); err != nil {
 		return nil, err
 	}
 
@@ -253,8 +263,10 @@ type genScratch struct {
 
 // generateAll runs Step 2 over every DP node, concurrently when
 // cfg.Workers allows. Scheduling never affects results: each node's
-// solution set is a pure function of its children's sets.
-func generateAll(t *ctree.Tree, nodes []dpNode, cfg Config, res *Result) error {
+// solution set is a pure function of its children's sets. Cancellation via
+// ctx aborts the pass between nodes; the success path never consults the
+// context's state beyond a cheap Err poll, so results stay deterministic.
+func generateAll(ctx context.Context, t *ctree.Tree, nodes []dpNode, cfg Config, res *Result) error {
 	workers := par.N(cfg.Workers)
 	if workers > len(nodes) {
 		workers = len(nodes)
@@ -262,6 +274,9 @@ func generateAll(t *ctree.Tree, nodes []dpNode, cfg Config, res *Result) error {
 	if workers <= 1 {
 		sc := &genScratch{}
 		for i := range nodes {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("insert: %w", err)
+			}
 			n, err := generate(t, &nodes[i], nodes, cfg, sc)
 			if err != nil {
 				return err
@@ -297,11 +312,25 @@ func generateAll(t *ctree.Tree, nodes []dpNode, cfg Config, res *Result) error {
 	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			sc := &genScratch{}
-			for id := range queue {
+			for {
+				// The queue's capacity is the node count, so sends never
+				// block: a worker that exits here can only strand buffered
+				// work, never another worker's send.
+				var id int32
+				var ok bool
+				select {
+				case <-done:
+					return
+				case id, ok = <-queue:
+					if !ok {
+						return
+					}
+				}
 				n, err := generate(t, &nodes[id], nodes, cfg, sc)
 				counts[id], errs[id] = n, err
 				if p := parentOf[id]; p >= 0 {
@@ -316,6 +345,9 @@ func generateAll(t *ctree.Tree, nodes []dpNode, cfg Config, res *Result) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("insert: %w", err)
+	}
 	// An upstream failure cascades into its ancestors; report the
 	// deepest (lowest-index, since nodes are postorder) error — the same
 	// one the sequential loop would have returned.

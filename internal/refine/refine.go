@@ -17,6 +17,7 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -97,6 +98,14 @@ type Report struct {
 // the first acceptance discards the stale remainder — which is exactly the
 // decision sequence of the sequential loop, for every worker count.
 func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
+	return RefineContext(context.Background(), t, tc, p)
+}
+
+// RefineContext is Refine with cancellation: the context is observed before
+// every speculative trial batch, so a cancelled refinement stops between
+// batches and returns an error wrapping ctx.Err() with the tree unchanged
+// (accepted end-point buffers are only applied on success).
+func RefineContext(ctx context.Context, t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 	if p.TriggerPct <= 0 {
 		return nil, fmt.Errorf("refine: trigger percentage must be positive, got %v", p.TriggerPct)
 	}
@@ -178,6 +187,7 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 
 	lats := make([]float64, workers)
 	skews := make([]float64, workers)
+	var ctxErr error
 	tryPass := func(slowFirst bool) {
 		if delaysStale {
 			// Ranking reads per-sink delays; refresh them once per pass
@@ -194,6 +204,10 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 		}
 		attempts := 0
 		for i := 0; i < len(eps); {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return
+			}
 			if rep.Inserted >= n || attempts >= maxAttempts || curSkew <= target {
 				return
 			}
@@ -232,12 +246,15 @@ func Refine(t *ctree.Tree, tc *tech.Tech, p Params) (*Report, error) {
 	tryPass(true)
 	// Pass 2 (extension): pad the fast side while it helps, re-ranking
 	// after each round since accepted buffers shift the delay profile.
-	for round := 0; p.EnablePadding && round < 6 && curSkew > target && rep.Inserted < n; round++ {
+	for round := 0; ctxErr == nil && p.EnablePadding && round < 6 && curSkew > target && rep.Inserted < n; round++ {
 		ins := rep.Inserted
 		tryPass(false)
 		if rep.Inserted == ins {
 			break
 		}
+	}
+	if ctxErr != nil {
+		return nil, fmt.Errorf("refine: %w", ctxErr)
 	}
 
 	// Apply the committed end-point buffers to the tree and report the

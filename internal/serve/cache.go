@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is the cache section of GET /stats.
+type CacheStats struct {
+	Entries    int   `json:"entries"`
+	MaxEntries int   `json:"max_entries"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+}
+
+// cache is a content-addressed result cache with LRU eviction. Results are
+// deterministic functions of their request key, so entries never go stale;
+// the only eviction pressure is capacity. Stored results are treated as
+// immutable by all readers.
+type cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val *Result
+}
+
+func newCache(maxEntries int) *cache {
+	if maxEntries <= 0 {
+		maxEntries = 128
+	}
+	return &cache{max: maxEntries, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result for key, counting a hit or a miss.
+func (c *cache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a result, evicting the least recently used entry beyond
+// capacity. Storing an existing key refreshes its value and recency.
+func (c *cache) Put(key string, val *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: c.ll.Len(), MaxEntries: c.max,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a small Go client for the dsctsd HTTP API.
+type Client struct {
+	// Base is the server base URL, e.g. "http://127.0.0.1:8577".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a Client for the given base URL.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is the decoded JSON error envelope of a non-2xx response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Msg)
+}
+
+func decodeErr(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &apiError{Status: resp.StatusCode, Msg: msg}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeErr(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Synthesize runs req synchronously and returns the finished job snapshot.
+func (c *Client) Synthesize(ctx context.Context, req *Request) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.do(ctx, http.MethodPost, "/synthesize?mode=sync", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DSE runs a fanout sweep synchronously.
+func (c *Client) DSE(ctx context.Context, req *Request) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.do(ctx, http.MethodPost, "/dse?mode=sync", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// SubmitAsync enqueues req (kind KindSynthesize or KindDSE) and returns the
+// queued job snapshot immediately; poll Job for completion.
+func (c *Client) SubmitAsync(ctx context.Context, kind string, req *Request) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.do(ctx, http.MethodPost, "/"+kind+"?mode=async", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Stream submits req and follows its NDJSON progress stream, calling fn for
+// every event. It returns the terminal event's result-bearing job snapshot
+// reconstructed from the stream. Cancelling ctx aborts the stream, which
+// cancels the job server-side.
+func (c *Client) Stream(ctx context.Context, kind string, req *Request, fn func(Event)) (*Event, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/"+kind+"?mode=stream", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeErr(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var last Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		last = ev
+		if fn != nil {
+			fn(ev)
+		}
+	}
+	switch last.Event {
+	case string(StateDone), string(StateFailed), string(StateCancelled):
+		return &last, nil
+	case "":
+		return nil, fmt.Errorf("serve: empty event stream")
+	default:
+		return nil, fmt.Errorf("serve: stream ended without a terminal event (last %q)", last.Event)
+	}
+}
+
+// Job fetches a job snapshot by ID.
+func (c *Client) Job(ctx context.Context, id string) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Cancel stops a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Stats fetches the queue and cache counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,618 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dscts/internal/core"
+	"dscts/internal/dse"
+	"dscts/internal/eval"
+	"dscts/internal/par"
+)
+
+// Job kinds.
+const (
+	KindSynthesize = "synthesize"
+	KindDSE        = "dse"
+)
+
+// JobState is the lifecycle state of a queued job.
+type JobState string
+
+// Job lifecycle: queued → running → done | failed | cancelled. Cache hits
+// are born done.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors of Submit; the HTTP layer maps them to status codes.
+var (
+	// ErrQueueFull is returned when admission control rejects a job.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrBadRequest wraps request validation failures.
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("serve: queue closed")
+)
+
+// DPStats summarizes the insertion DP of a synthesis result.
+type DPStats struct {
+	Nodes     int `json:"nodes"`
+	Solutions int `json:"solutions"`
+}
+
+// RefineStats summarizes the skew-refinement outcome.
+type RefineStats struct {
+	Triggered    bool    `json:"triggered"`
+	Inserted     int     `json:"inserted"`
+	Attempted    int     `json:"attempted"`
+	SkewBeforePS float64 `json:"skew_before_ps"`
+	SkewAfterPS  float64 `json:"skew_after_ps"`
+}
+
+// Result is the JSON result payload of a finished job. Synthesize jobs
+// carry Metrics/DP/Refine; DSE jobs carry Points. Phase times are from the
+// run that produced the result (a cache hit reports the original run's).
+type Result struct {
+	Kind    string        `json:"kind"`
+	Design  string        `json:"design"`
+	Sinks   int           `json:"sinks"`
+	Metrics *eval.Metrics `json:"metrics,omitempty"`
+	DP      *DPStats      `json:"dp,omitempty"`
+	Refine  *RefineStats  `json:"refine,omitempty"`
+	Points  []dse.Point   `json:"points,omitempty"`
+
+	RouteMS  float64 `json:"route_ms,omitempty"`
+	InsertMS float64 `json:"insert_ms,omitempty"`
+	RefineMS float64 `json:"refine_ms,omitempty"`
+	TotalMS  float64 `json:"total_ms"`
+}
+
+// view returns the response shape of the result: a shallow copy whose
+// Metrics drops the (large) per-sink delay map unless asked for. The cached
+// Result itself is immutable.
+func (r *Result) view(includeSinkDelays bool) *Result {
+	if r == nil || r.Metrics == nil || includeSinkDelays {
+		return r
+	}
+	c := *r
+	m := *r.Metrics
+	m.SinkDelays = nil
+	c.Metrics = &m
+	return &c
+}
+
+// Event is one NDJSON progress line: the job lifecycle transitions plus the
+// flow's per-phase events. The terminal event ("done", "failed" or
+// "cancelled") closes the stream; "done" carries the result.
+type Event struct {
+	Event     string  `json:"event"`
+	JobID     string  `json:"job_id"`
+	Phase     string  `json:"phase,omitempty"`
+	PhaseDone bool    `json:"phase_done,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Point     int     `json:"point,omitempty"`
+	Total     int     `json:"total,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Result    *Result `json:"result,omitempty"`
+}
+
+// JobInfo is the JSON snapshot of a job (GET /jobs/{id}).
+type JobInfo struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	State    JobState  `json:"state"`
+	CacheHit bool      `json:"cache_hit"`
+	Design   string    `json:"design,omitempty"`
+	Sinks    int       `json:"sinks,omitempty"`
+	Created  time.Time `json:"created"`
+	QueueMS  float64   `json:"queue_ms,omitempty"`
+	RunMS    float64   `json:"run_ms,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+}
+
+// Job is one admitted request moving through the queue.
+type Job struct {
+	id     string
+	kind   string
+	key    string
+	req    *Request
+	design string
+	sinks  int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    JobState
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *Result
+	errMsg   string
+	log      []Event
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel asks the job to stop. A queued job is skipped by the runner; a
+// running job's context is cancelled and the flow stops mid-phase. Safe to
+// call at any time, from any goroutine, repeatedly.
+func (j *Job) Cancel() { j.cancel() }
+
+// Info snapshots the job. The result view honors the request's
+// IncludeSinkDelays.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID: j.id, Kind: j.kind, State: j.state, CacheHit: j.cacheHit,
+		Design: j.design, Sinks: j.sinks,
+		Created: j.created, Error: j.errMsg,
+		Result: j.result.view(j.req.IncludeSinkDelays),
+	}
+	if !j.started.IsZero() {
+		info.QueueMS = ms(j.started.Sub(j.created))
+		if !j.finished.IsZero() {
+			info.RunMS = ms(j.finished.Sub(j.started))
+		}
+	} else if !j.finished.IsZero() { // cache hit or cancelled while queued
+		info.QueueMS = ms(j.finished.Sub(j.created))
+	}
+	return info
+}
+
+// Follow replays the job's event log from the beginning and then follows it
+// live, invoking fn for each event in order, until the terminal event has
+// been delivered (returns nil), fn returns an error (returned as-is), or
+// ctx is cancelled (returns ctx.Err()). Multiple followers may run
+// concurrently; each sees the full ordered log.
+func (j *Job) Follow(ctx context.Context, fn func(Event) error) error {
+	// A context cancellation must wake a waiting follower.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	cursor := 0
+	for {
+		j.mu.Lock()
+		for cursor >= len(j.log) && !j.state.terminal() && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		batch := append([]Event(nil), j.log[cursor:]...)
+		cursor += len(batch)
+		terminal := j.state.terminal() && cursor == len(j.log)
+		j.mu.Unlock()
+		for _, ev := range batch {
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+		if terminal {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+func (j *Job) append(ev Event) {
+	j.mu.Lock()
+	j.log = append(j.log, ev)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+func (j *Job) progress(p core.Progress) {
+	j.append(Event{
+		Event: "phase", JobID: j.id,
+		Phase: string(p.Phase), PhaseDone: p.Done, ElapsedMS: ms(p.Elapsed),
+		Point: p.Point, Total: p.Total,
+	})
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.log = append(j.log, Event{Event: "running", JobID: j.id})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state JobState, res *Result, err error) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	ev := Event{Event: string(state), JobID: j.id}
+	if err != nil {
+		j.errMsg = err.Error()
+		ev.Error = j.errMsg
+	}
+	if res != nil {
+		ev.Result = res.view(j.req.IncludeSinkDelays)
+	}
+	j.log = append(j.log, ev)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// Config sizes the service.
+type Config struct {
+	// MaxQueued bounds the number of admitted-but-not-finished jobs the
+	// queue holds beyond the running set; admission control rejects
+	// submissions past it with ErrQueueFull. Default 64.
+	MaxQueued int
+	// MaxRunning is the number of jobs executing concurrently. Default 4.
+	MaxRunning int
+	// Workers is the total synthesis worker budget shared by the running
+	// jobs; each job runs with max(1, Workers/MaxRunning) workers. 0 means
+	// one worker per CPU. Budgets never affect results: the engine is
+	// deterministic in its worker count.
+	Workers int
+	// CacheEntries caps the result cache (LRU evicted). Default 128.
+	CacheEntries int
+	// RetainJobs caps the finished-job records kept for GET /jobs/{id};
+	// the oldest are forgotten first. Default 1024.
+	RetainJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 64
+	}
+	if c.MaxRunning <= 0 {
+		c.MaxRunning = 4
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	return c
+}
+
+// QueueStats is the jobs section of GET /stats.
+type QueueStats struct {
+	Submitted     int64 `json:"submitted"`
+	Rejected      int64 `json:"rejected"`
+	Queued        int64 `json:"queued"`
+	Running       int64 `json:"running"`
+	Done          int64 `json:"done"`
+	Failed        int64 `json:"failed"`
+	Cancelled     int64 `json:"cancelled"`
+	MaxQueued     int   `json:"max_queued"`
+	MaxRunning    int   `json:"max_running"`
+	WorkerBudget  int   `json:"worker_budget"`
+	PerJobWorkers int   `json:"per_job_workers"`
+}
+
+// Stats is the GET /stats payload.
+type Stats struct {
+	UptimeMS float64    `json:"uptime_ms"`
+	Jobs     QueueStats `json:"jobs"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// Queue runs jobs on a fixed pool of runners with bounded admission and a
+// shared result cache.
+type Queue struct {
+	cfg    Config
+	cache  *cache
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	pending chan *Job
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	finished []string // retention ring of finished job IDs, oldest first
+
+	nextID    atomic.Int64
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	doneCt    atomic.Int64
+	failedCt  atomic.Int64
+	cancelCt  atomic.Int64
+
+	start time.Time
+}
+
+// NewQueue starts the runner pool.
+func NewQueue(cfg Config) *Queue {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg: cfg, cache: newCache(cfg.CacheEntries),
+		ctx: ctx, cancel: cancel,
+		pending: make(chan *Job, cfg.MaxQueued),
+		jobs:    make(map[string]*Job),
+		start:   time.Now(),
+	}
+	q.wg.Add(cfg.MaxRunning)
+	for i := 0; i < cfg.MaxRunning; i++ {
+		go q.runner()
+	}
+	return q
+}
+
+// perJobWorkers is the worker budget handed to each running job.
+func (q *Queue) perJobWorkers() int {
+	w := par.N(q.cfg.Workers) / q.cfg.MaxRunning
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Submit validates, content-addresses and admits a request. An identical
+// request already served is answered from the cache with a job born done
+// (CacheHit set); otherwise the job enters the bounded queue or is rejected
+// with ErrQueueFull. Validation failures wrap ErrBadRequest. The benchmark
+// placement itself is materialized at execution, not here, so cache hits
+// and rejections stay cheap.
+func (q *Queue) Submit(req *Request, kind string) (*Job, error) {
+	if kind != KindSynthesize && kind != KindDSE {
+		return nil, fmt.Errorf("%w: unknown job kind %q", ErrBadRequest, kind)
+	}
+	design, sinks, err := req.validate(kind)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	q.submitted.Add(1)
+	ctx, cancel := context.WithCancel(q.ctx)
+	job := &Job{
+		id:   fmt.Sprintf("job-%06d", q.nextID.Add(1)),
+		kind: kind, key: req.Key(kind), req: req,
+		design: design, sinks: sinks,
+		ctx: ctx, cancel: cancel,
+		done: make(chan struct{}), state: StateQueued, created: time.Now(),
+	}
+	job.cond = sync.NewCond(&job.mu)
+	job.append(Event{Event: "queued", JobID: job.id})
+
+	if res, ok := q.cache.Get(job.key); ok {
+		job.cacheHit = true
+		if err := q.admit(job, false); err != nil {
+			return nil, err
+		}
+		job.finish(StateDone, res, nil)
+		q.doneCt.Add(1)
+		q.retire(job)
+		return job, nil
+	}
+	if err := q.admit(job, true); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// admit registers the job — and, when enqueue is set, places it on the
+// pending channel — atomically with respect to Close, so a job is either
+// rejected (ErrClosed/ErrQueueFull) or guaranteed to reach a terminal
+// state: anything admitted before Close is drained by it.
+func (q *Queue) admit(job *Job, enqueue bool) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		job.cancel()
+		return ErrClosed
+	}
+	if enqueue {
+		select {
+		case q.pending <- job:
+		default:
+			q.mu.Unlock()
+			q.rejected.Add(1)
+			job.cancel()
+			return ErrQueueFull
+		}
+	}
+	q.jobs[job.id] = job
+	q.mu.Unlock()
+	return nil
+}
+
+// Job looks up a job by ID.
+func (q *Queue) Job(id string) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel cancels a job by ID.
+func (q *Queue) Cancel(id string) (*Job, error) {
+	j, err := q.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.Cancel()
+	return j, nil
+}
+
+// Stats snapshots the queue and cache counters.
+func (q *Queue) Stats() Stats {
+	var queued, running int64
+	q.mu.Lock()
+	for _, j := range q.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	q.mu.Unlock()
+	return Stats{
+		UptimeMS: ms(time.Since(q.start)),
+		Jobs: QueueStats{
+			Submitted: q.submitted.Load(), Rejected: q.rejected.Load(),
+			Queued: queued, Running: running,
+			Done: q.doneCt.Load(), Failed: q.failedCt.Load(), Cancelled: q.cancelCt.Load(),
+			MaxQueued: q.cfg.MaxQueued, MaxRunning: q.cfg.MaxRunning,
+			WorkerBudget: par.N(q.cfg.Workers), PerJobWorkers: q.perJobWorkers(),
+		},
+		Cache: q.cache.Stats(),
+	}
+}
+
+// Close stops the runner pool: new submissions are rejected with
+// ErrClosed, running jobs are cancelled mid-phase, still queued jobs are
+// finished as cancelled, and Close blocks until every runner goroutine has
+// exited.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cancel()
+	q.wg.Wait()
+	// Drain jobs the runners never picked up.
+	for {
+		select {
+		case job := <-q.pending:
+			job.finish(StateCancelled, nil, context.Canceled)
+			q.cancelCt.Add(1)
+			q.retire(job)
+		default:
+			return
+		}
+	}
+}
+
+// retire records a finished job in the retention ring, forgetting the
+// oldest finished jobs beyond the cap.
+func (q *Queue) retire(job *Job) {
+	q.mu.Lock()
+	q.finished = append(q.finished, job.id)
+	for len(q.finished) > q.cfg.RetainJobs {
+		delete(q.jobs, q.finished[0])
+		q.finished = q.finished[1:]
+	}
+	q.mu.Unlock()
+}
+
+func (q *Queue) runner() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.ctx.Done():
+			return
+		case job := <-q.pending:
+			q.run(job)
+		}
+	}
+}
+
+func (q *Queue) run(job *Job) {
+	defer q.retire(job)
+	if job.ctx.Err() != nil { // cancelled while queued
+		job.finish(StateCancelled, nil, job.ctx.Err())
+		q.cancelCt.Add(1)
+		return
+	}
+	job.setRunning()
+	rv, err := job.req.resolve(job.kind)
+	if err != nil {
+		// Unreachable for a validated request; fail cleanly regardless.
+		job.finish(StateFailed, nil, err)
+		q.failedCt.Add(1)
+		return
+	}
+	opt := rv.opt
+	opt.Workers = q.perJobWorkers()
+	opt.Progress = job.progress
+
+	var result *Result
+	switch job.kind {
+	case KindSynthesize:
+		var o *core.Outcome
+		o, err = core.SynthesizeContext(job.ctx, rv.root, rv.sinks, rv.tc, opt)
+		if err == nil {
+			result = resultFromOutcome(job, o)
+		}
+	case KindDSE:
+		t0 := time.Now()
+		var pts []dse.Point
+		pts, err = dse.SweepFanoutContext(job.ctx, rv.root, rv.sinks, rv.tc, job.req.Thresholds, opt)
+		if err == nil {
+			result = &Result{
+				Kind: KindDSE, Design: job.design, Sinks: job.sinks,
+				Points: pts, TotalMS: ms(time.Since(t0)),
+			}
+		}
+	}
+	switch {
+	case err == nil:
+		q.cache.Put(job.key, result)
+		job.finish(StateDone, result, nil)
+		q.doneCt.Add(1)
+	case job.ctx.Err() != nil:
+		job.finish(StateCancelled, nil, err)
+		q.cancelCt.Add(1)
+	default:
+		job.finish(StateFailed, nil, err)
+		q.failedCt.Add(1)
+	}
+}
+
+func resultFromOutcome(job *Job, o *core.Outcome) *Result {
+	r := &Result{
+		Kind: KindSynthesize, Design: job.design, Sinks: job.sinks,
+		Metrics: o.Metrics,
+		DP:      &DPStats{Nodes: o.DP.Nodes, Solutions: o.DP.Solutions},
+		RouteMS: ms(o.RouteTime), InsertMS: ms(o.InsertTime),
+		RefineMS: ms(o.RefineTime), TotalMS: ms(o.TotalTime),
+	}
+	if o.Refine != nil {
+		r.Refine = &RefineStats{
+			Triggered: o.Refine.Triggered, Inserted: o.Refine.Inserted,
+			Attempted:    o.Refine.Attempted,
+			SkewBeforePS: o.Refine.Before.Skew, SkewAfterPS: o.Refine.After.Skew,
+		}
+	}
+	return r
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,250 @@
+// Package serve turns the synthesis library into a multi-tenant service: a
+// bounded job queue with admission control and per-job worker budgets, a
+// content-addressed result cache with LRU eviction and hit/miss metrics,
+// and an HTTP JSON API (POST /synthesize, POST /dse, GET /jobs/{id},
+// GET /healthz, GET /stats) with NDJSON progress streaming. The cmd/dsctsd
+// daemon wires it to a listener; Client is the matching Go client.
+//
+// Because the engine is deterministic in its worker count, the service can
+// shrink or grow a job's worker budget freely — every admitted job returns
+// Metrics bit-identical to a direct core.Synthesize call, and identical
+// requests are served from the cache.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+// XY is a JSON-friendly planar point (µm).
+type XY struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// OptionsSpec is the JSON view of the synthesis options a request may set.
+// It deliberately excludes the worker count: concurrency is a service
+// scheduling concern (per-job budgets), never part of the result identity —
+// the engine produces bit-identical Metrics for every worker count.
+type OptionsSpec struct {
+	// Mode is "double" (default) or "single".
+	Mode string `json:"mode,omitempty"`
+	// FanoutThreshold configures the heterogeneous DP (0 = full mode).
+	FanoutThreshold int `json:"fanout_threshold,omitempty"`
+	// Alpha, Beta, Gamma are the MOES weights; all-zero means the paper's
+	// 1, 10, 1.
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	Gamma float64 `json:"gamma,omitempty"`
+	// SkipRefine disables skew refinement.
+	SkipRefine bool `json:"skip_refine,omitempty"`
+	// SelectMinLatency picks the minimum-latency root instead of MOES.
+	SelectMinLatency bool `json:"select_min_latency,omitempty"`
+	// DiversePruning widens DP pruning with the resource axis.
+	DiversePruning bool `json:"diverse_pruning,omitempty"`
+	// MaxPerSide caps the DP solution set per side (0 = default).
+	MaxPerSide int `json:"max_per_side,omitempty"`
+	// UseFlatDME replaces hierarchical DME with matching-based DME.
+	UseFlatDME bool `json:"use_flat_dme,omitempty"`
+}
+
+// Request is the body of POST /synthesize and POST /dse. The instance is
+// either a named built-in benchmark (Design, Seed) or an explicit placement
+// (Root, Sinks); exactly one form must be given.
+type Request struct {
+	// Design names a built-in Table II benchmark (C1..C5 or name).
+	Design string `json:"design,omitempty"`
+	// Seed is the benchmark generation seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Root and Sinks give an explicit placement instead of Design.
+	Root  *XY  `json:"root,omitempty"`
+	Sinks []XY `json:"sinks,omitempty"`
+	// Tech selects the technology ("asap7" is the default and currently
+	// the only one).
+	Tech string `json:"tech,omitempty"`
+	// Options carries the synthesis knobs.
+	Options OptionsSpec `json:"options"`
+	// Thresholds is the fanout sweep for POST /dse (ignored by
+	// /synthesize).
+	Thresholds []int `json:"thresholds,omitempty"`
+	// IncludeSinkDelays asks the response to carry the per-sink delay map
+	// (it is large; off by default). Never part of the cache identity.
+	IncludeSinkDelays bool `json:"include_sink_delays,omitempty"`
+}
+
+// resolved is a validated request, ready to execute.
+type resolved struct {
+	design string
+	root   geom.Point
+	sinks  []geom.Point
+	tc     *tech.Tech
+	opt    core.Options
+}
+
+// validate checks everything resolve checks without materializing the
+// placement — benchmark generation is the expensive part of a request and
+// is deferred to job execution, so cache hits and queue-full rejections
+// never pay it. It returns the canonical design label (benchmark ID or
+// "custom") and the sink count. A request that validates cannot fail to
+// resolve.
+func (r *Request) validate(kind string) (design string, sinks int, err error) {
+	switch {
+	case r.Design != "" && (r.Root != nil || len(r.Sinks) > 0):
+		return "", 0, fmt.Errorf("give either design or root+sinks, not both")
+	case r.Design != "":
+		d, err := bench.ByID(r.Design)
+		if err != nil {
+			return "", 0, err
+		}
+		design, sinks = d.ID, d.FFs
+	case r.Root != nil && len(r.Sinks) > 0:
+		design, sinks = "custom", len(r.Sinks)
+	default:
+		return "", 0, fmt.Errorf("request needs a design or a root plus sinks")
+	}
+	switch r.Tech {
+	case "", "asap7":
+	default:
+		return "", 0, fmt.Errorf("unknown tech %q", r.Tech)
+	}
+	switch r.Options.Mode {
+	case "", "double", "single":
+	default:
+		return "", 0, fmt.Errorf("unknown mode %q (want \"double\" or \"single\")", r.Options.Mode)
+	}
+	if kind == KindDSE {
+		if len(r.Thresholds) == 0 {
+			return "", 0, fmt.Errorf("dse request needs thresholds")
+		}
+		for _, th := range r.Thresholds {
+			if th <= 0 {
+				return "", 0, fmt.Errorf("thresholds must be positive, got %d", th)
+			}
+		}
+	}
+	return design, sinks, nil
+}
+
+// resolve validates the request for the given job kind and materializes the
+// placement, technology and options.
+func (r *Request) resolve(kind string) (*resolved, error) {
+	design, _, err := r.validate(kind)
+	if err != nil {
+		return nil, err
+	}
+	out := &resolved{design: design, tc: tech.ASAP7()}
+	if r.Design != "" {
+		d, err := bench.ByID(r.Design)
+		if err != nil {
+			return nil, err
+		}
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p := bench.Generate(d, seed)
+		out.root, out.sinks = p.Root, p.Sinks
+	} else {
+		out.root = geom.Pt(r.Root.X, r.Root.Y)
+		out.sinks = make([]geom.Point, len(r.Sinks))
+		for i, s := range r.Sinks {
+			out.sinks[i] = geom.Pt(s.X, s.Y)
+		}
+	}
+	o := r.Options
+	if o.Mode == "single" {
+		out.opt.Mode = core.SingleSide
+	}
+	out.opt.FanoutThreshold = o.FanoutThreshold
+	out.opt.Alpha, out.opt.Beta, out.opt.Gamma = o.Alpha, o.Beta, o.Gamma
+	out.opt.SkipRefine = o.SkipRefine
+	out.opt.SelectMinLatency = o.SelectMinLatency
+	out.opt.DiversePruning = o.DiversePruning
+	out.opt.MaxPerSide = o.MaxPerSide
+	out.opt.UseFlatDME = o.UseFlatDME
+	return out, nil
+}
+
+// Key returns the content address of the request for the given job kind: a
+// hex SHA-256 over a canonical binary encoding of everything that
+// determines the result — the placement (by benchmark identity or exact
+// coordinate bits), the technology name, the option fields and, for DSE,
+// the threshold sweep. Scheduling knobs (worker budgets) and response-shape
+// knobs (IncludeSinkDelays) are excluded, so requests differing only in
+// those share one cache entry.
+func (r *Request) Key(kind string) string {
+	h := sha256.New()
+	ws := func(s string) {
+		binary.Write(h, binary.LittleEndian, uint32(len(s)))
+		io.WriteString(h, s)
+	}
+	wi := func(v int64) { binary.Write(h, binary.LittleEndian, v) }
+	wf := func(v float64) { binary.Write(h, binary.LittleEndian, math.Float64bits(v)) }
+	wb := func(v bool) {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	ws("dscts-request-v1")
+	ws(kind)
+	tc := r.Tech
+	if tc == "" {
+		tc = "asap7"
+	}
+	ws(tc)
+	if r.Design != "" {
+		ws("design")
+		// Canonicalize: bench.ByID accepts both the ID and the name, and
+		// both spellings must share one cache entry.
+		name := r.Design
+		if d, err := bench.ByID(r.Design); err == nil {
+			name = d.ID
+		}
+		ws(name)
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		wi(seed)
+	} else {
+		ws("explicit")
+		if r.Root != nil {
+			wf(r.Root.X)
+			wf(r.Root.Y)
+		}
+		wi(int64(len(r.Sinks)))
+		for _, s := range r.Sinks {
+			wf(s.X)
+			wf(s.Y)
+		}
+	}
+	o := r.Options
+	ws(o.Mode)
+	wi(int64(o.FanoutThreshold))
+	wf(o.Alpha)
+	wf(o.Beta)
+	wf(o.Gamma)
+	wb(o.SkipRefine)
+	wb(o.SelectMinLatency)
+	wb(o.DiversePruning)
+	wi(int64(o.MaxPerSide))
+	wb(o.UseFlatDME)
+	if kind == KindDSE {
+		wi(int64(len(r.Thresholds)))
+		for _, th := range r.Thresholds {
+			wi(int64(th))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server is the HTTP face of the job queue.
+//
+//	POST /synthesize        run the full flow            (body: Request)
+//	POST /dse               run a fanout-threshold sweep (body: Request)
+//	GET  /jobs/{id}         job snapshot (with result when done)
+//	POST /jobs/{id}/cancel  stop a queued or running job
+//	GET  /healthz           liveness
+//	GET  /stats             queue + cache counters
+//
+// POST endpoints take ?mode=sync (default), async or stream. Sync waits for
+// the job and returns its final snapshot; the job is cancelled if the
+// client disconnects. Async returns 202 with the queued job's snapshot;
+// poll GET /jobs/{id}. Stream responds with NDJSON (application/x-ndjson):
+// one Event per line — lifecycle transitions and per-phase progress — ending
+// with the terminal event, which carries the result; disconnecting mid-
+// stream cancels the job.
+type Server struct {
+	queue *Queue
+	mux   *http.ServeMux
+}
+
+// NewServer builds a Server with its own queue.
+func NewServer(cfg Config) *Server {
+	s := &Server{queue: NewQueue(cfg), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /synthesize", func(w http.ResponseWriter, r *http.Request) {
+		s.submit(w, r, KindSynthesize)
+	})
+	s.mux.HandleFunc("POST /dse", func(w http.ResponseWriter, r *http.Request) {
+		s.submit(w, r, KindDSE)
+	})
+	s.mux.HandleFunc("GET /jobs/{id}", s.job)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /stats", s.stats)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Queue exposes the underlying queue (stats, direct submission).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Close stops the queue; see Queue.Close.
+func (s *Server) Close() { s.queue.Close() }
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "sync"
+	}
+	job, err := s.queue.Submit(&req, kind)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrBadRequest):
+			writeErr(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	switch mode {
+	case "async":
+		writeJSON(w, http.StatusAccepted, job.Info())
+	case "stream":
+		s.stream(w, r, job)
+	case "sync":
+		// Tie the job to the request: a disconnected client must not keep
+		// burning workers.
+		select {
+		case <-job.Done():
+			writeJSON(w, http.StatusOK, job.Info())
+		case <-r.Context().Done():
+			job.Cancel()
+			<-job.Done()
+			writeErr(w, http.StatusRequestTimeout, fmt.Errorf("client went away; job %s cancelled", job.ID()))
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want sync, async or stream)", mode))
+	}
+}
+
+// stream writes the job's event log as NDJSON until the terminal event.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := job.Follow(r.Context(), func(ev Event) error {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// Client went away (or the write failed, same thing): stop the job.
+		job.Cancel()
+	}
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) {
+	job, err := s.queue.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if r.URL.Query().Get("mode") == "stream" {
+		s.stream(w, r, job)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.queue.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
