@@ -1,14 +1,17 @@
 # Tier-1 verification and benchmarking entry points.
 #
-#   make ci      - build + vet + test (what the roadmap calls tier-1)
-#   make race    - race detector on the determinism + service suites
+#   make ci      - build + vet + test + fuzz smoke (what the roadmap calls tier-1)
+#   make race    - race detector on the determinism + corner + service suites
+#   make fuzz    - 10s fuzz smoke per parser target (DEF, LEF)
+#   make golden  - golden-metrics regression suite (make golden-update re-pins)
 #   make bench   - the substrate + parallel-engine benchmarks
 #   make report  - regenerate BENCH_parallel.json
 #   make load    - regenerate BENCH_serve.json (service load test)
+#   make corners - regenerate BENCH_corners.json (multi-corner sign-off scaling)
 
 GO ?= go
 
-.PHONY: all build test vet ci race bench report load
+.PHONY: all build test vet ci race fuzz golden golden-update bench report load corners
 
 all: ci
 
@@ -23,14 +26,28 @@ vet:
 test:
 	$(GO) test ./...
 
-ci: build vet test
+ci: build vet test fuzz
 
 race:
-	$(GO) test -race -count=1 -run 'Determinism|Parallel' .
+	$(GO) test -race -count=1 -run 'Determinism|Parallel|Corner' .
 	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 ./internal/corner/
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParseDEF -fuzztime 10s ./internal/def
+	$(GO) test -run xxx -fuzz FuzzParseLEF -fuzztime 10s ./internal/lef
+
+golden:
+	$(GO) test -run TestGoldenMetrics .
+
+golden-update:
+	$(GO) test -run TestGoldenMetrics -update .
 
 load:
 	$(GO) run ./cmd/benchgen -load
+
+corners:
+	$(GO) run ./cmd/benchgen -corners-out BENCH_corners.json
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSubstrates|BenchmarkParallelSynthesize' -benchmem .

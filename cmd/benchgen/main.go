@@ -16,6 +16,12 @@
 // machine-readable BENCH_serve.json:
 //
 //	benchgen -load [-load-jobs 40] [-load-conc 8] [-load-distinct 20] [-load-out BENCH_serve.json]
+//
+// With -corners-out it measures the multi-corner sign-off evaluator (one
+// synthesized tree swept across K interpolated PVT corners, at one worker
+// and at GOMAXPROCS) and writes the corner-scaling report:
+//
+//	benchgen -corners-out BENCH_corners.json
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 		benchOut = flag.String("bench-out", "BENCH_parallel.json", "report path for -bench")
 		doLoad   = flag.Bool("load", false, "replay concurrent jobs against an in-process dsctsd and write a JSON report")
 		loadOut  = flag.String("load-out", "BENCH_serve.json", "report path for -load")
+		doCorner = flag.String("corners-out", "", "measure multi-corner sign-off scaling and write the JSON report to this path (e.g. BENCH_corners.json)")
 		loadJobs = flag.Int("load-jobs", 40, "total jobs to replay with -load")
 		loadConc = flag.Int("load-conc", 8, "concurrent clients (and running-job slots) for -load")
 		loadDist = flag.Int("load-distinct", 0, "distinct request shapes for -load (0 = jobs/2, so half the replay can hit the cache)")
@@ -50,6 +57,12 @@ func main() {
 	}
 	if *doLoad {
 		if err := runLoad(*loadOut, *loadJobs, *loadConc, *loadDist); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *doCorner != "" {
+		if err := runCorners(*doCorner); err != nil {
 			fatal(err)
 		}
 		return

@@ -13,6 +13,7 @@ import (
 
 	"dscts/internal/bench"
 	"dscts/internal/core"
+	"dscts/internal/corner"
 	"dscts/internal/def"
 	"dscts/internal/export"
 	"dscts/internal/power"
@@ -36,9 +37,30 @@ func main() {
 		showPower = flag.Bool("power", false, "print the clock power breakdown @1GHz/0.7V")
 		workers   = flag.Int("workers", 0, "worker pool size for all phases (0 = all CPUs; results are identical for any value)")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable metrics JSON to stdout instead of the human report")
+		cornerSet = flag.String("corners", "", "comma-separated PVT corners for multi-corner sign-off (slow,typ,fast)")
+		cornersIn = flag.String("corners-file", "", "JSON file of custom corners for sign-off (overrides -corners)")
 	)
 	flag.Parse()
 	tc := tech.ASAP7()
+
+	var corners []corner.Corner
+	switch {
+	case *cornersIn != "":
+		f, err := os.Open(*cornersIn)
+		if err != nil {
+			fatal(err)
+		}
+		corners, err = corner.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *cornerSet != "":
+		var err error
+		if corners, err = corner.ParseList(*cornerSet); err != nil {
+			fatal(err)
+		}
+	}
 
 	var rootX, rootY float64
 	var sinks int
@@ -47,6 +69,7 @@ func main() {
 		SkipRefine:      *skipSR,
 		Alpha:           *alpha, Beta: *beta, Gamma: *gamma,
 		Workers: *workers,
+		Corners: corners,
 	}
 	if *single {
 		opt.Mode = core.SingleSide
@@ -95,13 +118,30 @@ func main() {
 		rep := jsonReport{
 			Design: p.Design.Name, Sinks: sinks,
 			Root:      xy{rootX, rootY},
+			Model:     "elmore",
 			LatencyPS: m.Latency, SkewPS: m.Skew,
 			Buffers: m.Buffers, NTSVs: m.NTSVs, WLum: m.WL,
 			RuntimeS: runtimes{
 				Total: out.TotalTime.Seconds(), Route: out.RouteTime.Seconds(),
 				Insert: out.InsertTime.Seconds(), Refine: out.RefineTime.Seconds(),
+				Corners: out.CornersTime.Seconds(),
 			},
 			DP: dpStats{Nodes: out.DP.Nodes, Solutions: out.DP.Solutions},
+		}
+		if out.Corners != nil {
+			for _, res := range out.Corners.Results {
+				rep.Corners = append(rep.Corners, cornerStats{
+					Name:      res.Corner.Name,
+					LatencyPS: res.Metrics.Latency,
+					SkewPS:    res.Metrics.Skew,
+				})
+			}
+			s := out.Corners.Summary
+			rep.Worst = &worstStats{
+				SkewPS: s.WorstSkew, SkewCorner: s.WorstSkewCorner,
+				LatencyPS: s.WorstLatency, LatencyCorner: s.WorstLatencyCorner,
+				LatencySpreadPS: s.LatencySpread, MaxDivergencePS: s.MaxDivergence,
+			}
 		}
 		if out.Refine != nil {
 			rep.Refine = &refineStats{
@@ -131,6 +171,18 @@ func main() {
 				out.Refine.Inserted, out.Refine.Before.Skew, out.Refine.After.Skew)
 		}
 		fmt.Printf("DP: %d nodes, %d candidate solutions\n", out.DP.Nodes, out.DP.Solutions)
+		if out.Corners != nil {
+			fmt.Printf("corner sign-off (%d corners, %.3fs):\n", len(out.Corners.Results), out.CornersTime.Seconds())
+			fmt.Printf("  %-10s %12s %10s\n", "corner", "latency(ps)", "skew(ps)")
+			for _, res := range out.Corners.Results {
+				fmt.Printf("  %-10s %12.3f %10.3f\n", res.Corner.Name, res.Metrics.Latency, res.Metrics.Skew)
+			}
+			s := out.Corners.Summary
+			fmt.Printf("  worst skew %.3f ps (%s), worst latency %.3f ps (%s)\n",
+				s.WorstSkew, s.WorstSkewCorner, s.WorstLatency, s.WorstLatencyCorner)
+			fmt.Printf("  latency spread %.3f ps, max per-sink divergence %.3f ps\n",
+				s.LatencySpread, s.MaxDivergence)
+		}
 		if pw != nil {
 			fmt.Printf("power    %.3f mW @1GHz (switching %.3f, buffer internal %.3f)\n",
 				pw.TotalMW, pw.SwitchingMW, pw.InternalMW)
@@ -169,18 +221,40 @@ func main() {
 // jsonReport is the -json output: everything the human report prints, as
 // one stable machine-readable object on stdout.
 type jsonReport struct {
-	Design    string       `json:"design"`
-	Sinks     int          `json:"sinks"`
-	Root      xy           `json:"root"`
-	LatencyPS float64      `json:"latency_ps"`
-	SkewPS    float64      `json:"skew_ps"`
-	Buffers   int          `json:"buffers"`
-	NTSVs     int          `json:"ntsvs"`
-	WLum      float64      `json:"wirelength_um"`
-	RuntimeS  runtimes     `json:"runtime_s"`
-	DP        dpStats      `json:"dp"`
-	Refine    *refineStats `json:"refine,omitempty"`
-	Power     *powerStats  `json:"power,omitempty"`
+	Design string `json:"design"`
+	Sinks  int    `json:"sinks"`
+	Root   xy     `json:"root"`
+	// Model names the delay model behind the top-level metrics, so
+	// machine consumers can distinguish future evaluation modes.
+	Model     string        `json:"model"`
+	LatencyPS float64       `json:"latency_ps"`
+	SkewPS    float64       `json:"skew_ps"`
+	Buffers   int           `json:"buffers"`
+	NTSVs     int           `json:"ntsvs"`
+	WLum      float64       `json:"wirelength_um"`
+	RuntimeS  runtimes      `json:"runtime_s"`
+	DP        dpStats       `json:"dp"`
+	Refine    *refineStats  `json:"refine,omitempty"`
+	Power     *powerStats   `json:"power,omitempty"`
+	Corners   []cornerStats `json:"corners,omitempty"`
+	Worst     *worstStats   `json:"worst,omitempty"`
+}
+
+// cornerStats is one corner's row of the -corners sign-off output.
+type cornerStats struct {
+	Name      string  `json:"name"`
+	LatencyPS float64 `json:"latency_ps"`
+	SkewPS    float64 `json:"skew_ps"`
+}
+
+// worstStats is the cross-corner summary of the -corners output.
+type worstStats struct {
+	SkewPS          float64 `json:"skew_ps"`
+	SkewCorner      string  `json:"skew_corner"`
+	LatencyPS       float64 `json:"latency_ps"`
+	LatencyCorner   string  `json:"latency_corner"`
+	LatencySpreadPS float64 `json:"latency_spread_ps"`
+	MaxDivergencePS float64 `json:"max_divergence_ps"`
 }
 
 type xy struct {
@@ -189,10 +263,11 @@ type xy struct {
 }
 
 type runtimes struct {
-	Total  float64 `json:"total"`
-	Route  float64 `json:"route"`
-	Insert float64 `json:"insert"`
-	Refine float64 `json:"refine"`
+	Total   float64 `json:"total"`
+	Route   float64 `json:"route"`
+	Insert  float64 `json:"insert"`
+	Refine  float64 `json:"refine"`
+	Corners float64 `json:"corners,omitempty"`
 }
 
 type dpStats struct {

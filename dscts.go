@@ -67,6 +67,7 @@ import (
 	"dscts/internal/baseline"
 	"dscts/internal/bench"
 	"dscts/internal/core"
+	"dscts/internal/corner"
 	"dscts/internal/ctree"
 	"dscts/internal/def"
 	"dscts/internal/dse"
@@ -149,12 +150,37 @@ type Phase = core.Phase
 
 // The flow's phases as reported in Progress events.
 const (
-	PhaseRoute  Phase = core.PhaseRoute
-	PhaseInsert Phase = core.PhaseInsert
-	PhaseRefine Phase = core.PhaseRefine
-	PhaseEval   Phase = core.PhaseEval
-	PhaseSweep  Phase = core.PhaseSweep
+	PhaseRoute   Phase = core.PhaseRoute
+	PhaseInsert  Phase = core.PhaseInsert
+	PhaseRefine  Phase = core.PhaseRefine
+	PhaseEval    Phase = core.PhaseEval
+	PhaseSweep   Phase = core.PhaseSweep
+	PhaseCorners Phase = core.PhaseCorners
 )
+
+// Corner is one named PVT corner: multiplicative derating factors on the
+// technology's delay-relevant axes (wire RC, buffer R/C/intrinsic and the
+// derived NLDM table, nTSV RC, sink pin cap).
+type Corner = corner.Corner
+
+// CornerReport is a multi-corner sign-off: per-corner Metrics in corner
+// order plus the cross-corner summary (worst-corner skew and latency,
+// latency spread, max per-sink divergence).
+type CornerReport = corner.Report
+
+// SignoffCorners returns the built-in slow/typ/fast ASAP7 sign-off set.
+func SignoffCorners() []Corner { return corner.Presets() }
+
+// CornerByName resolves a built-in corner preset ("slow", "typ", "fast").
+func CornerByName(name string) (Corner, error) { return corner.ByName(name) }
+
+// EvaluateCorners signs a finished clock tree off across PVT corners,
+// fanning the per-corner evaluations out over `workers` (0 = all CPUs).
+// Results are bit-identical for every worker count and corner order; set
+// Options.Corners instead to run sign-off as part of Synthesize.
+func EvaluateCorners(t *Tree, tc *Tech, corners []Corner, workers int) (*CornerReport, error) {
+	return corner.Evaluate(context.Background(), t, tc, corners, corner.Options{Workers: workers})
+}
 
 // Evaluate computes metrics for any (possibly externally built) clock tree
 // using the Elmore model.
@@ -257,6 +283,30 @@ func ParetoLatency(pts []DSEPoint) []DSEPoint {
 // (#buffers+#nTSVs, skew).
 func ParetoSkew(pts []DSEPoint) []DSEPoint {
 	return dse.Pareto(pts, dse.Resources, dse.Skew)
+}
+
+// DSECornerPoint is one explored solution evaluated across PVT corners.
+type DSECornerPoint = dse.CornerPoint
+
+// ExploreFanoutCorners is ExploreFanout with multi-corner sign-off: each
+// threshold's tree is evaluated at every corner, and cross-corner Pareto
+// extraction (ParetoCornersLatency/ParetoCornersSkew) treats a point as
+// dominated only if no corner worsens.
+func ExploreFanoutCorners(ctx context.Context, root Point, sinks []Point, tc *Tech, thresholds []int, corners []Corner, opt Options) ([]DSECornerPoint, error) {
+	return dse.SweepFanoutCorners(ctx, root, sinks, tc, thresholds, corners, opt)
+}
+
+// ParetoCornersLatency extracts the cross-corner front over
+// (#buffers+#nTSVs, latency): dominance requires being no worse at every
+// corner.
+func ParetoCornersLatency(pts []DSECornerPoint) []DSECornerPoint {
+	return dse.ParetoCorners(pts, dse.Resources, dse.Latency)
+}
+
+// ParetoCornersSkew extracts the cross-corner front over
+// (#buffers+#nTSVs, skew).
+func ParetoCornersSkew(pts []DSECornerPoint) []DSECornerPoint {
+	return dse.ParetoCorners(pts, dse.Resources, dse.Skew)
 }
 
 // PowerParams are the operating conditions for clock power estimation.

@@ -1,0 +1,141 @@
+package dscts
+
+// Golden-metrics regression suite: the single-corner (typical) Metrics of
+// every built-in benchmark are pinned in testdata/golden/*.json so a
+// refactor that silently drifts results — a reordered reduction, a changed
+// default, an "equivalent" algorithm swap — fails here instead of shipping.
+//
+// The engine is deterministic (TestWorkersDeterminism), so the pins use a
+// tight relative tolerance rather than exact equality only to absorb
+// cross-architecture floating-point differences (e.g. FMA contraction).
+// Intentional result changes re-pin with:
+//
+//	go test -run TestGoldenMetrics -update .
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden snapshots from the current engine")
+
+// goldenMetrics is one design's pinned numbers. Floats carry a relative
+// tolerance; counts are exact.
+type goldenMetrics struct {
+	Design    string  `json:"design"`
+	Sinks     int     `json:"sinks"`
+	LatencyPS float64 `json:"latency_ps"`
+	SkewPS    float64 `json:"skew_ps"`
+	WLum      float64 `json:"wirelength_um"`
+	Buffers   int     `json:"buffers"`
+	NTSVs     int     `json:"ntsvs"`
+	PowerMW   float64 `json:"power_total_mw"`
+}
+
+// goldenRelTol is the relative tolerance for pinned floats: far below any
+// real regression (which moves results by percents), far above any
+// cross-platform FP noise (ulps).
+const goldenRelTol = 1e-6
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".json")
+}
+
+func currentGolden(t *testing.T, id string) goldenMetrics {
+	t.Helper()
+	tc := ASAP7()
+	p, err := GenerateBenchmark(id, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := EstimatePower(out.Tree, tc, DefaultPowerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.Metrics
+	return goldenMetrics{
+		Design: id, Sinks: len(p.Sinks),
+		LatencyPS: m.Latency, SkewPS: m.Skew, WLum: m.WL,
+		Buffers: m.Buffers, NTSVs: m.NTSVs,
+		PowerMW: pw.TotalMW,
+	}
+}
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= goldenRelTol*scale
+}
+
+func TestGoldenMetrics(t *testing.T) {
+	for _, id := range Benchmarks() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && id != "C4" && id != "C5" {
+				t.Skip("large design skipped with -short")
+			}
+			got := currentGolden(t, id)
+			path := goldenPath(id)
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				data = append(data, '\n')
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+			}
+			var want goldenMetrics
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden snapshot %s: %v", path, err)
+			}
+			var diffs []string
+			intEq := func(name string, g, w int) {
+				if g != w {
+					diffs = append(diffs, fmt.Sprintf("%s: got %d, pinned %d", name, g, w))
+				}
+			}
+			fltEq := func(name string, g, w float64) {
+				if !relClose(g, w) {
+					diffs = append(diffs, fmt.Sprintf("%s: got %.9g, pinned %.9g (rel %.2g)",
+						name, g, w, math.Abs(g-w)/math.Max(math.Abs(g), math.Abs(w))))
+				}
+			}
+			intEq("sinks", got.Sinks, want.Sinks)
+			intEq("buffers", got.Buffers, want.Buffers)
+			intEq("ntsvs", got.NTSVs, want.NTSVs)
+			fltEq("latency_ps", got.LatencyPS, want.LatencyPS)
+			fltEq("skew_ps", got.SkewPS, want.SkewPS)
+			fltEq("wirelength_um", got.WLum, want.WLum)
+			fltEq("power_total_mw", got.PowerMW, want.PowerMW)
+			if len(diffs) > 0 {
+				t.Errorf("%s drifted from golden snapshot %s:\n  %s\n(re-pin deliberate changes with: go test -run TestGoldenMetrics -update .)",
+					id, path, diffs[0])
+				for _, d := range diffs[1:] {
+					t.Errorf("  %s", d)
+				}
+			}
+		})
+	}
+}

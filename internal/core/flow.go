@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dscts/internal/cluster"
+	"dscts/internal/corner"
 	"dscts/internal/ctree"
 	"dscts/internal/dme"
 	"dscts/internal/eval"
@@ -39,11 +40,12 @@ type Phase string
 // The flow's phases, in execution order. PhaseSweep is emitted by DSE
 // sweeps (one event per completed sweep point) rather than by Synthesize.
 const (
-	PhaseRoute  Phase = "route"
-	PhaseInsert Phase = "insert"
-	PhaseRefine Phase = "refine"
-	PhaseEval   Phase = "eval"
-	PhaseSweep  Phase = "sweep"
+	PhaseRoute   Phase = "route"
+	PhaseInsert  Phase = "insert"
+	PhaseRefine  Phase = "refine"
+	PhaseEval    Phase = "eval"
+	PhaseSweep   Phase = "sweep"
+	PhaseCorners Phase = "corners"
 )
 
 // Progress is one flow progress event. For synthesis phases, Done marks the
@@ -112,9 +114,18 @@ type Options struct {
 	// Metrics — parallel loops only distribute pure per-item work and all
 	// floating-point reductions run in a fixed order.
 	Workers int
+	// Corners, when non-empty, runs multi-corner sign-off after the flow:
+	// the finished tree is re-evaluated under each PVT corner (fanned out
+	// on the same worker budget) and Outcome.Corners carries the
+	// per-corner Metrics plus the cross-corner summary. Corners never
+	// affect synthesis itself — the tree is built at the typical corner —
+	// and the per-corner results are deterministic in both the worker
+	// count and the corner order (merge order follows this slice).
+	Corners []corner.Corner
 	// Progress, when non-nil, receives one event at the start and end of
-	// each phase (and per completed point in DSE sweeps). It never affects
-	// results. Must be safe for concurrent use; see ProgressFunc.
+	// each phase (per completed point in DSE sweeps, and per completed
+	// corner in multi-corner sign-off). It never affects results. Must be
+	// safe for concurrent use; see ProgressFunc.
 	Progress ProgressFunc
 }
 
@@ -125,12 +136,16 @@ type Outcome struct {
 	DP      *insert.Result
 	Refine  *refine.Report
 	Dual    *cluster.Dual
+	// Corners is the multi-corner sign-off report (nil unless
+	// Options.Corners was set).
+	Corners *corner.Report
 
 	// Phase runtimes.
-	RouteTime  time.Duration
-	InsertTime time.Duration
-	RefineTime time.Duration
-	TotalTime  time.Duration
+	RouteTime   time.Duration
+	InsertTime  time.Duration
+	RefineTime  time.Duration
+	CornersTime time.Duration
+	TotalTime   time.Duration
 }
 
 // Synthesize runs the full flow on the given clock root and sink placement.
@@ -155,6 +170,12 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 	}
 	if len(sinks) == 0 {
 		return nil, fmt.Errorf("core: no sinks")
+	}
+	// Reject a bad corner list before spending the whole synthesis on it.
+	if len(opt.Corners) > 0 {
+		if err := corner.ValidateSet(opt.Corners); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	start := time.Now()
 
@@ -278,6 +299,28 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 	}
 	out.Metrics = m
 	emit(PhaseEval, true, time.Since(t3))
+
+	// Multi-corner sign-off: re-evaluate the finished tree per PVT corner.
+	if len(opt.Corners) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		emit(PhaseCorners, false, 0)
+		t4 := time.Now()
+		copt := corner.Options{Workers: opt.Workers}
+		if opt.Progress != nil {
+			copt.OnCorner = func(done, total int) {
+				opt.Progress(Progress{Phase: PhaseCorners, Point: done, Total: total})
+			}
+		}
+		rep, err := corner.Evaluate(ctx, tree, tc, opt.Corners, copt)
+		if err != nil {
+			return nil, fmt.Errorf("core: corners: %w", err)
+		}
+		out.Corners = rep
+		out.CornersTime = time.Since(t4)
+		emit(PhaseCorners, true, out.CornersTime)
+	}
 	out.TotalTime = time.Since(start)
 	return out, nil
 }

@@ -1,0 +1,146 @@
+package corner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"dscts/internal/ctree"
+	"dscts/internal/eval"
+	"dscts/internal/par"
+	"dscts/internal/tech"
+)
+
+// Result is one corner's evaluation of a finished clock tree.
+type Result struct {
+	Corner  Corner        `json:"corner"`
+	Metrics *eval.Metrics `json:"metrics"`
+}
+
+// Summary carries the derived cross-corner numbers: which corner is worst
+// on each axis, how far the corners spread, and how much any single sink's
+// delay diverges across corners.
+type Summary struct {
+	// WorstSkew is the maximum skew over corners, and WorstSkewCorner the
+	// corner that attains it (first in corner order on ties).
+	WorstSkew       float64 `json:"worst_skew_ps"`
+	WorstSkewCorner string  `json:"worst_skew_corner"`
+	// WorstLatency / WorstLatencyCorner likewise for latency.
+	WorstLatency       float64 `json:"worst_latency_ps"`
+	WorstLatencyCorner string  `json:"worst_latency_corner"`
+	// LatencySpread is max-minus-min latency across corners: how much the
+	// tree's insertion-to-capture window moves with PVT.
+	LatencySpread float64 `json:"latency_spread_ps"`
+	// MaxDivergence is the worst per-sink cross-corner delay spread: the
+	// maximum over sinks of (max-min delay to that sink across corners).
+	// Unlike LatencySpread it catches sinks whose delay reorders between
+	// corners even when the envelope stays put.
+	MaxDivergence float64 `json:"max_divergence_ps"`
+}
+
+// Report is the multi-corner sign-off of one tree: per-corner Metrics in
+// the caller's corner order plus the cross-corner Summary.
+type Report struct {
+	Results []Result `json:"results"`
+	Summary Summary  `json:"summary"`
+}
+
+// ByName returns the result for the named corner, or nil.
+func (r *Report) ByName(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Corner.Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Options configures Evaluate.
+type Options struct {
+	// Mode selects the per-corner delay model (eval.Elmore default, or
+	// eval.NLDM for table-based sign-off).
+	Mode eval.Mode
+	// Workers bounds the corner fan-out (0 or negative = one per CPU).
+	// Results are bit-identical for every worker count: each corner's
+	// evaluation is a pure function of (tree, tech, corner) and results
+	// merge in corner order.
+	Workers int
+	// OnCorner, when non-nil, is called after each corner completes with
+	// the completed and total counts. It may be called from multiple
+	// goroutines.
+	OnCorner func(done, total int)
+}
+
+// Evaluate signs off a finished clock tree across the given corners: each
+// corner derives its own technology view (Corner.Apply), evaluates the
+// tree under it, and the per-corner Metrics merge in corner order. Corners
+// are embarrassingly parallel; opt.Workers bounds the fan-out on the
+// shared worker budget. A cancelled ctx stops scheduling further corners
+// and returns an error wrapping ctx.Err().
+func Evaluate(ctx context.Context, t *ctree.Tree, tc *tech.Tech, corners []Corner, opt Options) (*Report, error) {
+	if err := ValidateSet(corners); err != nil {
+		return nil, err
+	}
+	rep := &Report{Results: make([]Result, len(corners))}
+	errs := make([]error, len(corners))
+	var done atomic.Int64
+	par.ForEach(opt.Workers, len(corners), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		c := corners[i].Normalize()
+		ctc := c.Apply(tc)
+		m, err := eval.New(ctc, opt.Mode).Evaluate(t)
+		if err != nil {
+			errs[i] = fmt.Errorf("corner %s: %w", c.Name, err)
+			return
+		}
+		rep.Results[i] = Result{Corner: c, Metrics: m}
+		if opt.OnCorner != nil {
+			opt.OnCorner(int(done.Add(1)), len(corners))
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("corner: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Summary = summarize(rep.Results)
+	return rep, nil
+}
+
+// summarize computes the cross-corner numbers. Every reduction is a pure
+// max/min, so the result is independent of iteration order; corner ties
+// resolve to the first corner in caller order.
+func summarize(results []Result) Summary {
+	s := Summary{WorstSkew: math.Inf(-1), WorstLatency: math.Inf(-1)}
+	minLat := math.Inf(1)
+	for _, r := range results {
+		if r.Metrics.Skew > s.WorstSkew {
+			s.WorstSkew = r.Metrics.Skew
+			s.WorstSkewCorner = r.Corner.Name
+		}
+		if r.Metrics.Latency > s.WorstLatency {
+			s.WorstLatency = r.Metrics.Latency
+			s.WorstLatencyCorner = r.Corner.Name
+		}
+		minLat = math.Min(minLat, r.Metrics.Latency)
+	}
+	s.LatencySpread = s.WorstLatency - minLat
+	// Per-sink divergence across corners. Sink delay maps share one key
+	// set (same tree under every corner).
+	for sink, d0 := range results[0].Metrics.SinkDelays {
+		lo, hi := d0, d0
+		for _, r := range results[1:] {
+			d := r.Metrics.SinkDelays[sink]
+			lo = math.Min(lo, d)
+			hi = math.Max(hi, d)
+		}
+		s.MaxDivergence = math.Max(s.MaxDivergence, hi-lo)
+	}
+	return s
+}

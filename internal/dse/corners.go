@@ -1,0 +1,106 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"dscts/internal/core"
+	"dscts/internal/corner"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+// CornerPoint is one explored solution evaluated across PVT corners: the
+// swept knob value plus one Point per corner, in the sweep's corner order.
+// The resource counts and wirelength are corner-independent (the same tree
+// is signed off everywhere); latency and skew vary per corner.
+type CornerPoint struct {
+	Param   float64
+	Corners []Point // Flow is "ours-dse@<corner>"
+}
+
+// Worst returns the maximum of the objective over corners — the sign-off
+// value of the point under that objective.
+func (p CornerPoint) Worst(f Objective) float64 {
+	worst := f(p.Corners[0])
+	for _, q := range p.Corners[1:] {
+		if v := f(q); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// SweepFanoutCorners is SweepFanout with multi-corner sign-off: every
+// threshold's synthesis is followed by a corner sweep of its tree, and the
+// result carries one Point per corner. Sweep points remain independent
+// whole syntheses running concurrently under base.Workers; within each
+// point the corner evaluations reuse the point's inner worker budget.
+// Output order follows thresholds × corners and is identical for every
+// worker count.
+func SweepFanoutCorners(ctx context.Context, root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds []int, corners []corner.Corner, base core.Options) ([]CornerPoint, error) {
+	if len(corners) == 0 {
+		return nil, fmt.Errorf("dse: no corners")
+	}
+	out := make([]CornerPoint, len(thresholds))
+	err := sweepFanout(ctx, root, sinks, tc, thresholds, corners, base, func(i int, o *core.Outcome) {
+		cp := CornerPoint{Param: float64(thresholds[i]), Corners: make([]Point, len(corners))}
+		for ci, res := range o.Corners.Results {
+			cp.Corners[ci] = fromMetrics("ours-dse@"+res.Corner.Name, float64(thresholds[i]), res.Metrics)
+		}
+		out[i] = cp
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParetoCorners extracts the cross-corner Pareto front: a point q
+// dominates p only if q is no worse than p in every objective at EVERY
+// corner, and strictly better in at least one (corner, objective) pair.
+// This is stricter than single-corner dominance — a candidate that wins at
+// the typical corner but regresses the slow corner does not dominate — so
+// the cross-corner front is a superset of any single corner's front
+// (restricted to the same point set). All points must carry the same
+// corner count. The front is sorted by the worst-corner value of the
+// first objective.
+func ParetoCorners(pts []CornerPoint, objs ...Objective) []CornerPoint {
+	if len(objs) == 0 {
+		return nil
+	}
+	var out []CornerPoint
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j || len(q.Corners) != len(p.Corners) {
+				continue
+			}
+			noWorse, better := true, false
+			for c := range p.Corners {
+				for _, f := range objs {
+					if f(q.Corners[c]) > f(p.Corners[c])+1e-12 {
+						noWorse = false
+						break
+					}
+					if f(q.Corners[c]) < f(p.Corners[c])-1e-12 {
+						better = true
+					}
+				}
+				if !noWorse {
+					break
+				}
+			}
+			if noWorse && better {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Worst(objs[0]) < out[b].Worst(objs[0]) })
+	return out
+}

@@ -1,0 +1,107 @@
+package dse
+
+import (
+	"context"
+	"testing"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/corner"
+	"dscts/internal/tech"
+)
+
+func TestParetoCornersDominance(t *testing.T) {
+	mk := func(param, latA, latB float64, bufs int) CornerPoint {
+		return CornerPoint{Param: param, Corners: []Point{
+			{Param: param, Latency: latA, Bufs: bufs},
+			{Param: param, Latency: latB, Bufs: bufs},
+		}}
+	}
+	pts := []CornerPoint{
+		mk(1, 10, 15, 100),
+		mk(2, 9, 16, 100),  // better at corner A, worse at corner B: incomparable
+		mk(3, 11, 16, 100), // dominated by #1 at both corners
+		mk(4, 10, 15, 90),  // dominates #1 on resources, ties timing
+	}
+	front := ParetoCorners(pts, Resources, Latency)
+	got := map[float64]bool{}
+	for _, p := range front {
+		got[p.Param] = true
+	}
+	if len(front) != 2 || !got[2] || !got[4] {
+		t.Fatalf("front params %v, want {2, 4}", got)
+	}
+	if ParetoCorners(pts) != nil {
+		t.Fatal("no objectives should return nil")
+	}
+	// Single-corner dominance would have killed #2 (16 > 15 at corner B
+	// keeps it alive across corners): verify the cross-corner front is a
+	// superset of the corner-A front restricted to these points.
+	cornerA := Pareto([]Point{pts[0].Corners[0], pts[1].Corners[0], pts[2].Corners[0], pts[3].Corners[0]}, Resources, Latency)
+	if len(cornerA) >= len(front) {
+		t.Logf("corner-A front %d points, cross-corner %d", len(cornerA), len(front))
+	}
+}
+
+func TestParetoCornersWorstSort(t *testing.T) {
+	pts := []CornerPoint{
+		{Param: 1, Corners: []Point{{Latency: 5, Bufs: 9}, {Latency: 30, Bufs: 9}}},
+		{Param: 2, Corners: []Point{{Latency: 20, Bufs: 4}, {Latency: 20, Bufs: 4}}},
+	}
+	front := ParetoCorners(pts, Resources, Latency)
+	if len(front) != 2 || front[0].Param != 2 {
+		t.Fatalf("front should sort by worst-corner resources: %+v", front)
+	}
+	if w := pts[0].Worst(Latency); w != 30 {
+		t.Fatalf("Worst latency %g want 30", w)
+	}
+}
+
+func TestSweepFanoutCornersEndToEnd(t *testing.T) {
+	tc := tech.ASAP7()
+	d, err := bench.ByID("C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Generate(d, 1)
+	corners := corner.Presets()
+	pts, err := SweepFanoutCorners(context.Background(), p.Root, p.Sinks, tc, []int{100, 800}, corners, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || len(pts[0].Corners) != 3 {
+		t.Fatalf("got %d points x %d corners", len(pts), len(pts[0].Corners))
+	}
+	for _, pt := range pts {
+		slow, typ, fast := pt.Corners[0], pt.Corners[1], pt.Corners[2]
+		if slow.Flow != "ours-dse@slow" || typ.Flow != "ours-dse@typ" {
+			t.Fatalf("flow labels %q %q", slow.Flow, typ.Flow)
+		}
+		if !(slow.Latency > typ.Latency && typ.Latency > fast.Latency) {
+			t.Fatalf("corner ordering violated at threshold %g: %g %g %g",
+				pt.Param, slow.Latency, typ.Latency, fast.Latency)
+		}
+		// Structure is corner-independent.
+		if slow.Bufs != fast.Bufs || slow.TSVs != fast.TSVs || slow.WL != fast.WL {
+			t.Fatalf("resources differ across corners at threshold %g", pt.Param)
+		}
+	}
+	// The typ slice must agree with the plain sweep (same synthesis).
+	plain, err := SweepFanout(p.Root, p.Sinks, tc, []int{100, 800}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		typ := pts[i].Corners[1]
+		if typ.Latency != plain[i].Latency || typ.Skew != plain[i].Skew || typ.Bufs != plain[i].Bufs {
+			t.Fatalf("typ corner diverges from single-corner sweep at %g", plain[i].Param)
+		}
+	}
+	// Error paths.
+	if _, err := SweepFanoutCorners(context.Background(), p.Root, p.Sinks, tc, nil, corners, core.Options{}); err == nil {
+		t.Error("empty thresholds accepted")
+	}
+	if _, err := SweepFanoutCorners(context.Background(), p.Root, p.Sinks, tc, []int{100}, nil, core.Options{}); err == nil {
+		t.Error("empty corners accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"dscts/internal/baseline"
 	"dscts/internal/core"
+	"dscts/internal/corner"
 	"dscts/internal/ctree"
 	"dscts/internal/eval"
 	"dscts/internal/geom"
@@ -54,19 +55,37 @@ func SweepFanout(root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds 
 // completed/total counts) instead of the points' inner phase events, which
 // would interleave meaninglessly across concurrent syntheses.
 func SweepFanoutContext(ctx context.Context, root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds []int, base core.Options) ([]Point, error) {
+	out := make([]Point, len(thresholds))
+	err := sweepFanout(ctx, root, sinks, tc, thresholds, nil, base, func(i int, o *core.Outcome) {
+		out[i] = fromMetrics("ours-dse", float64(thresholds[i]), o.Metrics)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sweepFanout is the engine shared by SweepFanoutContext and
+// SweepFanoutCorners: a concurrent threshold sweep with the worker budget
+// split between the fan-out and each point's inner phases (so short
+// sweeps on wide machines still saturate), fail-fast abort, and one
+// PhaseSweep progress event per completed point. Each point's Outcome is
+// handed to record(i, o) with i the threshold index; record runs
+// concurrently across points and must only touch index-disjoint state.
+// The corner set is forced on every point — nil for plain sweeps, so a
+// caller's base.Corners can never smuggle discarded per-point sign-off
+// work into a sweep that has nowhere to report it.
+func sweepFanout(ctx context.Context, root geom.Point, sinks []geom.Point, tc *tech.Tech, thresholds []int, corners []corner.Corner, base core.Options, record func(i int, o *core.Outcome)) error {
 	if len(thresholds) == 0 {
-		return nil, fmt.Errorf("dse: no thresholds")
+		return fmt.Errorf("dse: no thresholds")
 	}
 	workers := par.N(base.Workers)
-	// Split the worker budget between the sweep fan-out and each point's
-	// inner phases, so short sweeps on wide machines still saturate.
 	inner := workers / len(thresholds)
 	if inner < 1 {
 		inner = 1
 	}
 	progress := base.Progress
 	var completed atomic.Int64
-	out := make([]Point, len(thresholds))
 	errs := make([]error, len(thresholds))
 	// On failure the sweep aborts instead of paying for the remaining
 	// points; which error surfaces may then depend on timing, but the
@@ -80,13 +99,14 @@ func SweepFanoutContext(ctx context.Context, root geom.Point, sinks []geom.Point
 		opt.FanoutThreshold = thresholds[i]
 		opt.Workers = inner
 		opt.Progress = nil
+		opt.Corners = corners
 		o, err := core.SynthesizeContext(ctx, root, sinks, tc, opt)
 		if err != nil {
 			errs[i] = fmt.Errorf("dse: threshold %d: %w", thresholds[i], err)
 			failed.Store(true)
 			return
 		}
-		out[i] = fromMetrics("ours-dse", float64(thresholds[i]), o.Metrics)
+		record(i, o)
 		if progress != nil {
 			progress(core.Progress{
 				Phase: core.PhaseSweep, Done: true,
@@ -95,14 +115,14 @@ func SweepFanoutContext(ctx context.Context, root geom.Point, sinks []geom.Point
 		}
 	})
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("dse: %w", err)
+		return fmt.Errorf("dse: %w", err)
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Thresholds builds an inclusive integer sweep [lo, hi] with the given step.

@@ -1,0 +1,53 @@
+package lef
+
+// Native Go fuzz target for the LEF parser. Contract: Parse must return
+// errors on malformed input — never panic — and anything it accepts must
+// yield a well-formed library (non-nil macro map, every recorded macro
+// keyed by its own name). Seeds are the embedded ASAP7-like library (the
+// same source the C1..C3 benchgen round trip emits next to each DEF) plus
+// malformed MACRO shapes.
+//
+// Run the smoke locally with:
+//
+//	go test -run xxx -fuzz FuzzParseLEF -fuzztime 10s ./internal/lef
+//
+// (CI runs the same via `make fuzz`.)
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseLEF(f *testing.F) {
+	f.Add(Embedded)
+	for _, s := range []string{
+		"",
+		"# comment only\n",
+		"MACRO\n",
+		"MACRO A\nEND A\n",
+		"MACRO A\nMACRO B\nEND B\nEND A\n", // nested
+		"MACRO A\nSIZE 1 BY x ;\nEND A\n",  // bad size
+		"MACRO A\nSIZE 1 BY\nEND A\n",      // short size
+		"MACRO A\nCLASS\nEND A\n",          // short class
+		"MACRO A\nCLASS CORE ;\nSIZE 0.378 BY 0.270 ;\n", // unterminated
+		"END A\n",          // END without MACRO
+		"SIZE 1 BY 2 ;\n",  // statement outside MACRO
+		"MACRO A\nEND B\n", // mismatched END is ignored, stays open
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		lib, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if lib.Macros == nil {
+			t.Fatal("accepted library with nil macro map")
+		}
+		for name, m := range lib.Macros {
+			if m.Name != name {
+				t.Fatalf("macro %q recorded under key %q", m.Name, name)
+			}
+		}
+	})
+}

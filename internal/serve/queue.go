@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dscts/internal/core"
+	"dscts/internal/corner"
 	"dscts/internal/dse"
 	"dscts/internal/eval"
 	"dscts/internal/par"
@@ -75,24 +76,46 @@ type Result struct {
 	DP      *DPStats      `json:"dp,omitempty"`
 	Refine  *RefineStats  `json:"refine,omitempty"`
 	Points  []dse.Point   `json:"points,omitempty"`
+	// Corners is the multi-corner sign-off report: per-corner Metrics in
+	// request corner order plus the cross-corner summary. Present only
+	// when a synthesize request named corners.
+	Corners *corner.Report `json:"corners,omitempty"`
+	// CornerPoints replaces Points for DSE jobs that named corners: one
+	// entry per threshold, each carrying one point per corner in request
+	// corner order.
+	CornerPoints []dse.CornerPoint `json:"corner_points,omitempty"`
 
-	RouteMS  float64 `json:"route_ms,omitempty"`
-	InsertMS float64 `json:"insert_ms,omitempty"`
-	RefineMS float64 `json:"refine_ms,omitempty"`
-	TotalMS  float64 `json:"total_ms"`
+	RouteMS   float64 `json:"route_ms,omitempty"`
+	InsertMS  float64 `json:"insert_ms,omitempty"`
+	RefineMS  float64 `json:"refine_ms,omitempty"`
+	CornersMS float64 `json:"corners_ms,omitempty"`
+	TotalMS   float64 `json:"total_ms"`
 }
 
 // view returns the response shape of the result: a shallow copy whose
-// Metrics drops the (large) per-sink delay map unless asked for. The cached
-// Result itself is immutable.
+// Metrics (top-level and per-corner) drop the (large) per-sink delay maps
+// unless asked for. The cached Result itself is immutable.
 func (r *Result) view(includeSinkDelays bool) *Result {
-	if r == nil || r.Metrics == nil || includeSinkDelays {
+	if r == nil || includeSinkDelays || (r.Metrics == nil && r.Corners == nil) {
 		return r
 	}
 	c := *r
-	m := *r.Metrics
-	m.SinkDelays = nil
-	c.Metrics = &m
+	if r.Metrics != nil {
+		m := *r.Metrics
+		m.SinkDelays = nil
+		c.Metrics = &m
+	}
+	if r.Corners != nil {
+		rep := *r.Corners
+		rep.Results = make([]corner.Result, len(r.Corners.Results))
+		for i, res := range r.Corners.Results {
+			m := *res.Metrics
+			m.SinkDelays = nil
+			res.Metrics = &m
+			rep.Results[i] = res
+		}
+		c.Corners = &rep
+	}
 	return &c
 }
 
@@ -574,6 +597,17 @@ func (q *Queue) run(job *Job) {
 		}
 	case KindDSE:
 		t0 := time.Now()
+		if len(rv.opt.Corners) > 0 {
+			var pts []dse.CornerPoint
+			pts, err = dse.SweepFanoutCorners(job.ctx, rv.root, rv.sinks, rv.tc, job.req.Thresholds, rv.opt.Corners, opt)
+			if err == nil {
+				result = &Result{
+					Kind: KindDSE, Design: job.design, Sinks: job.sinks,
+					CornerPoints: pts, TotalMS: ms(time.Since(t0)),
+				}
+			}
+			break
+		}
 		var pts []dse.Point
 		pts, err = dse.SweepFanoutContext(job.ctx, rv.root, rv.sinks, rv.tc, job.req.Thresholds, opt)
 		if err == nil {
@@ -601,9 +635,10 @@ func resultFromOutcome(job *Job, o *core.Outcome) *Result {
 	r := &Result{
 		Kind: KindSynthesize, Design: job.design, Sinks: job.sinks,
 		Metrics: o.Metrics,
+		Corners: o.Corners,
 		DP:      &DPStats{Nodes: o.DP.Nodes, Solutions: o.DP.Solutions},
 		RouteMS: ms(o.RouteTime), InsertMS: ms(o.InsertTime),
-		RefineMS: ms(o.RefineTime), TotalMS: ms(o.TotalTime),
+		RefineMS: ms(o.RefineTime), CornersMS: ms(o.CornersTime), TotalMS: ms(o.TotalTime),
 	}
 	if o.Refine != nil {
 		r.Refine = &RefineStats{

@@ -21,6 +21,7 @@ import (
 
 	"dscts/internal/bench"
 	"dscts/internal/core"
+	"dscts/internal/corner"
 	"dscts/internal/geom"
 	"dscts/internal/tech"
 )
@@ -73,6 +74,11 @@ type Request struct {
 	Tech string `json:"tech,omitempty"`
 	// Options carries the synthesis knobs.
 	Options OptionsSpec `json:"options"`
+	// Corners names the PVT corners for multi-corner sign-off ("slow",
+	// "typ", "fast"); empty means single-corner (typical) evaluation
+	// only. Order matters for the response layout, and the set is part of
+	// the result identity (the cache key).
+	Corners []string `json:"corners,omitempty"`
 	// Thresholds is the fanout sweep for POST /dse (ignored by
 	// /synthesize).
 	Thresholds []int `json:"thresholds,omitempty"`
@@ -120,6 +126,11 @@ func (r *Request) validate(kind string) (design string, sinks int, err error) {
 	case "", "double", "single":
 	default:
 		return "", 0, fmt.Errorf("unknown mode %q (want \"double\" or \"single\")", r.Options.Mode)
+	}
+	if len(r.Corners) > 0 {
+		if _, err := r.corners(); err != nil {
+			return "", 0, err
+		}
 	}
 	if kind == KindDSE {
 		if len(r.Thresholds) == 0 {
@@ -171,16 +182,57 @@ func (r *Request) resolve(kind string) (*resolved, error) {
 	out.opt.DiversePruning = o.DiversePruning
 	out.opt.MaxPerSide = o.MaxPerSide
 	out.opt.UseFlatDME = o.UseFlatDME
+	if len(r.Corners) > 0 {
+		cs, err := r.corners()
+		if err != nil {
+			return nil, err
+		}
+		out.opt.Corners = cs
+	}
 	return out, nil
 }
 
+// corners resolves the request's corner names against the built-in
+// presets, rejecting unknowns and duplicates.
+func (r *Request) corners() ([]corner.Corner, error) {
+	out := make([]corner.Corner, len(r.Corners))
+	seen := map[string]bool{}
+	for i, name := range r.Corners {
+		c, err := corner.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("duplicate corner %q", c.Name)
+		}
+		seen[c.Name] = true
+		out[i] = c
+	}
+	return out, nil
+}
+
+// requestKeyVersion tags the canonical request encoding hashed by Key.
+// The encoding is versioned precisely so that ADDING a field can never
+// alias an old cache entry: every field that determines the result —
+// including zero values, with an explicit count before every variable-
+// length section — is always encoded, and any change to the field set or
+// their meaning MUST bump this version. v1 predates corners and the
+// evaluation-model tag; v2 appends both unconditionally.
+const requestKeyVersion = "dscts-request-v2"
+
+// evalModel names the delay model the engine evaluates results with. It
+// is part of the canonical encoding so that a future model switch (e.g.
+// NLDM sign-off results) cannot collide with Elmore-evaluated entries.
+const evalModel = "elmore"
+
 // Key returns the content address of the request for the given job kind: a
-// hex SHA-256 over a canonical binary encoding of everything that
-// determines the result — the placement (by benchmark identity or exact
-// coordinate bits), the technology name, the option fields and, for DSE,
-// the threshold sweep. Scheduling knobs (worker budgets) and response-shape
-// knobs (IncludeSinkDelays) are excluded, so requests differing only in
-// those share one cache entry.
+// hex SHA-256 over a canonical versioned binary encoding of everything
+// that determines the result — the placement (by benchmark identity or
+// exact coordinate bits), the technology name, the evaluation model, the
+// option fields, the corner set and, for DSE, the threshold sweep.
+// Scheduling knobs (worker budgets) and response-shape knobs
+// (IncludeSinkDelays) are excluded, so requests differing only in those
+// share one cache entry.
 func (r *Request) Key(kind string) string {
 	h := sha256.New()
 	ws := func(s string) {
@@ -196,8 +248,9 @@ func (r *Request) Key(kind string) string {
 			h.Write([]byte{0})
 		}
 	}
-	ws("dscts-request-v1")
+	ws(requestKeyVersion)
 	ws(kind)
+	ws(evalModel)
 	tc := r.Tech
 	if tc == "" {
 		tc = "asap7"
@@ -240,6 +293,18 @@ func (r *Request) Key(kind string) string {
 	wb(o.DiversePruning)
 	wi(int64(o.MaxPerSide))
 	wb(o.UseFlatDME)
+	// The corner section is always encoded (count 0 when absent), and
+	// names are canonicalized through ByName so "SLOW" and "slow" share
+	// an entry. Unresolvable names hash as given; such requests never
+	// reach execution (validate rejects them), so no result is stored
+	// under those keys.
+	wi(int64(len(r.Corners)))
+	for _, name := range r.Corners {
+		if c, err := corner.ByName(name); err == nil {
+			name = c.Name
+		}
+		ws(name)
+	}
 	if kind == KindDSE {
 		wi(int64(len(r.Thresholds)))
 		for _, th := range r.Thresholds {
