@@ -4,14 +4,15 @@
 #   make race    - race detector on the determinism + corner + service suites
 #   make fuzz    - 10s fuzz smoke per parser target (DEF, LEF)
 #   make golden  - golden-metrics regression suite (make golden-update re-pins)
-#   make bench   - the substrate + parallel-engine benchmarks
+#   make bench   - the substrate + parallel-engine + partition benchmarks
 #   make report  - regenerate BENCH_parallel.json
 #   make load    - regenerate BENCH_serve.json (service load test)
 #   make corners - regenerate BENCH_corners.json (multi-corner sign-off scaling)
+#   make scale   - regenerate BENCH_scale.json (mono vs partition-parallel XL scaling)
 
 GO ?= go
 
-.PHONY: all build test vet ci race fuzz golden golden-update bench report load corners
+.PHONY: all build test vet ci race fuzz golden golden-update bench report load corners scale
 
 all: ci
 
@@ -29,9 +30,10 @@ test:
 ci: build vet test fuzz
 
 race:
-	$(GO) test -race -count=1 -run 'Determinism|Parallel|Corner' .
+	$(GO) test -race -count=1 -run 'Determinism|Parallel|Corner|Partition' .
 	$(GO) test -race -count=1 ./internal/serve/
 	$(GO) test -race -count=1 ./internal/corner/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/partition/
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseDEF -fuzztime 10s ./internal/def
@@ -49,8 +51,11 @@ load:
 corners:
 	$(GO) run ./cmd/benchgen -corners-out BENCH_corners.json
 
+scale:
+	$(GO) run ./cmd/benchgen -scale-out BENCH_scale.json -scale-workers 8
+
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSubstrates|BenchmarkParallelSynthesize' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkSubstrates|BenchmarkParallelSynthesize|BenchmarkPartitionSynthesize' -benchmem .
 
 report:
 	$(GO) run ./cmd/benchgen -bench -bench-out BENCH_parallel.json

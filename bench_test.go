@@ -19,6 +19,7 @@ import (
 	"dscts/internal/dse"
 	"dscts/internal/eval"
 	"dscts/internal/insert"
+	"dscts/internal/partition"
 	"dscts/internal/refine"
 	"dscts/internal/tech"
 )
@@ -29,7 +30,11 @@ func mustPlacement(b *testing.B, id string) *bench.Placement {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
 }
 
 // BenchmarkTable1Tech covers Table I: technology construction+validation.
@@ -47,7 +52,10 @@ func BenchmarkTable1Tech(b *testing.B) {
 func BenchmarkTable2Benchgen(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, d := range bench.Suite() {
-			p := bench.Generate(d, int64(i+1))
+			p, err := bench.Generate(d, int64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
 			if len(p.Sinks) != d.FFs {
 				b.Fatal("sink count mismatch")
 			}
@@ -444,4 +452,46 @@ func reportMetrics(b *testing.B, m *eval.Metrics) {
 	b.Helper()
 	b.ReportMetric(m.Latency, "ps-latency")
 	b.ReportMetric(m.Skew, "ps-skew")
+}
+
+// BenchmarkPartitionSynthesize measures the partition-parallel pipeline
+// against the monolithic flow on the largest built-in benchmark (C2), and
+// the partitioned path alone on an XL placement. Run with -benchmem: the
+// partition path's allocation profile is part of its performance contract
+// (PERFORMANCE.md records the counters).
+func BenchmarkPartitionSynthesize(b *testing.B) {
+	tc := tech.ASAP7()
+	p := mustPlacement(b, "C2")
+	for _, cfg := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"C2/monolithic", core.Options{}},
+		{"C2/partitioned", core.Options{Partition: partition.Options{MaxSinks: len(p.Sinks)/4 + 1, Macros: p.Macros}}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := core.Synthesize(p.Root, p.Sinks, tc, cfg.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportMetrics(b, out.Metrics)
+			}
+		})
+	}
+	xl, err := bench.GenerateXL(100_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("XL100k/partitioned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := core.Synthesize(xl.Root, xl.Sinks, tc, core.Options{
+				Partition: partition.Options{MaxSinks: 25_000, Macros: xl.Macros},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reportMetrics(b, out.Metrics)
+		}
+	})
 }

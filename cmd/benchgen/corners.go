@@ -53,7 +53,10 @@ func runCorners(path string) error {
 	if err != nil {
 		return err
 	}
-	p := bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		return err
+	}
 	nCPU := runtime.GOMAXPROCS(0)
 
 	// One tree, evaluated many ways: synthesize once at the typical

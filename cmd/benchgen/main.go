@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"dscts/internal/bench"
 	"dscts/internal/lef"
@@ -36,17 +38,22 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("out", "benchmarks", "output directory")
-		seed     = flag.Int64("seed", 1, "placement seed")
-		design   = flag.String("design", "", "single design to emit (default: all)")
-		doBench  = flag.Bool("bench", false, "measure the parallel engine and write a JSON report instead of emitting DEFs")
-		benchOut = flag.String("bench-out", "BENCH_parallel.json", "report path for -bench")
-		doLoad   = flag.Bool("load", false, "replay concurrent jobs against an in-process dsctsd and write a JSON report")
-		loadOut  = flag.String("load-out", "BENCH_serve.json", "report path for -load")
-		doCorner = flag.String("corners-out", "", "measure multi-corner sign-off scaling and write the JSON report to this path (e.g. BENCH_corners.json)")
-		loadJobs = flag.Int("load-jobs", 40, "total jobs to replay with -load")
-		loadConc = flag.Int("load-conc", 8, "concurrent clients (and running-job slots) for -load")
-		loadDist = flag.Int("load-distinct", 0, "distinct request shapes for -load (0 = jobs/2, so half the replay can hit the cache)")
+		out       = flag.String("out", "benchmarks", "output directory")
+		seed      = flag.Int64("seed", 1, "placement seed")
+		design    = flag.String("design", "", "single design to emit (default: all)")
+		doBench   = flag.Bool("bench", false, "measure the parallel engine and write a JSON report instead of emitting DEFs")
+		benchOut  = flag.String("bench-out", "BENCH_parallel.json", "report path for -bench")
+		doLoad    = flag.Bool("load", false, "replay concurrent jobs against an in-process dsctsd and write a JSON report")
+		loadOut   = flag.String("load-out", "BENCH_serve.json", "report path for -load")
+		doCorner  = flag.String("corners-out", "", "measure multi-corner sign-off scaling and write the JSON report to this path (e.g. BENCH_corners.json)")
+		doScale   = flag.String("scale-out", "", "measure monolithic vs partition-parallel scaling over XL placements and write the JSON report to this path (e.g. BENCH_scale.json)")
+		scaleSize = flag.String("scale-sizes", "100000,250000,500000,1000000", "comma-separated sink counts for -scale-out")
+		scaleWk   = flag.Int("scale-workers", 0, "worker budget for the multi-worker runs of -scale-out (0 = all CPUs)")
+		scaleCap  = flag.Int("scale-mono-cap", 1000000, "largest size the monolithic flow is timed at in -scale-out (it grows superlinearly; 0 = no cap)")
+		scalePart = flag.Int("scale-partition", 50000, "region capacity (Partition.MaxSinks) for -scale-out")
+		loadJobs  = flag.Int("load-jobs", 40, "total jobs to replay with -load")
+		loadConc  = flag.Int("load-conc", 8, "concurrent clients (and running-job slots) for -load")
+		loadDist  = flag.Int("load-distinct", 0, "distinct request shapes for -load (0 = jobs/2, so half the replay can hit the cache)")
 	)
 	flag.Parse()
 	if *doBench {
@@ -67,6 +74,16 @@ func main() {
 		}
 		return
 	}
+	if *doScale != "" {
+		sizes, err := parseSizes(*scaleSize)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runScale(*doScale, sizes, *scaleWk, *scaleCap, *scalePart, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -79,7 +96,10 @@ func main() {
 		designs = []bench.Design{d}
 	}
 	for _, d := range designs {
-		p := bench.Generate(d, *seed)
+		p, err := bench.Generate(d, *seed)
+		if err != nil {
+			fatal(err)
+		}
 		path := filepath.Join(*out, fmt.Sprintf("%s_%s.def", d.ID, d.Name))
 		f, err := os.Create(path)
 		if err != nil {
@@ -100,6 +120,26 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("library -> %s\n", lefPath)
+}
+
+// parseSizes parses the comma-separated -scale-sizes list.
+func parseSizes(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("benchgen: bad -scale-sizes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchgen: -scale-sizes is empty")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -53,12 +53,18 @@ func runBench(path string) error {
 	if err != nil {
 		return err
 	}
-	p3 := bench.Generate(d3, 1)
+	p3, err := bench.Generate(d3, 1)
+	if err != nil {
+		return err
+	}
 	d5, err := bench.ByID("C5")
 	if err != nil {
 		return err
 	}
-	p5 := bench.Generate(d5, 1)
+	p5, err := bench.Generate(d5, 1)
+	if err != nil {
+		return err
+	}
 
 	front := tc.Front()
 	dualOpt := cluster.DualOptions{

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/partition"
+	"dscts/internal/tech"
+)
+
+// scaleReport is the BENCH_scale.json payload: the sink-count scaling curve
+// of the monolithic flow versus the partition-parallel pipeline (at one
+// worker and at the full budget), over seeded GenerateXL placements.
+type scaleReport struct {
+	GOMAXPROCS        int          `json:"gomaxprocs"`
+	Workers           int          `json:"workers"`
+	PartitionMaxSinks int          `json:"partition_max_sinks"`
+	Seed              int64        `json:"seed"`
+	Sizes             []scalePoint `json:"sizes"`
+	// LargestCommon is the speedup summary at the largest size both paths
+	// ran: monolithic wall time over partitioned wall time at the full
+	// worker budget.
+	LargestCommon *scaleSummary `json:"largest_common,omitempty"`
+}
+
+type scalePoint struct {
+	Sinks   int     `json:"sinks"`
+	Regions int     `json:"regions"`
+	GenMS   float64 `json:"gen_ms"`
+	// MonoMS is 0 when the monolithic flow was skipped at this size
+	// (beyond -scale-mono-cap).
+	MonoMS   float64 `json:"mono_ms,omitempty"`
+	Part1WMS float64 `json:"part_1w_ms"`
+	PartNWMS float64 `json:"part_nw_ms"`
+	// SpeedupMono is MonoMS / PartNWMS (0 when monolithic was skipped).
+	SpeedupMono float64 `json:"speedup_mono_over_part,omitempty"`
+	// ScaleOut is Part1WMS / PartNWMS — the pipeline's own worker scaling
+	// as measured on THIS host. On a single-core host it stays ~1: region
+	// fan-out cannot beat the core count.
+	ScaleOut float64 `json:"scale_out"`
+	// PartCriticalPathMS projects the partitioned wall time on a host with
+	// `workers` real cores from measured single-worker data: the partition
+	// split, an LPT packing of the measured per-region times onto `workers`
+	// lanes, and the serial stitch + evaluation tail. No modeling beyond
+	// scheduling: every addend is a measured duration.
+	PartCriticalPathMS float64 `json:"part_critical_path_ms"`
+	// ProjectedSpeedup is MonoMS / PartCriticalPathMS — the speedup a
+	// `workers`-core host gets over the monolithic flow (0 when monolithic
+	// was skipped).
+	ProjectedSpeedup float64 `json:"projected_speedup,omitempty"`
+
+	LatencyMonoPS float64 `json:"latency_mono_ps,omitempty"`
+	SkewMonoPS    float64 `json:"skew_mono_ps,omitempty"`
+	LatencyPartPS float64 `json:"latency_part_ps"`
+	SkewPartPS    float64 `json:"skew_part_ps"`
+	// Validated records that the stitched tree passed ctree.Validate (the
+	// partitioned flow validates internally; a failed validation fails the
+	// whole run).
+	Validated bool `json:"validated"`
+}
+
+type scaleSummary struct {
+	Sinks   int     `json:"sinks"`
+	Speedup float64 `json:"speedup"`
+	// ProjectedSpeedup is the `workers`-core critical-path speedup at the
+	// same size (see scalePoint.PartCriticalPathMS).
+	ProjectedSpeedup float64 `json:"projected_speedup"`
+}
+
+// lptMakespan packs the measured per-region durations onto `lanes` workers
+// longest-first (the classic LPT heuristic — the same order-independent
+// schedule the pipeline's fan-out approximates) and returns the makespan.
+func lptMakespan(durations []time.Duration, lanes int) time.Duration {
+	if lanes < 1 {
+		lanes = 1
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	load := make([]time.Duration, lanes)
+	for _, d := range sorted {
+		min := 0
+		for i := 1; i < lanes; i++ {
+			if load[i] < load[min] {
+				min = i
+			}
+		}
+		load[min] += d
+	}
+	max := load[0]
+	for _, l := range load[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runScale generates BENCH_scale.json.
+func runScale(path string, sizes []int, workers, monoCap, partMax int, seed int64) error {
+	tc := tech.ASAP7()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := scaleReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers,
+		PartitionMaxSinks: partMax, Seed: seed,
+	}
+	for _, n := range sizes {
+		fmt.Fprintf(os.Stderr, "scale: %d sinks: generating...\n", n)
+		t0 := time.Now()
+		p, err := bench.GenerateXL(n, seed)
+		if err != nil {
+			return err
+		}
+		pt := scalePoint{Sinks: n, GenMS: ms(time.Since(t0))}
+
+		popt := core.Options{
+			Workers:   1,
+			Partition: partition.Options{MaxSinks: partMax, Macros: p.Macros},
+		}
+		fmt.Fprintf(os.Stderr, "scale: %d sinks: partitioned @1 worker...\n", n)
+		t1 := time.Now()
+		out, err := core.Synthesize(p.Root, p.Sinks, tc, popt)
+		if err != nil {
+			return fmt.Errorf("partitioned %d sinks: %w", n, err)
+		}
+		pt.Part1WMS = ms(time.Since(t1))
+		pt.Regions = len(out.Regions)
+		pt.LatencyPartPS, pt.SkewPartPS = out.Metrics.Latency, out.Metrics.Skew
+		if err := out.Tree.Validate(); err != nil {
+			return fmt.Errorf("partitioned %d sinks: stitched tree invalid: %w", n, err)
+		}
+		pt.Validated = true
+		// Critical-path projection onto `workers` cores from the measured
+		// single-worker run: split + LPT(region times) + stitch + the
+		// serial tail (evaluation/composition).
+		regionTimes := make([]time.Duration, len(out.Regions))
+		var regionSum time.Duration
+		for i, r := range out.Regions {
+			regionTimes[i] = r.Time
+			regionSum += r.Time
+		}
+		split := out.PartitionTime - regionSum
+		if split < 0 {
+			split = 0
+		}
+		tail := out.TotalTime - out.PartitionTime - out.StitchTime
+		if tail < 0 {
+			tail = 0
+		}
+		pt.PartCriticalPathMS = ms(split + lptMakespan(regionTimes, workers) + out.StitchTime + tail)
+
+		fmt.Fprintf(os.Stderr, "scale: %d sinks: partitioned @%d workers...\n", n, workers)
+		popt.Workers = workers
+		t2 := time.Now()
+		if _, err := core.Synthesize(p.Root, p.Sinks, tc, popt); err != nil {
+			return fmt.Errorf("partitioned %d sinks @%d workers: %w", n, workers, err)
+		}
+		pt.PartNWMS = ms(time.Since(t2))
+		if pt.PartNWMS > 0 {
+			pt.ScaleOut = pt.Part1WMS / pt.PartNWMS
+		}
+
+		if monoCap <= 0 || n <= monoCap {
+			fmt.Fprintf(os.Stderr, "scale: %d sinks: monolithic @%d workers...\n", n, workers)
+			t3 := time.Now()
+			mono, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{Workers: workers})
+			if err != nil {
+				return fmt.Errorf("monolithic %d sinks: %w", n, err)
+			}
+			pt.MonoMS = ms(time.Since(t3))
+			pt.LatencyMonoPS, pt.SkewMonoPS = mono.Metrics.Latency, mono.Metrics.Skew
+			if pt.PartNWMS > 0 {
+				pt.SpeedupMono = pt.MonoMS / pt.PartNWMS
+			}
+			if pt.PartCriticalPathMS > 0 {
+				pt.ProjectedSpeedup = pt.MonoMS / pt.PartCriticalPathMS
+			}
+			if rep.LargestCommon == nil || n > rep.LargestCommon.Sinks {
+				rep.LargestCommon = &scaleSummary{Sinks: n, Speedup: pt.SpeedupMono, ProjectedSpeedup: pt.ProjectedSpeedup}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "scale: %d sinks: mono %.0fms, part %.0fms (1w %.0fms), %d regions\n",
+			n, pt.MonoMS, pt.PartNWMS, pt.Part1WMS, pt.Regions)
+		rep.Sizes = append(rep.Sizes, pt)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scale report -> %s\n", path)
+	return nil
+}

@@ -10,12 +10,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dscts/internal/bench"
 	"dscts/internal/core"
 	"dscts/internal/corner"
 	"dscts/internal/def"
 	"dscts/internal/export"
+	"dscts/internal/partition"
 	"dscts/internal/power"
 	"dscts/internal/tech"
 	"dscts/internal/viz"
@@ -25,6 +27,9 @@ func main() {
 	var (
 		defPath   = flag.String("def", "", "input placed DEF file (with a clk pin/net)")
 		design    = flag.String("design", "", "built-in benchmark to run (C1..C5 or name)")
+		xlSinks   = flag.Int("xl", 0, "synthesize a generated mega-scale placement with this many sinks (use with -partition)")
+		partMax   = flag.Int("partition", 0, "partition-parallel pipeline region capacity in sinks (0 = monolithic flow)")
+		partStrat = flag.String("partition-strategy", "", "region cut strategy: kd (default) or grid")
 		seed      = flag.Int64("seed", 1, "benchmark generation seed")
 		single    = flag.Bool("single-side", false, "disable nTSVs (front-side-only CTS)")
 		fanout    = flag.Int("fanout", 0, "fanout threshold for heterogeneous DP (0 = full mode)")
@@ -96,12 +101,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		p = bench.Generate(d, *seed)
+		if p, err = bench.Generate(d, *seed); err != nil {
+			fatal(err)
+		}
+	case *xlSinks > 0:
+		var err error
+		if p, err = bench.GenerateXL(*xlSinks, *seed); err != nil {
+			fatal(err)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: dscts -def file.def | -design C1..C5 [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dscts -def file.def | -design C1..C5 | -xl N [flags]")
 		os.Exit(2)
 	}
 	rootX, rootY, sinks = p.Root.X, p.Root.Y, len(p.Sinks)
+	// The partition cut-line chooser avoids the placement's macro
+	// blockages when they are known.
+	opt.Partition = partition.Options{MaxSinks: *partMax, Strategy: *partStrat, Macros: p.Macros}
 
 	out, err := core.Synthesize(p.Root, p.Sinks, tc, opt)
 	if err != nil {
@@ -124,9 +139,17 @@ func main() {
 			RuntimeS: runtimes{
 				Total: out.TotalTime.Seconds(), Route: out.RouteTime.Seconds(),
 				Insert: out.InsertTime.Seconds(), Refine: out.RefineTime.Seconds(),
+				Partition: out.PartitionTime.Seconds(), Stitch: out.StitchTime.Seconds(),
 				Corners: out.CornersTime.Seconds(),
 			},
 			DP: dpStats{Nodes: out.DP.Nodes, Solutions: out.DP.Solutions},
+		}
+		if len(out.Regions) > 0 {
+			ps := &partitionStats{Regions: len(out.Regions)}
+			for _, r := range out.Regions {
+				ps.MaxRegionSinks = max(ps.MaxRegionSinks, r.Sinks)
+			}
+			rep.Partition = ps
 		}
 		if out.Corners != nil {
 			for _, res := range out.Corners.Results {
@@ -166,6 +189,14 @@ func main() {
 		fmt.Printf("clk WL   %.1f um (%.3f x1e6 nm)\n", m.WL, m.WL*1000/1e6)
 		fmt.Printf("runtime  %.3fs (route %.3fs, insert %.3fs, refine %.3fs)\n",
 			out.TotalTime.Seconds(), out.RouteTime.Seconds(), out.InsertTime.Seconds(), out.RefineTime.Seconds())
+		if len(out.Regions) > 0 {
+			fmt.Printf("partition: %d regions (fan-out %.3fs, stitch %.3fs)\n",
+				len(out.Regions), out.PartitionTime.Seconds(), out.StitchTime.Seconds())
+			for _, r := range out.Regions {
+				fmt.Printf("  region %-3d %7d sinks  lat %8.2f ps  skew %7.2f ps  arrival %8.2f ps  %v\n",
+					r.ID, r.Sinks, r.Latency, r.Skew, r.Arrival, r.Time.Round(time.Millisecond))
+			}
+		}
 		if out.Refine != nil && out.Refine.Triggered {
 			fmt.Printf("skew refinement: %d buffers, skew %.3f -> %.3f ps\n",
 				out.Refine.Inserted, out.Refine.Before.Skew, out.Refine.After.Skew)
@@ -238,6 +269,15 @@ type jsonReport struct {
 	Power     *powerStats   `json:"power,omitempty"`
 	Corners   []cornerStats `json:"corners,omitempty"`
 	Worst     *worstStats   `json:"worst,omitempty"`
+	// Partition summarizes a partition-parallel run (absent for the
+	// monolithic flow).
+	Partition *partitionStats `json:"partition,omitempty"`
+}
+
+// partitionStats is the -json summary of a partitioned run.
+type partitionStats struct {
+	Regions        int `json:"regions"`
+	MaxRegionSinks int `json:"max_region_sinks"`
 }
 
 // cornerStats is one corner's row of the -corners sign-off output.
@@ -263,11 +303,13 @@ type xy struct {
 }
 
 type runtimes struct {
-	Total   float64 `json:"total"`
-	Route   float64 `json:"route"`
-	Insert  float64 `json:"insert"`
-	Refine  float64 `json:"refine"`
-	Corners float64 `json:"corners,omitempty"`
+	Total     float64 `json:"total"`
+	Route     float64 `json:"route"`
+	Insert    float64 `json:"insert"`
+	Refine    float64 `json:"refine"`
+	Partition float64 `json:"partition,omitempty"`
+	Stitch    float64 `json:"stitch,omitempty"`
+	Corners   float64 `json:"corners,omitempty"`
 }
 
 type dpStats struct {

@@ -28,7 +28,10 @@ func fig10(cfg config) error {
 	if err != nil {
 		return err
 	}
-	p := bench.Generate(d, cfg.seed)
+	p, err := bench.Generate(d, cfg.seed)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(os.Stderr, "fig10: running C3 double- and single-side with root sets...")
 
 	t := report.NewTable("Fig. 10: MOES vs min-latency root selection on C3 (ethmac)",
@@ -86,7 +89,10 @@ func fig11(cfg config) error {
 		"Lat w/o SR", "Lat w/ SR", "Skew w/o SR", "Skew w/ SR", "#Buf w/o SR", "#Buf w/ SR")
 	for _, d := range bench.Suite() {
 		fmt.Fprintf(os.Stderr, "fig11: running %s...\n", d.ID)
-		p := bench.Generate(d, cfg.seed)
+		p, err := bench.Generate(d, cfg.seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.ID, err)
+		}
 		without, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{SkipRefine: true})
 		if err != nil {
 			return fmt.Errorf("%s w/o SR: %w", d.ID, err)
@@ -110,7 +116,10 @@ func fig12(cfg config) error {
 	if err != nil {
 		return err
 	}
-	p := bench.Generate(d, cfg.seed)
+	p, err := bench.Generate(d, cfg.seed)
+	if err != nil {
+		return err
+	}
 	step := 10
 	if cfg.fastDSE {
 		step = 50

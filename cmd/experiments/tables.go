@@ -132,7 +132,10 @@ func table3(cfg config) error {
 		"Ours Lat", "Ours Skew", "Ours TSV")
 	for _, d := range bench.Suite() {
 		fmt.Fprintf(os.Stderr, "table3: running %s (%s, %d FFs)...\n", d.ID, d.Name, d.FFs)
-		p := bench.Generate(d, cfg.seed)
+		p, err := bench.Generate(d, cfg.seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.ID, err)
+		}
 		r, err := table3Flows(tc, p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.ID, err)

@@ -75,6 +75,7 @@ import (
 	"dscts/internal/export"
 	"dscts/internal/geom"
 	"dscts/internal/legal"
+	"dscts/internal/partition"
 	"dscts/internal/power"
 	"dscts/internal/tech"
 	"dscts/internal/viz"
@@ -150,13 +151,49 @@ type Phase = core.Phase
 
 // The flow's phases as reported in Progress events.
 const (
-	PhaseRoute   Phase = core.PhaseRoute
-	PhaseInsert  Phase = core.PhaseInsert
-	PhaseRefine  Phase = core.PhaseRefine
-	PhaseEval    Phase = core.PhaseEval
-	PhaseSweep   Phase = core.PhaseSweep
-	PhaseCorners Phase = core.PhaseCorners
+	PhaseRoute     Phase = core.PhaseRoute
+	PhaseInsert    Phase = core.PhaseInsert
+	PhaseRefine    Phase = core.PhaseRefine
+	PhaseEval      Phase = core.PhaseEval
+	PhaseSweep     Phase = core.PhaseSweep
+	PhaseCorners   Phase = core.PhaseCorners
+	PhasePartition Phase = core.PhasePartition
+	PhaseStitch    Phase = core.PhaseStitch
 )
+
+// PartitionOptions configures the partition-parallel mega-scale pipeline:
+// set Options.Partition with MaxSinks > 0 to split placements larger than
+// the capacity into regions that synthesize independently and stitch under
+// a skew-balanced top tree (DESIGN.md §3). MaxSinks = 0 — or any placement
+// that fits one region — runs the monolithic flow bit-identically.
+type PartitionOptions = partition.Options
+
+// Partition strategies.
+const (
+	// PartitionKD is the default recursive median cut (macro-aware,
+	// density-following).
+	PartitionKD = partition.StrategyKD
+	// PartitionGrid tiles the die uniformly, kd-splitting overfull cells.
+	PartitionGrid = partition.StrategyGrid
+)
+
+// RegionStat is one region's statistics in Outcome.Regions after a
+// partitioned run.
+type RegionStat = core.RegionStat
+
+// SplitRegions exposes the partitioner directly: it returns the
+// capacity-bounded regions the pipeline would synthesize for this
+// placement. Useful for inspecting a partition before paying for the run.
+func SplitRegions(sinks []Point, opt PartitionOptions) ([]partition.Region, error) {
+	return partition.Split(sinks, opt)
+}
+
+// GenerateXLBenchmark synthesizes a seeded mega-scale placement with the
+// given sink count (chunked generation: bounded working set, deterministic
+// for every worker count). Pair with Options.Partition for synthesis.
+func GenerateXLBenchmark(sinkCount int, seed int64) (*Placement, error) {
+	return bench.GenerateXL(sinkCount, seed)
+}
 
 // Corner is one named PVT corner: multiplicative derating factors on the
 // technology's delay-relevant axes (wire RC, buffer R/C/intrinsic and the
@@ -213,7 +250,7 @@ func GenerateBenchmark(id string, seed int64) (*Placement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return bench.Generate(d, seed), nil
+	return bench.Generate(d, seed)
 }
 
 // ParseDEF reads a placed DEF and extracts the clock root and sinks.

@@ -14,6 +14,7 @@ import (
 
 	"dscts/internal/def"
 	"dscts/internal/geom"
+	"dscts/internal/par"
 )
 
 // Design is one row of Table II.
@@ -70,9 +71,65 @@ func DieSide(d Design) float64 {
 	return math.Sqrt(float64(d.Cells) * avgCellArea / d.Util)
 }
 
+// maxRejectTries bounds the rejection-sampling attempts per placed point.
+// Hotspot centers and sinks are rejected when they land inside a macro;
+// beyond this many consecutive rejections the macro coverage has made the
+// placement practically infeasible and Generate reports an error instead of
+// spinning forever.
+const maxRejectTries = 10_000
+
+// feasible estimates the macro-free area fraction of the die on a coarse
+// grid and rejects combinations of utilization and macro coverage that
+// leave (almost) nowhere to place sinks. The grid is deterministic, so the
+// check is too.
+func (p *Placement) feasible() error {
+	const grid = 64
+	free := 0
+	for gy := 0; gy < grid; gy++ {
+		for gx := 0; gx < grid; gx++ {
+			c := geom.Pt(
+				p.Die.MinX+(float64(gx)+0.5)/grid*p.Die.W(),
+				p.Die.MinY+(float64(gy)+0.5)/grid*p.Die.H(),
+			)
+			if !p.inMacro(c) {
+				free++
+			}
+		}
+	}
+	if frac := float64(free) / (grid * grid); frac < 0.02 {
+		return fmt.Errorf("bench: %s: macros cover %.1f%% of the die at utilization %.2f; placement infeasible",
+			p.Design.Name, 100*(1-frac), p.Design.Util)
+	}
+	return nil
+}
+
+// validateDesign rejects designs Generate cannot place: the rejection
+// sampler indexes hotspots and divides by the utilization, so adversarial
+// zero/negative fields must fail up front rather than panic or spin.
+func validateDesign(d Design) error {
+	switch {
+	case d.Cells <= 0:
+		return fmt.Errorf("bench: %s: cell count %d must be positive", d.Name, d.Cells)
+	case d.FFs <= 0:
+		return fmt.Errorf("bench: %s: FF count %d must be positive", d.Name, d.FFs)
+	case d.Util <= 0 || d.Util > 1:
+		return fmt.Errorf("bench: %s: utilization %.3f outside (0, 1]", d.Name, d.Util)
+	case d.Hotspots < 1:
+		return fmt.Errorf("bench: %s: needs at least one hotspot, got %d", d.Name, d.Hotspots)
+	case d.Macros < 0:
+		return fmt.Errorf("bench: %s: negative macro count %d", d.Name, d.Macros)
+	}
+	return nil
+}
+
 // Generate synthesizes the placement for design d. The same (design, seed)
-// always produces identical output.
-func Generate(d Design, seed int64) *Placement {
+// always produces identical output. It returns a descriptive error when the
+// design is malformed or its utilization and macro coverage make placement
+// infeasible (the rejection-sampling loops are bounded, never endless).
+func Generate(d Design, seed int64) (*Placement, error) {
+	if err := validateDesign(d); err != nil {
+		return nil, err
+	}
 	side := DieSide(d)
 	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(len(d.Name))*7919 + int64(d.Cells)))
 	p := &Placement{
@@ -102,18 +159,19 @@ func Generate(d Design, seed int64) *Placement {
 		}
 		p.Macros = append(p.Macros, geom.NewBBox(geom.Pt(x, y), geom.Pt(x+w, y+h)))
 	}
+	if err := p.feasible(); err != nil {
+		return nil, err
+	}
 	// Hotspot centers avoid macros.
-	var hot []geom.Point
-	for len(hot) < d.Hotspots {
-		c := geom.Pt(rng.Float64()*side, rng.Float64()*side)
-		if p.inMacro(c) {
-			continue
-		}
-		hot = append(hot, c)
+	hot, err := p.hotspots(rng, d.Hotspots)
+	if err != nil {
+		return nil, err
 	}
 	sigma := side / (2.2 * math.Sqrt(float64(d.Hotspots)))
 	// 70% of FFs cluster around hotspots, 30% spread uniformly — matching
 	// the mixed register-file/datapath structure of the benchmarks.
+	p.Sinks = make([]geom.Point, 0, d.FFs)
+	tries := 0
 	for len(p.Sinks) < d.FFs {
 		var c geom.Point
 		if rng.Float64() < 0.7 {
@@ -124,11 +182,140 @@ func Generate(d Design, seed int64) *Placement {
 		}
 		c = p.Die.Clamp(c)
 		if p.inMacro(c) {
+			if tries++; tries > maxRejectTries {
+				return nil, fmt.Errorf("bench: %s: sink placement rejected %d times in a row; macro coverage leaves no room",
+					d.Name, tries)
+			}
 			continue
 		}
+		tries = 0
 		p.Sinks = append(p.Sinks, c)
 	}
-	return p
+	return p, nil
+}
+
+// hotspots draws n macro-free hotspot centers with a bounded rejection loop.
+func (p *Placement) hotspots(rng *rand.Rand, n int) ([]geom.Point, error) {
+	hot := make([]geom.Point, 0, n)
+	tries := 0
+	for len(hot) < n {
+		c := geom.Pt(p.Die.MinX+rng.Float64()*p.Die.W(), p.Die.MinY+rng.Float64()*p.Die.H())
+		if p.inMacro(c) {
+			if tries++; tries > maxRejectTries {
+				return nil, fmt.Errorf("bench: %s: hotspot placement rejected %d times in a row; macro coverage leaves no room",
+					p.Design.Name, tries)
+			}
+			continue
+		}
+		tries = 0
+		hot = append(hot, c)
+	}
+	return hot, nil
+}
+
+// xlChunk is the sink count generated per chunk of GenerateXL. Chunks are
+// seeded independently, so the result never depends on how many chunks run
+// concurrently, and no chunk ever holds more than this much rejection-
+// sampling working state.
+const xlChunk = 65536
+
+// XLDesign describes a synthetic mega-scale design with the given sink
+// count: utilization and macro/hotspot structure follow the Table II
+// recipes, scaled up.
+func XLDesign(sinkCount int) Design {
+	hotspots := sinkCount / 25_000
+	if hotspots < 8 {
+		hotspots = 8
+	}
+	return Design{
+		ID:    fmt.Sprintf("XL%d", sinkCount),
+		Name:  fmt.Sprintf("xl-%d", sinkCount),
+		Cells: sinkCount * 10, FFs: sinkCount, Util: 0.45,
+		Macros: 4, Hotspots: hotspots,
+	}
+}
+
+// GenerateXL synthesizes a seeded multi-million-sink placement for the
+// partition-parallel pipeline. Unlike Generate it fills a preallocated sink
+// array chunk by chunk — each chunk draws from its own (seed, chunk)-derived
+// stream with a bounded rejection loop — so generation is O(chunk) in
+// working state, embarrassingly parallel, and bit-identical for every
+// worker count. The same (sinkCount, seed) always produces identical
+// output.
+func GenerateXL(sinkCount int, seed int64) (*Placement, error) {
+	if sinkCount <= 0 {
+		return nil, fmt.Errorf("bench: XL sink count must be positive, got %d", sinkCount)
+	}
+	d := XLDesign(sinkCount)
+	side := DieSide(d)
+	base := rand.New(rand.NewSource(seed*1_000_003 + 0x5c4e + int64(sinkCount)))
+	p := &Placement{
+		Design: d,
+		Die:    geom.NewBBox(geom.Pt(0, 0), geom.Pt(side, side)),
+		Root:   geom.Pt(side/2, side/2),
+	}
+	for m := 0; m < d.Macros; m++ {
+		w := side * (0.12 + 0.08*base.Float64())
+		h := side * (0.12 + 0.08*base.Float64())
+		var x, y float64
+		switch m % 4 {
+		case 0:
+			x, y = 0, side-h
+		case 1:
+			x, y = side-w, side-h
+		case 2:
+			x, y = 0, 0
+		default:
+			x, y = side-w, 0
+		}
+		p.Macros = append(p.Macros, geom.NewBBox(geom.Pt(x, y), geom.Pt(x+w, y+h)))
+	}
+	if err := p.feasible(); err != nil {
+		return nil, err
+	}
+	hot, err := p.hotspots(base, d.Hotspots)
+	if err != nil {
+		return nil, err
+	}
+	sigma := side / (2.2 * math.Sqrt(float64(d.Hotspots)))
+	p.Sinks = make([]geom.Point, sinkCount)
+	chunks := (sinkCount + xlChunk - 1) / xlChunk
+	errs := make([]error, chunks)
+	par.ForEach(0, chunks, func(ci int) {
+		lo := ci * xlChunk
+		hi := lo + xlChunk
+		if hi > sinkCount {
+			hi = sinkCount
+		}
+		rng := rand.New(rand.NewSource(seed*2_000_003 + int64(ci)*97_001 + 0x71))
+		tries := 0
+		for i := lo; i < hi; {
+			var c geom.Point
+			if rng.Float64() < 0.7 {
+				h := hot[rng.Intn(len(hot))]
+				c = geom.Pt(h.X+rng.NormFloat64()*sigma, h.Y+rng.NormFloat64()*sigma)
+			} else {
+				c = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+			}
+			c = p.Die.Clamp(c)
+			if p.inMacro(c) {
+				if tries++; tries > maxRejectTries {
+					errs[ci] = fmt.Errorf("bench: %s: sink placement rejected %d times in a row", d.Name, tries)
+					return
+				}
+				continue
+			}
+			tries = 0
+			p.Sinks[i] = c
+			i++
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 func (p *Placement) inMacro(c geom.Point) bool {

@@ -2,9 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"dscts/internal/def"
+	"dscts/internal/geom"
 )
 
 func TestSuiteMatchesTableII(t *testing.T) {
@@ -48,8 +50,14 @@ func TestByID(t *testing.T) {
 
 func TestGenerateDeterministicAndComplete(t *testing.T) {
 	d, _ := ByID("C4")
-	a := Generate(d, 1)
-	b := Generate(d, 1)
+	a, err := Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a.Sinks) != d.FFs {
 		t.Fatalf("sinks %d, want %d", len(a.Sinks), d.FFs)
 	}
@@ -58,7 +66,10 @@ func TestGenerateDeterministicAndComplete(t *testing.T) {
 			t.Fatal("generation not deterministic")
 		}
 	}
-	c := Generate(d, 2)
+	c, err := Generate(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	same := true
 	for i := range a.Sinks {
 		if a.Sinks[i] != c.Sinks[i] {
@@ -73,7 +84,10 @@ func TestGenerateDeterministicAndComplete(t *testing.T) {
 
 func TestGenerateRespectsDieAndMacros(t *testing.T) {
 	for _, d := range Suite() {
-		p := Generate(d, 7)
+		p, err := Generate(d, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(p.Macros) != d.Macros {
 			t.Errorf("%s: %d macros, want %d", d.ID, len(p.Macros), d.Macros)
 		}
@@ -106,7 +120,10 @@ func TestDieSideScalesWithCells(t *testing.T) {
 
 func TestDEFRoundTrip(t *testing.T) {
 	d, _ := ByID("C4")
-	p := Generate(d, 3)
+	p, err := Generate(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := p.ToDEF()
 	var buf bytes.Buffer
 	if err := f.Write(&buf); err != nil {
@@ -130,5 +147,97 @@ func TestDEFRoundTrip(t *testing.T) {
 	}
 	if !back.Root.Eq(p.Root, 1e-3) {
 		t.Errorf("root moved: %v vs %v", back.Root, p.Root)
+	}
+}
+
+func TestGenerateRejectsMalformedDesigns(t *testing.T) {
+	base := Design{ID: "X", Name: "x", Cells: 10000, FFs: 500, Util: 0.5, Macros: 1, Hotspots: 4}
+	bad := []func(*Design){
+		func(d *Design) { d.FFs = 0 },
+		func(d *Design) { d.Cells = -1 },
+		func(d *Design) { d.Util = 0 },
+		func(d *Design) { d.Util = 1.5 },
+		func(d *Design) { d.Hotspots = 0 }, // used to panic in the sampler
+		func(d *Design) { d.Macros = -1 },
+	}
+	for i, mut := range bad {
+		d := base
+		mut(&d)
+		if _, err := Generate(d, 1); err == nil {
+			t.Errorf("malformed design %d (%+v) generated; want error", i, d)
+		}
+	}
+}
+
+func TestGenerateInfeasibleMacroCoverage(t *testing.T) {
+	// Blanket the die with a hand-built macro set: the feasibility check
+	// and the bounded rejection loops must produce descriptive errors
+	// instead of spinning forever.
+	d := Design{ID: "X1", Name: "blanket", Cells: 10000, FFs: 500, Util: 0.5, Hotspots: 4}
+	side := DieSide(d)
+	p := &Placement{
+		Design: d,
+		Die:    geom.NewBBox(geom.Pt(0, 0), geom.Pt(side, side)),
+		Macros: []geom.BBox{geom.NewBBox(geom.Pt(-1, -1), geom.Pt(side+1, side+1))},
+	}
+	if err := p.feasible(); err == nil {
+		t.Fatal("fully covered die passed the feasibility check")
+	}
+	// The bounded hotspot sampler must terminate with an error too.
+	if _, err := p.hotspots(rand.New(rand.NewSource(1)), d.Hotspots); err == nil {
+		t.Fatal("hotspot sampling on a fully covered die returned no error")
+	}
+}
+
+func TestGenerateXLDeterministicAndComplete(t *testing.T) {
+	const n = 150_000 // spans multiple chunks
+	a, err := GenerateXL(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateXL(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sinks) != n {
+		t.Fatalf("sinks %d, want %d", len(a.Sinks), n)
+	}
+	for i := range a.Sinks {
+		if a.Sinks[i] != b.Sinks[i] {
+			t.Fatalf("XL generation not deterministic at sink %d", i)
+		}
+	}
+	c, err := GenerateXL(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Sinks {
+		if a.Sinks[i] != c.Sinks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different XL seeds should differ")
+	}
+	for i, s := range a.Sinks {
+		if !a.Die.Contains(s, 1e-9) {
+			t.Fatalf("sink %d at %v outside die", i, s)
+		}
+		for _, m := range a.Macros {
+			if m.Contains(s, -1e-9) {
+				t.Fatalf("sink %d at %v inside macro %+v", i, s, m)
+			}
+		}
+	}
+}
+
+func TestGenerateXLRejectsBadCount(t *testing.T) {
+	if _, err := GenerateXL(0, 1); err == nil {
+		t.Fatal("zero sink count accepted")
+	}
+	if _, err := GenerateXL(-5, 1); err == nil {
+		t.Fatal("negative sink count accepted")
 	}
 }

@@ -13,10 +13,10 @@ import (
 	"dscts/internal/cluster"
 	"dscts/internal/corner"
 	"dscts/internal/ctree"
-	"dscts/internal/dme"
 	"dscts/internal/eval"
 	"dscts/internal/geom"
 	"dscts/internal/insert"
+	"dscts/internal/partition"
 	"dscts/internal/refine"
 	"dscts/internal/tech"
 )
@@ -46,6 +46,13 @@ const (
 	PhaseEval    Phase = "eval"
 	PhaseSweep   Phase = "sweep"
 	PhaseCorners Phase = "corners"
+	// PhasePartition covers the partition-parallel pipeline's region work:
+	// the start event is the die split, per-region completions follow as
+	// Point/Total events, and the done event closes the phase.
+	PhasePartition Phase = "partition"
+	// PhaseStitch is the top-tree merge + cross-region skew balancing of
+	// the partitioned pipeline.
+	PhaseStitch Phase = "stitch"
 )
 
 // Progress is one flow progress event. For synthesis phases, Done marks the
@@ -114,6 +121,15 @@ type Options struct {
 	// Metrics — parallel loops only distribute pure per-item work and all
 	// floating-point reductions run in a fixed order.
 	Workers int
+	// Partition configures the partition-parallel mega-scale pipeline
+	// (DESIGN.md §3): with MaxSinks > 0 and more sinks than that, the die
+	// is split into capacity-bounded regions, each region runs the full
+	// clustering→DME→insertion→refinement stack independently on the
+	// shared worker budget, and a stitch stage merges the region roots
+	// under a buffered top tree with cross-region skew balancing. The
+	// zero value — and any placement that fits a single region — runs the
+	// monolithic flow, bit-identically to a build without this option.
+	Partition partition.Options
 	// Corners, when non-empty, runs multi-corner sign-off after the flow:
 	// the finished tree is re-evaluated under each PVT corner (fanned out
 	// on the same worker budget) and Outcome.Corners carries the
@@ -139,13 +155,20 @@ type Outcome struct {
 	// Corners is the multi-corner sign-off report (nil unless
 	// Options.Corners was set).
 	Corners *corner.Report
+	// Regions carries per-region statistics of a partitioned run (nil for
+	// the monolithic flow), in region ID order.
+	Regions []RegionStat
 
-	// Phase runtimes.
-	RouteTime   time.Duration
-	InsertTime  time.Duration
-	RefineTime  time.Duration
-	CornersTime time.Duration
-	TotalTime   time.Duration
+	// Phase runtimes. For a partitioned run RouteTime/InsertTime/
+	// RefineTime sum the per-region phase times (total work, not
+	// wall-clock); PartitionTime and StitchTime are wall-clock.
+	RouteTime     time.Duration
+	InsertTime    time.Duration
+	RefineTime    time.Duration
+	PartitionTime time.Duration
+	StitchTime    time.Duration
+	CornersTime   time.Duration
+	TotalTime     time.Duration
 }
 
 // Synthesize runs the full flow on the given clock root and sink placement.
@@ -177,28 +200,17 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
+	if err := opt.Partition.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	start := time.Now()
 
-	// Defaults.
-	d := opt.Dual
-	if d.HighSize == 0 && d.LowSize == 0 {
-		def := cluster.DefaultDualOptions()
-		d.HighSize, d.LowSize, d.MaxIter = def.HighSize, def.LowSize, def.MaxIter
-		d.Seed = def.Seed
-	}
-	if d.MaxIter == 0 {
-		d.MaxIter = 40
-	}
-	d.Workers = opt.Workers
-	front := tc.Front()
-	if d.CapOf == nil {
-		d.CapOf = func(s, c geom.Point) float64 { return tc.SinkCap + front.UnitCap*s.Dist(c) }
-		d.CapLimit = 0.6 * tc.Buf.MaxCap
-	}
-	maxEdge := opt.MaxTrunkEdge
-	if maxEdge <= 0 {
-		// Keep per-segment wire cap well under the buffer budget.
-		maxEdge = 40 // µm: finer than the optimal buffer spacing so the DP decides
+	// The partitioned pipeline takes over only when there is actually more
+	// than one region; everything at or below the capacity runs the
+	// monolithic flow, so Partition.MaxSinks=0 (or a single region) is
+	// bit-identical to a build without the option.
+	if opt.Partition.Enabled() && len(sinks) > opt.Partition.MaxSinks {
+		return synthesizePartitioned(ctx, rootPos, sinks, tc, opt, start)
 	}
 
 	out := &Outcome{}
@@ -210,90 +222,16 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-
-	// Phase 1: hierarchical clock routing.
-	emit(PhaseRoute, false, 0)
-	t0 := time.Now()
-	dual, err := cluster.DualLevel(sinks, d)
+	st, err := runStages(ctx, rootPos, sinks, tc, opt, opt.Workers, emit)
 	if err != nil {
-		return nil, fmt.Errorf("core: clustering: %w", err)
+		return nil, err
 	}
-	out.Dual = dual
-	var tree *ctree.Tree
-	if opt.UseFlatDME {
-		tree, err = dme.FlatRoute(rootPos, sinks, dual, tc, dme.HierOptions{MaxTrunkEdge: maxEdge})
-	} else {
-		tree, err = dme.HierarchicalRoute(rootPos, sinks, dual, tc, dme.HierOptions{MaxTrunkEdge: maxEdge})
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: routing: %w", err)
-	}
-	out.Tree = tree
-	out.RouteTime = time.Since(t0)
-	emit(PhaseRoute, true, out.RouteTime)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	// Phase 2: concurrent buffer and nTSV insertion.
-	emit(PhaseInsert, false, 0)
-	t1 := time.Now()
-	cfg := insert.DefaultConfig(tc)
-	if opt.Alpha != 0 || opt.Beta != 0 || opt.Gamma != 0 {
-		cfg.Alpha, cfg.Beta, cfg.Gamma = opt.Alpha, opt.Beta, opt.Gamma
-	}
-	cfg.SelectMinLatency = opt.SelectMinLatency
-	cfg.KeepRootSet = opt.KeepRootSet
-	cfg.DiversePruning = opt.DiversePruning
-	cfg.MaxPerSide = opt.MaxPerSide
-	cfg.Workers = opt.Workers
-	switch {
-	case opt.Mode == SingleSide:
-		cfg.ModeOf = func(treeID, fanout int) insert.Mode { return insert.ModeIntra }
-	case opt.FanoutThreshold > 0:
-		th := opt.FanoutThreshold
-		cfg.ModeOf = func(treeID, fanout int) insert.Mode {
-			if fanout >= th {
-				return insert.ModeFull
-			}
-			return insert.ModeIntra
-		}
-	}
-	dp, err := insert.RunContext(ctx, tree, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: insertion: %w", err)
-	}
-	out.DP = dp
-	out.InsertTime = time.Since(t1)
-	emit(PhaseInsert, true, out.InsertTime)
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	// Phase 3: skew refinement.
-	if !opt.SkipRefine {
-		emit(PhaseRefine, false, 0)
-		t2 := time.Now()
-		rp := opt.Refine
-		if rp.TriggerPct == 0 {
-			rp = refine.DefaultParams()
-		}
-		rp.Workers = opt.Workers
-		rr, err := refine.RefineContext(ctx, tree, tc, rp)
-		if err != nil {
-			return nil, fmt.Errorf("core: refinement: %w", err)
-		}
-		out.Refine = rr
-		out.RefineTime = time.Since(t2)
-		emit(PhaseRefine, true, out.RefineTime)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
+	out.Tree, out.Dual, out.DP, out.Refine = st.tree, st.dual, st.dp, st.refine
+	out.RouteTime, out.InsertTime, out.RefineTime = st.routeTime, st.insertTime, st.refineTime
 
 	emit(PhaseEval, false, 0)
 	t3 := time.Now()
-	m, err := eval.New(tc, eval.Elmore).Evaluate(tree)
+	m, err := eval.New(tc, eval.Elmore).Evaluate(out.Tree)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluation: %w", err)
 	}
@@ -313,7 +251,7 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 				opt.Progress(Progress{Phase: PhaseCorners, Point: done, Total: total})
 			}
 		}
-		rep, err := corner.Evaluate(ctx, tree, tc, opt.Corners, copt)
+		rep, err := corner.Evaluate(ctx, out.Tree, tc, opt.Corners, copt)
 		if err != nil {
 			return nil, fmt.Errorf("core: corners: %w", err)
 		}

@@ -16,7 +16,11 @@ func c4Placement(t *testing.T) *bench.Placement {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func TestSynthesizeDoubleSideEndToEnd(t *testing.T) {

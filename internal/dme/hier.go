@@ -133,6 +133,38 @@ func FlatRoute(rootPos geom.Point, sinks []geom.Point, d *cluster.Dual, tc *tech
 	return out, nil
 }
 
+// TopRoute builds the stitch stage's top tree for the partition-parallel
+// pipeline: one DME over the region tap points (each leaf summarizing a
+// fully synthesized region by the cap and ready delay visible at its tap),
+// rooted at the clock source. Every leaf becomes a KindSteiner tap node
+// with a buffer (BufferAtNode), which shields the region and is what makes
+// hierarchical evaluation compose exactly (see internal/eval). The returned
+// map gives tap node id → leaf index.
+func TopRoute(rootPos geom.Point, leaves []Leaf, tc *tech.Tech, opt HierOptions) (*ctree.Tree, map[int]int, error) {
+	if len(leaves) == 0 {
+		return nil, nil, fmt.Errorf("dme: no top leaves")
+	}
+	t, err := Route(leaves, rootPos, Options{Layer: tc.Front()})
+	if err != nil {
+		return nil, nil, fmt.Errorf("dme: top route: %w", err)
+	}
+	out := ctree.New(rootPos)
+	taps := make(map[int]int, len(leaves))
+	spliceDME(out, out.Root(), t, func(tr *ctree.Tree, parent, leafIdx int, pos geom.Point, snake float64) {
+		id := tr.Add(parent, ctree.KindSteiner, pos)
+		tr.Nodes[id].SnakeExtra = snake
+		tr.Nodes[id].BufferAtNode = true
+		taps[id] = leafIdx
+	})
+	if opt.MaxTrunkEdge > 0 {
+		out.SplitTrunkEdges(opt.MaxTrunkEdge)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("dme: top tree invalid: %w", err)
+	}
+	return out, taps, nil
+}
+
 // leafNetCap estimates the load a low-level leaf net presents: sink pin caps
 // plus the front-side wire cap of the star net.
 func leafNetCap(d *cluster.Dual, lc int, sinks []geom.Point, tc *tech.Tech) float64 {

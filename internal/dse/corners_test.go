@@ -63,7 +63,10 @@ func TestSweepFanoutCornersEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	corners := corner.Presets()
 	pts, err := SweepFanoutCorners(context.Background(), p.Root, p.Sinks, tc, []int{100, 800}, corners, core.Options{})
 	if err != nil {

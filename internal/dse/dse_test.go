@@ -90,7 +90,10 @@ func TestSweepsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	pts, err := SweepFanout(p.Root, p.Sinks, tc, []int{100, 800}, core.Options{})
 	if err != nil {
@@ -135,7 +138,10 @@ func TestSweepsEndToEnd(t *testing.T) {
 func TestSweepErrors(t *testing.T) {
 	tc := tech.ASAP7()
 	d, _ := bench.ByID("C4")
-	p := bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := SweepFanout(p.Root, p.Sinks, tc, nil, core.Options{}); err == nil {
 		t.Error("empty thresholds should error")
 	}

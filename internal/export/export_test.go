@@ -17,7 +17,10 @@ func TestWriteDEFFullFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +94,10 @@ func TestWriteDEFFullFlow(t *testing.T) {
 func TestToDEFRejectsInvalidTree(t *testing.T) {
 	tc := tech.ASAP7()
 	d, _ := bench.ByID("C4")
-	p := bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -146,7 +146,10 @@ func TestLegalizeFullFlowTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,285 @@
+// Package partition splits a die into capacity-bounded regions for the
+// partition-parallel mega-scale pipeline: each region holds at most MaxSinks
+// sinks and is synthesized independently (clustering → DME → insertion →
+// refinement), after which the stitch stage merges the region roots under a
+// top tree (see internal/core and DESIGN.md §3).
+//
+// The default strategy is a kd-style recursive median cut: regions follow
+// the sink density by construction (every cut splits the population, not the
+// area, in half), and the cut-line chooser is aware of macro blockages — a
+// cut that would run through a macro is nudged to the macro's edge so region
+// boundaries land in routable space. The alternative "grid" strategy tiles
+// the sink bounding box uniformly and kd-splits only the cells that overflow
+// the capacity, which gives more square regions on uniform placements.
+//
+// Split is deterministic: the regions, their IDs and their sink membership
+// are a pure function of the sinks and the options, never of a worker count
+// or iteration order.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dscts/internal/geom"
+)
+
+// Strategies accepted by Options.Strategy.
+const (
+	// StrategyKD is the default recursive median cut.
+	StrategyKD = "kd"
+	// StrategyGrid tiles the sink bounding box uniformly, kd-splitting
+	// overfull cells.
+	StrategyGrid = "grid"
+)
+
+// Options configures Split. The zero value disables partitioning
+// (MaxSinks == 0): callers treat that as "run the monolithic flow".
+type Options struct {
+	// MaxSinks is the region capacity: no region holds more sinks than
+	// this. 0 disables partitioning.
+	MaxSinks int
+	// Strategy selects the cut scheme: "kd" (default) or "grid".
+	Strategy string
+	// Macros are blockages the kd cut-line chooser avoids slicing through.
+	// They never affect which sinks end up together beyond moving the cut
+	// coordinate; sink membership itself stays a median split.
+	Macros []geom.BBox
+}
+
+// Enabled reports whether the options ask for partitioning at all.
+func (o Options) Enabled() bool { return o.MaxSinks > 0 }
+
+// Validate rejects malformed options.
+func (o Options) Validate() error {
+	if o.MaxSinks < 0 {
+		return fmt.Errorf("partition: MaxSinks must be >= 0, got %d", o.MaxSinks)
+	}
+	switch o.Strategy {
+	case "", StrategyKD, StrategyGrid:
+	default:
+		return fmt.Errorf("partition: unknown strategy %q (want %q or %q)", o.Strategy, StrategyKD, StrategyGrid)
+	}
+	return nil
+}
+
+// Region is one capacity-bounded piece of the die.
+type Region struct {
+	// ID is the region's index in the deterministic Split order.
+	ID int
+	// Box is the bounding box of the region's sinks.
+	Box geom.BBox
+	// Sinks are the ORIGINAL sink indices of the region, ascending.
+	Sinks []int
+	// Anchor is the region's clock entry point — the sink centroid — where
+	// the region-local tree is rooted and the top tree taps in.
+	Anchor geom.Point
+}
+
+// Split partitions the sinks into capacity-bounded regions. With
+// partitioning disabled, or when every sink fits one region, it returns a
+// single region covering everything.
+func Split(sinks []geom.Point, opt Options) ([]Region, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("partition: no sinks")
+	}
+	all := make([]int, len(sinks))
+	for i := range all {
+		all[i] = i
+	}
+	if !opt.Enabled() || len(sinks) <= opt.MaxSinks {
+		return []Region{makeRegion(0, sinks, all)}, nil
+	}
+	var groups [][]int
+	if opt.Strategy == StrategyGrid {
+		for _, cell := range gridGroups(sinks, all, opt.MaxSinks) {
+			groups = kdSplit(sinks, cell, opt, groups)
+		}
+	} else {
+		groups = kdSplit(sinks, all, opt, nil)
+	}
+	out := make([]Region, len(groups))
+	for i, g := range groups {
+		sort.Ints(g)
+		out[i] = makeRegion(i, sinks, g)
+	}
+	return out, nil
+}
+
+func makeRegion(id int, sinks []geom.Point, members []int) Region {
+	r := Region{ID: id, Sinks: members}
+	var cx, cy float64
+	for _, si := range members {
+		r.Box.Grow(sinks[si])
+		cx += sinks[si].X
+		cy += sinks[si].Y
+	}
+	n := float64(len(members))
+	r.Anchor = geom.Pt(cx/n, cy/n)
+	return r
+}
+
+// kdSplit recursively median-cuts the member set until every group fits the
+// capacity, appending finished groups to acc in deterministic (depth-first,
+// low-half-first) order.
+func kdSplit(sinks []geom.Point, members []int, opt Options, acc [][]int) [][]int {
+	if len(members) <= opt.MaxSinks {
+		return append(acc, members)
+	}
+	var box geom.BBox
+	for _, si := range members {
+		box.Grow(sinks[si])
+	}
+	// Cut across the longer extent so regions stay roughly square.
+	vertical := box.W() >= box.H() // vertical cut line: split by X
+	coord := func(si int) float64 {
+		if vertical {
+			return sinks[si].X
+		}
+		return sinks[si].Y
+	}
+	other := func(si int) float64 {
+		if vertical {
+			return sinks[si].Y
+		}
+		return sinks[si].X
+	}
+	sorted := append([]int(nil), members...)
+	sort.Slice(sorted, func(a, b int) bool {
+		ia, ib := sorted[a], sorted[b]
+		ca, cb := coord(ia), coord(ib)
+		if ca != cb {
+			return ca < cb
+		}
+		if oa, ob := other(ia), other(ib); oa != ob {
+			return oa < ob
+		}
+		return ia < ib
+	})
+	cut := len(sorted) / 2
+	cut = nudgeCutOffMacros(sorted, cut, coord, box, vertical, opt.Macros)
+	lo := sorted[:cut]
+	hi := sorted[cut:]
+	acc = kdSplit(sinks, lo, opt, acc)
+	return kdSplit(sinks, hi, opt, acc)
+}
+
+// nudgeCutOffMacros moves the median split index so the induced cut line —
+// halfway between the two sinks adjacent to the split — does not run through
+// a macro blockage that crosses the region. It scans outward from the median
+// for the nearest legal split, preferring the smaller index on ties, and
+// keeps at least one sink on each side; if every split position is blocked
+// the median stands.
+func nudgeCutOffMacros(sorted []int, cut int, coord func(int) float64, box geom.BBox, vertical bool, macros []geom.BBox) int {
+	if len(macros) == 0 {
+		return cut
+	}
+	legal := func(c int) bool {
+		if c <= 0 || c >= len(sorted) {
+			return false
+		}
+		line := (coord(sorted[c-1]) + coord(sorted[c])) / 2
+		for _, m := range macros {
+			var cutsMacro bool
+			if vertical {
+				cutsMacro = line > m.MinX && line < m.MaxX &&
+					box.MinY < m.MaxY && box.MaxY > m.MinY
+			} else {
+				cutsMacro = line > m.MinY && line < m.MaxY &&
+					box.MinX < m.MaxX && box.MaxX > m.MinX
+			}
+			if cutsMacro {
+				return false
+			}
+		}
+		return true
+	}
+	if legal(cut) {
+		return cut
+	}
+	for d := 1; d < len(sorted); d++ {
+		if legal(cut - d) {
+			return cut - d
+		}
+		if legal(cut + d) {
+			return cut + d
+		}
+	}
+	return cut
+}
+
+// gridGroups tiles the sink bounding box with ceil(sqrt(n/maxSinks))²
+// cells and buckets the members; empty cells are dropped. Cells are emitted
+// row-major, so the grouping is deterministic.
+func gridGroups(sinks []geom.Point, members []int, maxSinks int) [][]int {
+	var box geom.BBox
+	for _, si := range members {
+		box.Grow(sinks[si])
+	}
+	g := int(math.Ceil(math.Sqrt(float64(len(members)) / float64(maxSinks))))
+	if g < 1 {
+		g = 1
+	}
+	w, h := box.W(), box.H()
+	cellOf := func(si int) int {
+		cx, cy := 0, 0
+		if w > 0 {
+			cx = int(float64(g) * (sinks[si].X - box.MinX) / w)
+		}
+		if h > 0 {
+			cy = int(float64(g) * (sinks[si].Y - box.MinY) / h)
+		}
+		if cx >= g {
+			cx = g - 1
+		}
+		if cy >= g {
+			cy = g - 1
+		}
+		return cy*g + cx
+	}
+	cells := make([][]int, g*g)
+	for _, si := range members {
+		c := cellOf(si)
+		cells[c] = append(cells[c], si)
+	}
+	var out [][]int
+	for _, cell := range cells {
+		if len(cell) > 0 {
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// Validate checks that the regions are a partition of [0, n): every sink in
+// exactly one region, no empty regions, IDs in slice order.
+func Validate(regions []Region, n int) error {
+	seen := make([]bool, n)
+	total := 0
+	for i, r := range regions {
+		if r.ID != i {
+			return fmt.Errorf("partition: region %d has ID %d", i, r.ID)
+		}
+		if len(r.Sinks) == 0 {
+			return fmt.Errorf("partition: region %d is empty", i)
+		}
+		for _, s := range r.Sinks {
+			if s < 0 || s >= n {
+				return fmt.Errorf("partition: sink index %d out of range", s)
+			}
+			if seen[s] {
+				return fmt.Errorf("partition: sink %d assigned twice", s)
+			}
+			seen[s] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("partition: %d of %d sinks assigned", total, n)
+	}
+	return nil
+}

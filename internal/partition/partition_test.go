@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dscts/internal/geom"
+)
+
+func randomSinks(n int, seed int64, side float64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return out
+}
+
+func TestSplitCoversAndBounds(t *testing.T) {
+	sinks := randomSinks(5000, 1, 1000)
+	for _, strat := range []string{"", StrategyKD, StrategyGrid} {
+		regions, err := Split(sinks, Options{MaxSinks: 300, Strategy: strat})
+		if err != nil {
+			t.Fatalf("strategy %q: %v", strat, err)
+		}
+		if err := Validate(regions, len(sinks)); err != nil {
+			t.Fatalf("strategy %q: %v", strat, err)
+		}
+		if len(regions) < 2 {
+			t.Fatalf("strategy %q: expected multiple regions, got %d", strat, len(regions))
+		}
+		for _, r := range regions {
+			if len(r.Sinks) > 300 {
+				t.Fatalf("strategy %q: region %d holds %d > 300 sinks", strat, r.ID, len(r.Sinks))
+			}
+			if !r.Box.Contains(r.Anchor, 1e-9) {
+				t.Fatalf("strategy %q: region %d anchor %v outside box", strat, r.ID, r.Anchor)
+			}
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	sinks := randomSinks(3000, 7, 800)
+	opt := Options{MaxSinks: 250, Macros: []geom.BBox{geom.NewBBox(geom.Pt(100, 100), geom.Pt(300, 400))}}
+	a, err := Split(sinks, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Split(sinks, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Split is not deterministic")
+	}
+}
+
+func TestSplitSingleRegion(t *testing.T) {
+	sinks := randomSinks(100, 3, 50)
+	for _, opt := range []Options{{}, {MaxSinks: 100}, {MaxSinks: 5000}} {
+		regions, err := Split(sinks, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regions) != 1 || len(regions[0].Sinks) != 100 {
+			t.Fatalf("opt %+v: want one full region, got %d regions", opt, len(regions))
+		}
+	}
+}
+
+// TestMacroAwareCut pins the macro-aware nudge: with a macro straddling the
+// population median, the chosen cut line must not pass through it.
+func TestMacroAwareCut(t *testing.T) {
+	// Two uniform halves with a macro centered on the X median.
+	var sinks []geom.Point
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		sinks = append(sinks, geom.Pt(rng.Float64()*1000, rng.Float64()*100))
+	}
+	macro := geom.NewBBox(geom.Pt(460, -10), geom.Pt(540, 110))
+	regions, err := Split(sinks, Options{MaxSinks: 600, Macros: []geom.BBox{macro}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(regions, len(sinks)); err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("want 2 regions, got %d", len(regions))
+	}
+	// The cut line lies between the two regions' X extents; it must avoid
+	// the macro interior.
+	line := (regions[0].Box.MaxX + regions[1].Box.MinX) / 2
+	if line > macro.MinX && line < macro.MaxX {
+		t.Fatalf("cut line %.1f runs through macro [%.1f, %.1f]", line, macro.MinX, macro.MaxX)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{MaxSinks: -1}).Validate(); err == nil {
+		t.Fatal("negative MaxSinks accepted")
+	}
+	if err := (Options{Strategy: "voronoi"}).Validate(); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := Split(nil, Options{MaxSinks: 10}); err == nil {
+		t.Fatal("empty sink set accepted")
+	}
+}
+
+func TestGridStrategyBoundsOverfullCells(t *testing.T) {
+	// A single dense hotspot: uniform grid cells overflow and must be
+	// kd-split down to capacity.
+	var sinks []geom.Point
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		sinks = append(sinks, geom.Pt(500+rng.NormFloat64(), 500+rng.NormFloat64()))
+	}
+	for i := 0; i < 500; i++ {
+		sinks = append(sinks, geom.Pt(rng.Float64()*1000, rng.Float64()*1000))
+	}
+	regions, err := Split(sinks, Options{MaxSinks: 200, Strategy: StrategyGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(regions, len(sinks)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regions {
+		if len(r.Sinks) > 200 {
+			t.Fatalf("region %d holds %d > 200 sinks", r.ID, len(r.Sinks))
+		}
+	}
+}

@@ -96,7 +96,10 @@ func TestEstimateFullFlowComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := bench.Generate(d, 1)
+	p, err := bench.Generate(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ds, err := core.Synthesize(p.Root, p.Sinks, tc, core.Options{})
 	if err != nil {
 		t.Fatal(err)

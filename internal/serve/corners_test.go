@@ -42,15 +42,17 @@ func TestRequestKeyCorners(t *testing.T) {
 // MUST change whenever the encoding version bumps, and must NOT change
 // otherwise: an accidental encoding edit that silently remaps every cache
 // entry fails here, and so does adding a result-affecting field without
-// bumping requestKeyVersion (start from the recorded v2 values and
+// bumping requestKeyVersion (start from the recorded v3 values and
 // re-pin on every deliberate version bump).
 func TestRequestKeyPinned(t *testing.T) {
-	if requestKeyVersion != "dscts-request-v2" {
+	if requestKeyVersion != "dscts-request-v3" {
 		t.Fatalf("encoding version changed to %q: re-pin the hashes below", requestKeyVersion)
 	}
 	pins := map[string]*Request{
-		"fa56f7d949a89ce5bdaf9b66027f9693e103ed35f51b2303c5242ba5c71e3efc": {Design: "C4", Seed: 1},
-		"aaf0e3e939cb44c4fec02fbe2e76cb6564ece49531e88d582810fe97c4d45d81": {Design: "C4", Seed: 1, Corners: []string{"slow", "typ", "fast"}},
+		"928d37ac2713e5973f14b8cd874b7cd204b64e2e6b81aa1400f78a062ce92425": {Design: "C4", Seed: 1},
+		"58881f28b1547662b36eba34911d291b23270ee315c5d5816462007570a95d81": {Design: "C4", Seed: 1, Corners: []string{"slow", "typ", "fast"}},
+		"c12fcb9d9391c274339105620b89630e467f22596c2c1833e42a82fb23bcb926": {Design: "C4", Seed: 1, Options: OptionsSpec{PartitionMaxSinks: 50000}},
+		"99ec89bd49f2efc9ae8b70f1b97edb0dd0a9c6a32dd6d50c665cd7f9203f24af": {XLSinks: 1000000, Seed: 1, Options: OptionsSpec{PartitionMaxSinks: 50000}},
 	}
 	for want, req := range pins {
 		if got := req.Key(KindSynthesize); got != want {

@@ -48,7 +48,27 @@ var (
 	ErrNotFound = errors.New("serve: no such job")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("serve: queue closed")
+	// ErrTooLarge is returned when a job's estimated size exceeds the
+	// queue's sink budget; the HTTP layer maps it to 413 with the size
+	// estimate in the body. Always wrapped in a *SizeError.
+	ErrTooLarge = errors.New("serve: job too large")
 )
+
+// SizeError carries the admission-control size estimate of a rejected job.
+type SizeError struct {
+	// EstimatedSinks is the job's estimated sink count (exact for named
+	// benchmarks, XL placements and explicit sink lists).
+	EstimatedSinks int
+	// MaxSinks is the queue's configured budget.
+	MaxSinks int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("serve: job too large: estimated %d sinks exceeds the %d-sink budget", e.EstimatedSinks, e.MaxSinks)
+}
+
+// Unwrap makes errors.Is(err, ErrTooLarge) work.
+func (e *SizeError) Unwrap() error { return ErrTooLarge }
 
 // DPStats summarizes the insertion DP of a synthesis result.
 type DPStats struct {
@@ -311,7 +331,26 @@ type Config struct {
 	// RetainJobs caps the finished-job records kept for GET /jobs/{id};
 	// the oldest are forgotten first. Default 1024.
 	RetainJobs int
+	// MaxJobSinks is the admission-control size budget: requests whose
+	// estimated sink count exceeds it are rejected with ErrTooLarge (HTTP
+	// 413) instead of queueing work that will exhaust memory. 0 uses
+	// DefaultMaxJobSinks; negative disables the check.
+	MaxJobSinks int
+	// XLSoloSinks is the size above which a job stops sharing the worker
+	// budget and gets all of it: a mega-scale partitioned synthesis wants
+	// every core, and the queue's other slots would otherwise sit on
+	// per-job slices while it dominates the machine anyway. 0 uses
+	// DefaultXLSoloSinks. Budgets never affect results.
+	XLSoloSinks int
 }
+
+// DefaultMaxJobSinks bounds admitted job sizes when Config.MaxJobSinks is 0:
+// large enough for multi-million-sink partitioned jobs, small enough to
+// reject obvious memory bombs.
+const DefaultMaxJobSinks = 4_000_000
+
+// DefaultXLSoloSinks is the job size that earns the whole worker budget.
+const DefaultXLSoloSinks = 100_000
 
 func (c Config) withDefaults() Config {
 	if c.MaxQueued <= 0 {
@@ -325,6 +364,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 1024
+	}
+	if c.MaxJobSinks == 0 {
+		c.MaxJobSinks = DefaultMaxJobSinks
+	}
+	if c.XLSoloSinks == 0 {
+		c.XLSoloSinks = DefaultXLSoloSinks
 	}
 	return c
 }
@@ -342,6 +387,7 @@ type QueueStats struct {
 	MaxRunning    int   `json:"max_running"`
 	WorkerBudget  int   `json:"worker_budget"`
 	PerJobWorkers int   `json:"per_job_workers"`
+	MaxJobSinks   int   `json:"max_job_sinks"`
 }
 
 // Stats is the GET /stats payload.
@@ -404,6 +450,17 @@ func (q *Queue) perJobWorkers() int {
 	return w
 }
 
+// workersFor sizes a job's worker budget by its estimated sink count:
+// ordinary jobs share the budget evenly, mega-scale jobs (>= XLSoloSinks)
+// get all of it. The engine is deterministic in the worker count, so sizing
+// affects wall-clock only, never results.
+func (q *Queue) workersFor(sinks int) int {
+	if q.cfg.XLSoloSinks > 0 && sinks >= q.cfg.XLSoloSinks {
+		return par.N(q.cfg.Workers)
+	}
+	return q.perJobWorkers()
+}
+
 // Submit validates, content-addresses and admits a request. An identical
 // request already served is answered from the cache with a job born done
 // (CacheHit set); otherwise the job enters the bounded queue or is rejected
@@ -417,6 +474,10 @@ func (q *Queue) Submit(req *Request, kind string) (*Job, error) {
 	design, sinks, err := req.validate(kind)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	if q.cfg.MaxJobSinks > 0 && sinks > q.cfg.MaxJobSinks {
+		q.rejected.Add(1)
+		return nil, &SizeError{EstimatedSinks: sinks, MaxSinks: q.cfg.MaxJobSinks}
 	}
 	q.submitted.Add(1)
 	ctx, cancel := context.WithCancel(q.ctx)
@@ -516,6 +577,7 @@ func (q *Queue) Stats() Stats {
 			Done: q.doneCt.Load(), Failed: q.failedCt.Load(), Cancelled: q.cancelCt.Load(),
 			MaxQueued: q.cfg.MaxQueued, MaxRunning: q.cfg.MaxRunning,
 			WorkerBudget: par.N(q.cfg.Workers), PerJobWorkers: q.perJobWorkers(),
+			MaxJobSinks: q.cfg.MaxJobSinks,
 		},
 		Cache: q.cache.Stats(),
 	}
@@ -584,7 +646,7 @@ func (q *Queue) run(job *Job) {
 		return
 	}
 	opt := rv.opt
-	opt.Workers = q.perJobWorkers()
+	opt.Workers = q.workersFor(job.sinks)
 	opt.Progress = job.progress
 
 	var result *Result

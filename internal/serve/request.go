@@ -23,6 +23,7 @@ import (
 	"dscts/internal/core"
 	"dscts/internal/corner"
 	"dscts/internal/geom"
+	"dscts/internal/partition"
 	"dscts/internal/tech"
 )
 
@@ -56,6 +57,13 @@ type OptionsSpec struct {
 	MaxPerSide int `json:"max_per_side,omitempty"`
 	// UseFlatDME replaces hierarchical DME with matching-based DME.
 	UseFlatDME bool `json:"use_flat_dme,omitempty"`
+	// PartitionMaxSinks enables the partition-parallel pipeline with the
+	// given region capacity (0 = monolithic flow). Region work streams as
+	// "partition"/"stitch" phase events.
+	PartitionMaxSinks int `json:"partition_max_sinks,omitempty"`
+	// PartitionStrategy selects the region cut scheme ("kd" default,
+	// "grid"); only meaningful with PartitionMaxSinks > 0.
+	PartitionStrategy string `json:"partition_strategy,omitempty"`
 }
 
 // Request is the body of POST /synthesize and POST /dse. The instance is
@@ -69,6 +77,11 @@ type Request struct {
 	// Root and Sinks give an explicit placement instead of Design.
 	Root  *XY  `json:"root,omitempty"`
 	Sinks []XY `json:"sinks,omitempty"`
+	// XLSinks names a synthetic mega-scale placement with this many sinks
+	// (bench.GenerateXL, seeded by Seed) — the placement is generated
+	// server-side at execution, so million-sink jobs need no million-point
+	// request body. Mutually exclusive with Design and Root/Sinks.
+	XLSinks int `json:"xl_sinks,omitempty"`
 	// Tech selects the technology ("asap7" is the default and currently
 	// the only one).
 	Tech string `json:"tech,omitempty"`
@@ -103,19 +116,41 @@ type resolved struct {
 // "custom") and the sink count. A request that validates cannot fail to
 // resolve.
 func (r *Request) validate(kind string) (design string, sinks int, err error) {
+	forms := 0
+	if r.Design != "" {
+		forms++
+	}
+	if r.Root != nil || len(r.Sinks) > 0 {
+		forms++
+	}
+	if r.XLSinks != 0 {
+		forms++
+	}
+	if forms > 1 {
+		return "", 0, fmt.Errorf("give exactly one of design, root+sinks or xl_sinks")
+	}
 	switch {
-	case r.Design != "" && (r.Root != nil || len(r.Sinks) > 0):
-		return "", 0, fmt.Errorf("give either design or root+sinks, not both")
 	case r.Design != "":
 		d, err := bench.ByID(r.Design)
 		if err != nil {
 			return "", 0, err
 		}
 		design, sinks = d.ID, d.FFs
+	case r.XLSinks != 0:
+		if r.XLSinks < 0 {
+			return "", 0, fmt.Errorf("xl_sinks must be positive, got %d", r.XLSinks)
+		}
+		design, sinks = bench.XLDesign(r.XLSinks).ID, r.XLSinks
 	case r.Root != nil && len(r.Sinks) > 0:
 		design, sinks = "custom", len(r.Sinks)
 	default:
-		return "", 0, fmt.Errorf("request needs a design or a root plus sinks")
+		return "", 0, fmt.Errorf("request needs a design, a root plus sinks, or xl_sinks")
+	}
+	if r.Options.PartitionMaxSinks < 0 {
+		return "", 0, fmt.Errorf("partition_max_sinks must be >= 0, got %d", r.Options.PartitionMaxSinks)
+	}
+	if err := (partition.Options{MaxSinks: r.Options.PartitionMaxSinks, Strategy: r.Options.PartitionStrategy}).Validate(); err != nil {
+		return "", 0, err
 	}
 	switch r.Tech {
 	case "", "asap7":
@@ -153,17 +188,32 @@ func (r *Request) resolve(kind string) (*resolved, error) {
 		return nil, err
 	}
 	out := &resolved{design: design, tc: tech.ASAP7()}
-	if r.Design != "" {
-		d, err := bench.ByID(r.Design)
-		if err != nil {
-			return nil, err
-		}
+	// Macro blockages of a generated placement feed the partition cut-line
+	// chooser below, matching what the CLI passes for the same design —
+	// they are a pure function of (design, seed), both already in the
+	// cache key.
+	var macros []geom.BBox
+	if r.Design != "" || r.XLSinks > 0 {
 		seed := r.Seed
 		if seed == 0 {
 			seed = 1
 		}
-		p := bench.Generate(d, seed)
+		var p *bench.Placement
+		if r.XLSinks > 0 {
+			p, err = bench.GenerateXL(r.XLSinks, seed)
+		} else {
+			var d bench.Design
+			d, err = bench.ByID(r.Design)
+			if err != nil {
+				return nil, err
+			}
+			p, err = bench.Generate(d, seed)
+		}
+		if err != nil {
+			return nil, err
+		}
 		out.root, out.sinks = p.Root, p.Sinks
+		macros = p.Macros
 	} else {
 		out.root = geom.Pt(r.Root.X, r.Root.Y)
 		out.sinks = make([]geom.Point, len(r.Sinks))
@@ -182,6 +232,7 @@ func (r *Request) resolve(kind string) (*resolved, error) {
 	out.opt.DiversePruning = o.DiversePruning
 	out.opt.MaxPerSide = o.MaxPerSide
 	out.opt.UseFlatDME = o.UseFlatDME
+	out.opt.Partition = partition.Options{MaxSinks: o.PartitionMaxSinks, Strategy: o.PartitionStrategy, Macros: macros}
 	if len(r.Corners) > 0 {
 		cs, err := r.corners()
 		if err != nil {
@@ -217,8 +268,9 @@ func (r *Request) corners() ([]corner.Corner, error) {
 // including zero values, with an explicit count before every variable-
 // length section — is always encoded, and any change to the field set or
 // their meaning MUST bump this version. v1 predates corners and the
-// evaluation-model tag; v2 appends both unconditionally.
-const requestKeyVersion = "dscts-request-v2"
+// evaluation-model tag; v2 appends both unconditionally; v3 appends the
+// XL-placement selector and the partition options unconditionally.
+const requestKeyVersion = "dscts-request-v3"
 
 // evalModel names the delay model the engine evaluates results with. It
 // is part of the canonical encoding so that a future model switch (e.g.
@@ -256,7 +308,15 @@ func (r *Request) Key(kind string) string {
 		tc = "asap7"
 	}
 	ws(tc)
-	if r.Design != "" {
+	if r.XLSinks > 0 {
+		ws("xl")
+		wi(int64(r.XLSinks))
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		wi(seed)
+	} else if r.Design != "" {
 		ws("design")
 		// Canonicalize: bench.ByID accepts both the ID and the name, and
 		// both spellings must share one cache entry.
@@ -293,6 +353,15 @@ func (r *Request) Key(kind string) string {
 	wb(o.DiversePruning)
 	wi(int64(o.MaxPerSide))
 	wb(o.UseFlatDME)
+	// The partition section is always encoded (zeros when absent): the
+	// options change the synthesized tree, so they are part of the result
+	// identity. The strategy string is canonicalized to "kd" when empty.
+	wi(int64(o.PartitionMaxSinks))
+	strat := o.PartitionStrategy
+	if strat == "" {
+		strat = "kd"
+	}
+	ws(strat)
 	// The corner section is always encoded (count 0 when absent), and
 	// names are canonicalized through ByName so "SLOW" and "slow" share
 	// an entry. Unresolvable names hash as given; such requests never

@@ -347,7 +347,11 @@ func mustPlacement(t *testing.T, id string, seed int64) *bench.Placement {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return bench.Generate(d, seed)
+	p, err := bench.Generate(d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 // TestBadRequests exercises the 400 paths.

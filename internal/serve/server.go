@@ -67,7 +67,16 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	}
 	job, err := s.queue.Submit(&req, kind)
 	if err != nil {
+		var sz *SizeError
 		switch {
+		case errors.As(err, &sz):
+			// 413 with the size estimate so clients can right-size or
+			// partition the request.
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error":           err.Error(),
+				"estimated_sinks": sz.EstimatedSinks,
+				"max_sinks":       sz.MaxSinks,
+			})
 		case errors.Is(err, ErrQueueFull):
 			writeErr(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrBadRequest):

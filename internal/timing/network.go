@@ -73,6 +73,15 @@ func (n *Network) checkParent(parent int) {
 	}
 }
 
+// SourceLoad returns the capacitance the root source drives: the unshielded
+// cap of stage 0 (everything reachable from the root without crossing a
+// buffer, plus the input caps of the buffers that terminate the stage). The
+// hierarchical evaluator uses it to summarize a region subtree by the load
+// its root presents to the top tree.
+func (n *Network) SourceLoad() float64 {
+	return n.stageLoads()[0]
+}
+
 // stageLoad computes, for every node, the capacitance visible to its stage
 // driver looking downstream from (and including) that node. Buffers shield:
 // a buffer node contributes only its input cap upstream.

@@ -1,0 +1,163 @@
+package dscts
+
+// Determinism and equivalence suite for the partition-parallel pipeline
+// (ISSUE 4): the worker count must never change a partitioned result, a
+// single-region partition must be bit-identical to the monolithic flow (so
+// the whole golden suite doubles as the refactor's safety net), and every
+// stitched tree must be structurally valid.
+
+import (
+	"testing"
+)
+
+// partitionCapFor picks a region capacity that forces a real multi-region
+// partition on every built-in benchmark.
+func partitionCapFor(sinks int) int {
+	cap := sinks / 4
+	if cap < 200 {
+		cap = 200
+	}
+	return cap
+}
+
+// TestPartitionWorkersDeterminism synthesizes every built-in benchmark
+// through the partitioned pipeline with one worker and with eight and
+// requires bit-identical Metrics — the same contract the monolithic engine
+// honors (TestWorkersDeterminism).
+func TestPartitionWorkersDeterminism(t *testing.T) {
+	tc := ASAP7()
+	for _, id := range Benchmarks() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && id != "C4" && id != "C5" {
+				t.Skip("large design skipped with -short")
+			}
+			p, err := GenerateBenchmark(id, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			popt := PartitionOptions{MaxSinks: partitionCapFor(len(p.Sinks)), Macros: p.Macros}
+			seq, err := Synthesize(p.Root, p.Sinks, tc, Options{Workers: 1, Partition: popt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parl, err := Synthesize(p.Root, p.Sinks, tc, Options{Workers: 8, Partition: popt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq.Regions) < 2 {
+				t.Fatalf("expected a partitioned run, got %d regions", len(seq.Regions))
+			}
+			metricsIdentical(t, id+" partitioned workers 1 vs 8", seq.Metrics, parl.Metrics)
+			if len(seq.Regions) != len(parl.Regions) {
+				t.Fatalf("region counts differ: %d vs %d", len(seq.Regions), len(parl.Regions))
+			}
+			for i := range seq.Regions {
+				a, b := seq.Regions[i], parl.Regions[i]
+				a.Time, b.Time = 0, 0 // wall-clock is the only schedule-dependent field
+				if a != b {
+					t.Fatalf("region %d stats differ: %+v vs %+v", i, seq.Regions[i], parl.Regions[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionSingleRegionMatchesGolden reuses the golden-metrics pins as
+// the refactor's safety net: a partition capacity at or above the design
+// size must take the monolithic path and reproduce the pinned numbers
+// exactly (same comparison the golden suite applies).
+func TestPartitionSingleRegionMatchesGolden(t *testing.T) {
+	tc := ASAP7()
+	for _, id := range Benchmarks() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && id != "C4" && id != "C5" {
+				t.Skip("large design skipped with -short")
+			}
+			p, err := GenerateBenchmark(id, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mono, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			part, err := Synthesize(p.Root, p.Sinks, tc, Options{
+				Partition: PartitionOptions{MaxSinks: len(p.Sinks), Macros: p.Macros},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if part.Regions != nil {
+				t.Fatalf("single-region run took the partitioned path (%d regions)", len(part.Regions))
+			}
+			metricsIdentical(t, id+" partitions=1 vs monolithic", mono.Metrics, part.Metrics)
+		})
+	}
+}
+
+// TestPartitionStitchValid runs every benchmark partitioned and checks the
+// stitched tree: structurally valid, every sink present exactly once, and
+// positive metrics.
+func TestPartitionStitchValid(t *testing.T) {
+	tc := ASAP7()
+	for _, id := range Benchmarks() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && id != "C4" && id != "C5" {
+				t.Skip("large design skipped with -short")
+			}
+			p, err := GenerateBenchmark(id, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Synthesize(p.Root, p.Sinks, tc, Options{
+				Partition: PartitionOptions{MaxSinks: partitionCapFor(len(p.Sinks)), Macros: p.Macros},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := out.Tree.Validate(); err != nil {
+				t.Fatalf("stitched tree invalid: %v", err)
+			}
+			if got := len(out.Metrics.SinkDelays); got != len(p.Sinks) {
+				t.Fatalf("%d of %d sinks evaluated", got, len(p.Sinks))
+			}
+			if out.Metrics.Latency <= 0 || out.Metrics.Skew < 0 {
+				t.Fatalf("implausible metrics %+v", out.Metrics)
+			}
+			total := 0
+			for _, r := range out.Regions {
+				total += r.Sinks
+			}
+			if total != len(p.Sinks) {
+				t.Fatalf("regions cover %d of %d sinks", total, len(p.Sinks))
+			}
+		})
+	}
+}
+
+// TestPartitionStrategiesBothWork exercises the grid strategy end to end on
+// one design (kd is covered by every other test).
+func TestPartitionStrategiesBothWork(t *testing.T) {
+	tc := ASAP7()
+	p, err := GenerateBenchmark("C4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []string{PartitionKD, PartitionGrid} {
+		out, err := Synthesize(p.Root, p.Sinks, tc, Options{
+			Partition: PartitionOptions{MaxSinks: 300, Strategy: strat, Macros: p.Macros},
+		})
+		if err != nil {
+			t.Fatalf("strategy %q: %v", strat, err)
+		}
+		if err := out.Tree.Validate(); err != nil {
+			t.Fatalf("strategy %q: %v", strat, err)
+		}
+		if len(out.Regions) < 2 {
+			t.Fatalf("strategy %q: %d regions", strat, len(out.Regions))
+		}
+	}
+}
