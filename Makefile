@@ -1,18 +1,30 @@
 # Tier-1 verification and benchmarking entry points.
 #
-#   make ci      - build + vet + test + fuzz smoke (what the roadmap calls tier-1)
-#   make race    - race detector on the determinism + corner + service suites
-#   make fuzz    - 10s fuzz smoke per parser target (DEF, LEF)
-#   make golden  - golden-metrics regression suite (make golden-update re-pins)
-#   make bench   - the substrate + parallel-engine + partition benchmarks
-#   make report  - regenerate BENCH_parallel.json
-#   make load    - regenerate BENCH_serve.json (service load test)
-#   make corners - regenerate BENCH_corners.json (multi-corner sign-off scaling)
-#   make scale   - regenerate BENCH_scale.json (mono vs partition-parallel XL scaling)
+#   make ci          - build + vet + test + fuzz smoke (what the roadmap calls tier-1)
+#   make race        - race detector on the determinism + corner + service + ECO suites
+#   make fuzz        - 10s fuzz smoke per parser target (DEF, LEF)
+#   make golden      - golden-metrics regression suite (make golden-update re-pins)
+#   make staticcheck - pinned staticcheck over the whole tree (fetches the tool)
+#   make vulncheck   - pinned govulncheck over the whole tree (fetches the tool)
+#   make smoke       - the Go-only CLI smoke suite (what CI runs, minus the XL job)
+#   make bench       - the substrate + parallel-engine + partition benchmarks
+#   make report      - regenerate BENCH_parallel.json
+#   make load        - regenerate BENCH_serve.json (service load test)
+#   make corners     - regenerate BENCH_corners.json (multi-corner sign-off scaling)
+#   make scale       - regenerate BENCH_scale.json (mono vs partition-parallel XL scaling)
+#   make eco         - regenerate BENCH_eco.json (full vs incremental re-synthesis)
+#
+# Bench regression gate (used by CI and the nightly workflow):
+#   go run ./cmd/benchgen -compare BENCH_eco.json /tmp/new.json -max-regress 15%
 
 GO ?= go
 
-.PHONY: all build test vet ci race fuzz golden golden-update bench report load corners scale
+# Pinned analysis-tool versions (resolved by `go run pkg@version`; CI relies
+# on the module proxy, so bumps here are deliberate and reviewable).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load corners scale eco
 
 all: ci
 
@@ -30,10 +42,10 @@ test:
 ci: build vet test fuzz
 
 race:
-	$(GO) test -race -count=1 -run 'Determinism|Parallel|Corner|Partition' .
+	$(GO) test -race -count=1 -run 'Determinism|Parallel|Corner|Partition|ECO' .
 	$(GO) test -race -count=1 ./internal/serve/
 	$(GO) test -race -count=1 ./internal/corner/
-	$(GO) test -race -count=1 ./internal/core/ ./internal/partition/
+	$(GO) test -race -count=1 ./internal/core/ ./internal/partition/ ./internal/eco/
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseDEF -fuzztime 10s ./internal/def
@@ -45,6 +57,26 @@ golden:
 golden-update:
 	$(GO) test -run TestGoldenMetrics -update .
 
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# The Go-only CLI smoke suite: every assertion the workflow runs through
+# cmd/cismoke, so it works on any runner with nothing but a Go toolchain.
+smoke:
+	$(GO) run ./cmd/dscts -design C4 -json | $(GO) run ./cmd/cismoke synth -sinks 1056
+	$(GO) run ./cmd/dscts -design C3 -corners slow,typ,fast -json | $(GO) run ./cmd/cismoke corners
+	$(GO) run ./cmd/dscts -design C4 -partition 300 -json | $(GO) run ./cmd/cismoke partition -max-region 300
+	$(GO) run ./cmd/dscts -design C4 -move "7:150,150" -remove 3 -add "100,100" -json | $(GO) run ./cmd/cismoke synth -sinks 1056 -eco
+	$(GO) run ./cmd/cismoke scale BENCH_scale.json
+	$(GO) run ./cmd/cismoke eco -design C3 -pct 1 -min-speedup 5 BENCH_eco.json
+	@! $(GO) run ./cmd/dscts -design NOPE -json 2>/dev/null || { echo "expected nonzero exit" >&2; exit 1; }
+	@! $(GO) run ./cmd/dscts -design C4 -corners slow,wat -json 2>/dev/null || { echo "expected nonzero exit for bad corner" >&2; exit 1; }
+	@! $(GO) run ./cmd/dscts -design C4 -partition 300 -partition-strategy voronoi -json 2>/dev/null || { echo "expected nonzero exit for bad strategy" >&2; exit 1; }
+	@! $(GO) run ./cmd/dscts -design C4 -remove 1056 -json 2>/dev/null || { echo "expected nonzero exit for bad delta" >&2; exit 1; }
+
 load:
 	$(GO) run ./cmd/benchgen -load
 
@@ -53,6 +85,12 @@ corners:
 
 scale:
 	$(GO) run ./cmd/benchgen -scale-out BENCH_scale.json -scale-workers 8
+
+# Pinned to one worker: the CI and nightly regression gates re-measure at
+# -eco-workers 1 and compare speedup ratios against this baseline, and
+# those ratios are not worker-count invariant.
+eco:
+	$(GO) run ./cmd/benchgen -eco-out BENCH_eco.json -eco-workers 1
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSubstrates|BenchmarkParallelSynthesize|BenchmarkPartitionSynthesize' -benchmem .

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"dscts/internal/bench"
+	"dscts/internal/core"
+	"dscts/internal/eco"
+	"dscts/internal/geom"
+	"dscts/internal/partition"
+	"dscts/internal/tech"
+)
+
+// ecoReport is the BENCH_eco.json payload: full-vs-incremental re-synthesis
+// runtime across delta sizes, per design and pipeline mode.
+type ecoReport struct {
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Workers    int   `json:"workers"`
+	Seed       int64 `json:"seed"`
+	// Reps is the measurement repetition count; every reported time is the
+	// fastest of Reps runs.
+	Reps              int      `json:"reps"`
+	PartitionMaxSinks int      `json:"partition_max_sinks"`
+	XLPartitionSinks  int      `json:"xl_partition_sinks,omitempty"`
+	Rows              []ecoRow `json:"rows"`
+}
+
+type ecoRow struct {
+	Design string `json:"design"`
+	Sinks  int    `json:"sinks"`
+	// Mode is "mono" (monolithic prior, cluster-level dirty sets) or
+	// "part" (partitioned prior, region-level dirty sets).
+	Mode string `json:"mode"`
+	// DeltaPct is the edit size as a percentage of the sink count.
+	DeltaPct   float64 `json:"delta_pct"`
+	DeltaSinks int     `json:"delta_sinks"`
+	Moves      int     `json:"moves"`
+	Adds       int     `json:"adds"`
+	Removes    int     `json:"removes"`
+
+	DirtyScopes int `json:"dirty_scopes"`
+	TotalScopes int `json:"total_scopes"`
+
+	// FullMS re-synthesizes the post-delta placement from scratch; ECOMS
+	// applies the delta incrementally against the retained base. Speedup is
+	// FullMS / ECOMS.
+	FullMS  float64 `json:"full_ms"`
+	ECOMS   float64 `json:"eco_ms"`
+	Speedup float64 `json:"speedup"`
+
+	LatencyFullPS float64 `json:"latency_full_ps"`
+	LatencyECOPS  float64 `json:"latency_eco_ps"`
+	SkewFullPS    float64 `json:"skew_full_ps"`
+	SkewECOPS     float64 `json:"skew_eco_ps"`
+	// LatencyRelErr is |eco-full|/full — the equivalence gap the test suite
+	// pins (TestECOVsFullEquivalence).
+	LatencyRelErr float64 `json:"latency_rel_err"`
+}
+
+// ecoDelta builds a localized delta — the realistic ECO shape: an edit
+// concentrated around a random anchor (a macro shifted, a block re-placed)
+// rather than uniform noise. Of the `count` sinks nearest the anchor, ~70%
+// move by a small local offset, ~15% are removed, and ~15% new sinks appear
+// near the anchor. Deterministic in (sinks, seed, count).
+func ecoDelta(sinks []geom.Point, die geom.BBox, seed int64, count int) eco.Delta {
+	rng := rand.New(rand.NewSource(seed))
+	anchor := sinks[rng.Intn(len(sinks))]
+	span := 0.02 * (die.W() + die.H()) / 2 // local: ~2% of the die edge
+	type ds struct {
+		idx  int
+		dist float64
+	}
+	order := make([]ds, len(sinks))
+	for i, p := range sinks {
+		order[i] = ds{i, p.Dist(anchor)}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].dist != order[b].dist {
+			return order[a].dist < order[b].dist
+		}
+		return order[a].idx < order[b].idx
+	})
+	if count > len(order) {
+		count = len(order)
+	}
+	var d eco.Delta
+	for k := 0; k < count; k++ {
+		i := order[k].idx
+		switch {
+		case k%7 == 3: // ~15%: removed
+			d.Remove = append(d.Remove, i)
+		case k%7 == 6: // ~15%: a new sink appears nearby
+			d.Add = append(d.Add, geom.Pt(
+				anchor.X+(rng.Float64()-0.5)*span,
+				anchor.Y+(rng.Float64()-0.5)*span,
+			))
+		default: // ~70%: moved locally
+			d.Move = append(d.Move, eco.Move{Sink: i, To: geom.Pt(
+				sinks[i].X+(rng.Float64()-0.5)*span,
+				sinks[i].Y+(rng.Float64()-0.5)*span,
+			)})
+		}
+	}
+	return d
+}
+
+// minTime returns fn's fastest wall-clock over repeated runs: at least
+// `reps` runs, and — like the Go benchmark harness — it keeps repeating a
+// fast fn until minTotal of cumulative measurement has accumulated (capped
+// at maxReps), because a 2 ms measurement needs far more samples than a 5 s
+// one to shed scheduler and GC noise. The regression gate compares the
+// resulting ratios across runs and machines, so their stability is what
+// bounds the gate's false-positive rate.
+func minTime(reps int, fn func() error) (time.Duration, error) {
+	const (
+		minTotal = 300 * time.Millisecond
+		maxReps  = 25
+	)
+	best := time.Duration(0)
+	total := time.Duration(0)
+	for i := 0; i < reps || (total < minTotal && i < maxReps); i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		d := time.Since(t0)
+		total += d
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// ecoMeasure runs one (base, delta-size) cell: base synthesis with retained
+// state, then for each percentage a localized delta applied both
+// incrementally and as a full re-synthesis of the post-delta placement.
+func ecoMeasure(rep *ecoReport, design string, root geom.Point, sinks []geom.Point, macros []geom.BBox, die geom.BBox, mode string, partMax int, pcts []float64, workers, reps int, seed int64) error {
+	tc := tech.ASAP7()
+	opt := core.Options{Workers: workers, RetainECO: true}
+	if partMax > 0 {
+		opt.Partition = partition.Options{MaxSinks: partMax, Macros: macros}
+	}
+	fmt.Fprintf(os.Stderr, "eco: %s/%s: base synthesis (%d sinks)...\n", design, mode, len(sinks))
+	base, err := core.Synthesize(root, sinks, tc, opt)
+	if err != nil {
+		return fmt.Errorf("%s/%s base: %w", design, mode, err)
+	}
+	fullOpt := opt
+	fullOpt.RetainECO = false
+	for pi, pct := range pcts {
+		count := int(float64(len(sinks)) * pct / 100)
+		if count < 1 {
+			count = 1
+		}
+		d := ecoDelta(sinks, die, seed+int64(pi)*7919, count)
+		if err := d.Validate(len(sinks)); err != nil {
+			return fmt.Errorf("%s/%s delta %.3g%%: %w", design, mode, pct, err)
+		}
+
+		var out *core.Outcome
+		ecoTime, err := minTime(reps, func() error {
+			var err error
+			out, err = core.SynthesizeECO(base, d, core.Options{Workers: workers})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%s eco %.3g%%: %w", design, mode, pct, err)
+		}
+		ecoMS := msOf(ecoTime)
+
+		newSinks, _ := eco.Apply(sinks, d)
+		var full *core.Outcome
+		fullTime, err := minTime(reps, func() error {
+			var err error
+			full, err = core.Synthesize(root, newSinks, tc, fullOpt)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%s full %.3g%%: %w", design, mode, pct, err)
+		}
+		fullMS := msOf(fullTime)
+
+		row := ecoRow{
+			Design: design, Sinks: len(sinks), Mode: mode,
+			DeltaPct: pct, DeltaSinks: count,
+			Moves: len(d.Move), Adds: len(d.Add), Removes: len(d.Remove),
+			DirtyScopes: out.ECO.DirtyScopes, TotalScopes: out.ECO.TotalScopes,
+			FullMS: fullMS, ECOMS: ecoMS,
+			LatencyFullPS: full.Metrics.Latency, LatencyECOPS: out.Metrics.Latency,
+			SkewFullPS: full.Metrics.Skew, SkewECOPS: out.Metrics.Skew,
+		}
+		if ecoMS > 0 {
+			row.Speedup = fullMS / ecoMS
+		}
+		if full.Metrics.Latency > 0 {
+			row.LatencyRelErr = abs(out.Metrics.Latency-full.Metrics.Latency) / full.Metrics.Latency
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(os.Stderr, "eco: %s/%s %.3g%% (%d sinks): full %.1fms, eco %.1fms (%.1fx), dirty %d/%d\n",
+			design, mode, pct, count, fullMS, ecoMS, row.Speedup, row.DirtyScopes, row.TotalScopes)
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runECOBench generates BENCH_eco.json: C-series designs in both pipeline
+// modes plus an XL partitioned design, across delta sizes.
+func runECOBench(path string, designs []string, xlSinks, partMax, xlPartMax, workers, reps int, pcts []float64, seed int64) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	rep := &ecoReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Seed: seed,
+		Reps: reps, PartitionMaxSinks: partMax, XLPartitionSinks: xlPartMax,
+	}
+	for _, id := range designs {
+		d, err := bench.ByID(id)
+		if err != nil {
+			return err
+		}
+		p, err := bench.Generate(d, seed)
+		if err != nil {
+			return err
+		}
+		if err := ecoMeasure(rep, d.ID, p.Root, p.Sinks, p.Macros, p.Die, "mono", 0, pcts, workers, reps, seed); err != nil {
+			return err
+		}
+		if partMax > 0 && len(p.Sinks) > partMax {
+			if err := ecoMeasure(rep, d.ID, p.Root, p.Sinks, p.Macros, p.Die, "part", partMax, pcts, workers, reps, seed); err != nil {
+				return err
+			}
+		}
+	}
+	if xlSinks > 0 {
+		p, err := bench.GenerateXL(xlSinks, seed)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("XL%dk", xlSinks/1000)
+		if err := ecoMeasure(rep, label, p.Root, p.Sinks, p.Macros, p.Die, "part", xlPartMax, pcts, workers, reps, seed); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("eco report -> %s\n", path)
+	return nil
+}

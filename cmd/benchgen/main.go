@@ -54,7 +54,24 @@ func main() {
 		loadJobs  = flag.Int("load-jobs", 40, "total jobs to replay with -load")
 		loadConc  = flag.Int("load-conc", 8, "concurrent clients (and running-job slots) for -load")
 		loadDist  = flag.Int("load-distinct", 0, "distinct request shapes for -load (0 = jobs/2, so half the replay can hit the cache)")
+		ecoOut    = flag.String("eco-out", "", "measure full-vs-incremental (ECO) re-synthesis and write the JSON report to this path (e.g. BENCH_eco.json)")
+		ecoDes    = flag.String("eco-designs", "C1,C2,C3,C4,C5", "comma-separated designs for -eco-out")
+		ecoXL     = flag.Int("eco-xl", 500000, "XL placement sink count for -eco-out (0 = skip the XL row)")
+		ecoPart   = flag.Int("eco-partition", 2000, "region capacity for the partitioned C-series rows of -eco-out (0 = mono rows only)")
+		ecoXLPart = flag.Int("eco-xl-partition", 50000, "region capacity for the XL rows of -eco-out")
+		ecoPcts   = flag.String("eco-pcts", "0.1,1,10", "comma-separated delta sizes (percent of sinks) for -eco-out")
+		ecoWk     = flag.Int("eco-workers", 0, "worker budget for -eco-out (0 = all CPUs)")
+		ecoReps   = flag.Int("eco-reps", 3, "measurement repetitions for -eco-out (fastest run is reported)")
 	)
+	// `benchgen -compare baseline.json new.json [-max-regress 15%]` is the
+	// bench-regression gate; it is parsed by hand because the two report
+	// paths are positional between flags, which the flag package rejects.
+	if len(os.Args) > 1 && (os.Args[1] == "-compare" || os.Args[1] == "--compare") {
+		if err := compareCLI(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	flag.Parse()
 	if *doBench {
 		if err := runBench(*benchOut); err != nil {
@@ -80,6 +97,17 @@ func main() {
 			fatal(err)
 		}
 		if err := runScale(*doScale, sizes, *scaleWk, *scaleCap, *scalePart, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *ecoOut != "" {
+		pcts, err := parsePcts(*ecoPcts)
+		if err != nil {
+			fatal(err)
+		}
+		designs := splitCSV(*ecoDes)
+		if err := runECOBench(*ecoOut, designs, *ecoXL, *ecoPart, *ecoXLPart, *ecoWk, *ecoReps, pcts, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -140,6 +168,59 @@ func parseSizes(csv string) ([]int, error) {
 		return nil, fmt.Errorf("benchgen: -scale-sizes is empty")
 	}
 	return out, nil
+}
+
+// splitCSV splits a comma-separated list, dropping empty entries.
+func splitCSV(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parsePcts parses the -eco-pcts list.
+func parsePcts(csv string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitCSV(csv) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 || v > 100 {
+			return nil, fmt.Errorf("benchgen: bad -eco-pcts entry %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchgen: -eco-pcts is empty")
+	}
+	return out, nil
+}
+
+// compareCLI parses `-compare base.json new.json [-max-regress P]`.
+func compareCLI(args []string) error {
+	var paths []string
+	maxRegress := 0.15
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-max-regress", "--max-regress":
+			if i+1 >= len(args) {
+				return fmt.Errorf("benchgen: -max-regress needs a value")
+			}
+			i++
+			v, err := parseMaxRegress(args[i])
+			if err != nil {
+				return err
+			}
+			maxRegress = v
+		default:
+			paths = append(paths, args[i])
+		}
+	}
+	if len(paths) != 2 {
+		return fmt.Errorf("benchgen: usage: benchgen -compare baseline.json new.json [-max-regress 15%%]")
+	}
+	return runCompare(paths[0], paths[1], maxRegress)
 }
 
 func fatal(err error) {

@@ -10,13 +10,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dscts/internal/bench"
 	"dscts/internal/core"
 	"dscts/internal/corner"
 	"dscts/internal/def"
+	"dscts/internal/eco"
 	"dscts/internal/export"
+	"dscts/internal/geom"
 	"dscts/internal/partition"
 	"dscts/internal/power"
 	"dscts/internal/tech"
@@ -44,6 +48,10 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit machine-readable metrics JSON to stdout instead of the human report")
 		cornerSet = flag.String("corners", "", "comma-separated PVT corners for multi-corner sign-off (slow,typ,fast)")
 		cornersIn = flag.String("corners-file", "", "JSON file of custom corners for sign-off (overrides -corners)")
+		ecoFrom   = flag.String("eco-from", "", "JSON delta file to apply as an incremental ECO after the base synthesis (see DESIGN.md §4)")
+		ecoMove   = flag.String("move", "", "ECO sink moves, \"sink:x,y\" separated by ';' (e.g. \"7:100.5,200.25;9:1,2\")")
+		ecoAdd    = flag.String("add", "", "ECO sink additions, \"x,y\" separated by ';'")
+		ecoRemove = flag.String("remove", "", "comma-separated sink indices the ECO removes")
 	)
 	flag.Parse()
 	tc := tech.ASAP7()
@@ -118,9 +126,26 @@ func main() {
 	// blockages when they are known.
 	opt.Partition = partition.Options{MaxSinks: *partMax, Strategy: *partStrat, Macros: p.Macros}
 
+	delta, haveDelta, err := parseDelta(*ecoFrom, *ecoMove, *ecoAdd, *ecoRemove)
+	if err != nil {
+		fatal(err)
+	}
+	if haveDelta {
+		if err := delta.Validate(sinks); err != nil {
+			fatal(err)
+		}
+		opt.RetainECO = true
+	}
+
 	out, err := core.Synthesize(p.Root, p.Sinks, tc, opt)
 	if err != nil {
 		fatal(err)
+	}
+	var ecoOut *core.Outcome
+	if haveDelta {
+		if ecoOut, err = core.SynthesizeECO(out, delta, core.Options{Workers: *workers}); err != nil {
+			fatal(err)
+		}
 	}
 	m := out.Metrics
 	var pw *power.Breakdown
@@ -175,6 +200,20 @@ func main() {
 		if pw != nil {
 			rep.Power = &powerStats{TotalMW: pw.TotalMW, SwitchingMW: pw.SwitchingMW, InternalMW: pw.InternalMW}
 		}
+		if ecoOut != nil {
+			em := ecoOut.Metrics
+			rep.ECO = &ecoStats{
+				LatencyPS: em.Latency, SkewPS: em.Skew,
+				Buffers: em.Buffers, NTSVs: em.NTSVs, WLum: em.WL,
+				Sinks:       len(em.SinkDelays),
+				DirtyScopes: ecoOut.ECO.DirtyScopes, TotalScopes: ecoOut.ECO.TotalScopes,
+				Partitioned: ecoOut.ECO.Partitioned,
+				TotalS:      ecoOut.TotalTime.Seconds(),
+			}
+			if e := ecoOut.TotalTime.Seconds(); e > 0 {
+				rep.ECO.SpeedupVsBase = out.TotalTime.Seconds() / e
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -218,13 +257,30 @@ func main() {
 			fmt.Printf("power    %.3f mW @1GHz (switching %.3f, buffer internal %.3f)\n",
 				pw.TotalMW, pw.SwitchingMW, pw.InternalMW)
 		}
+		if ecoOut != nil {
+			em := ecoOut.Metrics
+			fmt.Printf("eco: moved %d, added %d, removed %d -> %d sinks\n",
+				len(delta.Move), len(delta.Add), len(delta.Remove), len(em.SinkDelays))
+			fmt.Printf("eco: %d of %d scopes dirty, %.3fs vs base %.3fs (%.1fx)\n",
+				ecoOut.ECO.DirtyScopes, ecoOut.ECO.TotalScopes,
+				ecoOut.TotalTime.Seconds(), out.TotalTime.Seconds(),
+				out.TotalTime.Seconds()/ecoOut.TotalTime.Seconds())
+			fmt.Printf("eco latency %.3f ps, skew %.3f ps, buffers %d, nTSVs %d, WL %.1f um\n",
+				em.Latency, em.Skew, em.Buffers, em.NTSVs, em.WL)
+		}
+	}
+	// With an ECO delta, exports and renderings carry the post-ECO tree —
+	// that is the placement the change order produced.
+	finalTree := out.Tree
+	if ecoOut != nil {
+		finalTree = ecoOut.Tree
 	}
 	if *defOut != "" {
 		f, err := os.Create(*defOut)
 		if err != nil {
 			fatal(err)
 		}
-		cells, err := export.WriteDEF(f, out.Tree, p.Die, p.Macros, tc, export.Options{DesignName: p.Design.Name + "_clk"})
+		cells, err := export.WriteDEF(f, finalTree, p.Die, p.Macros, tc, export.Options{DesignName: p.Design.Name + "_clk"})
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -238,7 +294,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		err = viz.WriteSVG(f, out.Tree, p.Die, p.Macros, viz.Options{Title: p.Design.Name})
+		err = viz.WriteSVG(f, finalTree, p.Die, p.Macros, viz.Options{Title: p.Design.Name})
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -272,6 +328,25 @@ type jsonReport struct {
 	// Partition summarizes a partition-parallel run (absent for the
 	// monolithic flow).
 	Partition *partitionStats `json:"partition,omitempty"`
+	// ECO summarizes the incremental re-synthesis when a delta was given
+	// (-eco-from/-move/-add/-remove); the top-level metrics remain the
+	// BASE run's.
+	ECO *ecoStats `json:"eco,omitempty"`
+}
+
+// ecoStats is the -json summary of an incremental (ECO) run.
+type ecoStats struct {
+	LatencyPS     float64 `json:"latency_ps"`
+	SkewPS        float64 `json:"skew_ps"`
+	Buffers       int     `json:"buffers"`
+	NTSVs         int     `json:"ntsvs"`
+	WLum          float64 `json:"wirelength_um"`
+	Sinks         int     `json:"sinks"`
+	DirtyScopes   int     `json:"dirty_scopes"`
+	TotalScopes   int     `json:"total_scopes"`
+	Partitioned   bool    `json:"partitioned"`
+	TotalS        float64 `json:"total_s"`
+	SpeedupVsBase float64 `json:"speedup_vs_base,omitempty"`
 }
 
 // partitionStats is the -json summary of a partitioned run.
@@ -338,6 +413,87 @@ func note(jsonMode bool, format string, args ...any) {
 		w = os.Stderr
 	}
 	fmt.Fprintf(w, format, args...)
+}
+
+// parseDelta merges the ECO flags into one delta: the -eco-from file first,
+// then the -move/-add/-remove shorthands appended.
+func parseDelta(fromFile, moves, adds, removes string) (eco.Delta, bool, error) {
+	var d eco.Delta
+	have := false
+	if fromFile != "" {
+		f, err := os.Open(fromFile)
+		if err != nil {
+			return d, false, err
+		}
+		d, err = eco.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			return d, false, err
+		}
+		have = true
+	}
+	if moves != "" {
+		for _, part := range strings.Split(moves, ";") {
+			sink, pt, err := parseSinkPoint(part)
+			if err != nil {
+				return d, false, fmt.Errorf("-move %q: %w", part, err)
+			}
+			d.Move = append(d.Move, eco.Move{Sink: sink, To: pt})
+		}
+		have = true
+	}
+	if adds != "" {
+		for _, part := range strings.Split(adds, ";") {
+			pt, err := parsePoint(part)
+			if err != nil {
+				return d, false, fmt.Errorf("-add %q: %w", part, err)
+			}
+			d.Add = append(d.Add, pt)
+		}
+		have = true
+	}
+	if removes != "" {
+		for _, part := range strings.Split(removes, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return d, false, fmt.Errorf("-remove %q: %w", part, err)
+			}
+			d.Remove = append(d.Remove, idx)
+		}
+		have = true
+	}
+	return d, have, nil
+}
+
+// parseSinkPoint parses "sink:x,y".
+func parseSinkPoint(s string) (int, geom.Point, error) {
+	idx, coords, ok := strings.Cut(strings.TrimSpace(s), ":")
+	if !ok {
+		return 0, geom.Point{}, fmt.Errorf("want \"sink:x,y\"")
+	}
+	sink, err := strconv.Atoi(idx)
+	if err != nil {
+		return 0, geom.Point{}, err
+	}
+	pt, err := parsePoint(coords)
+	return sink, pt, err
+}
+
+// parsePoint parses "x,y".
+func parsePoint(s string) (geom.Point, error) {
+	xs, ys, ok := strings.Cut(strings.TrimSpace(s), ",")
+	if !ok {
+		return geom.Point{}, fmt.Errorf("want \"x,y\"")
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(xs), 64)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(ys), 64)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Pt(x, y), nil
 }
 
 func fatal(err error) {

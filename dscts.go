@@ -71,6 +71,7 @@ import (
 	"dscts/internal/ctree"
 	"dscts/internal/def"
 	"dscts/internal/dse"
+	"dscts/internal/eco"
 	"dscts/internal/eval"
 	"dscts/internal/export"
 	"dscts/internal/geom"
@@ -193,6 +194,44 @@ func SplitRegions(sinks []Point, opt PartitionOptions) ([]partition.Region, erro
 // for every worker count). Pair with Options.Partition for synthesis.
 func GenerateXLBenchmark(sinkCount int, seed int64) (*Placement, error) {
 	return bench.GenerateXL(sinkCount, seed)
+}
+
+// ECODelta is an engineering change order against a prior synthesis: sinks
+// added, moved or removed, plus optional corner- or technology-set
+// replacements (DESIGN.md §4).
+type ECODelta = eco.Delta
+
+// ECOMove relocates one sink in an ECODelta.
+type ECOMove = eco.Move
+
+// ECOStats summarizes an incremental run on its Outcome (dirty scopes,
+// reuse, whether a full fallback was forced).
+type ECOStats = core.ECOStats
+
+// SynthesizeECO incrementally re-synthesizes a prior outcome under a delta:
+// only the dirty scopes (partition regions, or leaf clusters monolithically)
+// re-run, and the fresh subtrees are spliced into the retained tree. The
+// prior run must have set Options.RetainECO. An empty delta reproduces the
+// prior outcome bit-identically; see DESIGN.md §4 for the full contract.
+func SynthesizeECO(prev *Outcome, d ECODelta, opt Options) (*Outcome, error) {
+	return core.SynthesizeECO(prev, d, opt)
+}
+
+// SynthesizeECOContext is SynthesizeECO with cancellation.
+func SynthesizeECOContext(ctx context.Context, prev *Outcome, d ECODelta, opt Options) (*Outcome, error) {
+	return core.SynthesizeECOContext(ctx, prev, d, opt)
+}
+
+// ApplyECODelta computes the post-delta placement and the old→new sink
+// index mapping (-1 for removed sinks) without synthesizing anything. The
+// delta is validated against the placement first: out-of-range or
+// duplicate edits return an error instead of silently not applying.
+func ApplyECODelta(sinks []Point, d ECODelta) ([]Point, []int, error) {
+	if err := d.Validate(len(sinks)); err != nil {
+		return nil, nil, err
+	}
+	newSinks, oldToNew := eco.Apply(sinks, d)
+	return newSinks, oldToNew, nil
 }
 
 // Corner is one named PVT corner: multiplicative derating factors on the

@@ -53,6 +53,11 @@ const (
 	// PhaseStitch is the top-tree merge + cross-region skew balancing of
 	// the partitioned pipeline.
 	PhaseStitch Phase = "stitch"
+	// PhaseECO covers incremental re-synthesis (SynthesizeECO): the start
+	// event opens the dirty-set re-run, Point/Total events follow per
+	// re-synthesized scope (region or leaf cluster), and the done event
+	// closes it. Stitch/eval/corners phases still follow as usual.
+	PhaseECO Phase = "eco"
 )
 
 // Progress is one flow progress event. For synthesis phases, Done marks the
@@ -138,6 +143,13 @@ type Options struct {
 	// and the per-corner results are deterministic in both the worker
 	// count and the corner order (merge order follows this slice).
 	Corners []corner.Corner
+	// RetainECO asks the flow to keep the incremental-re-synthesis state on
+	// the outcome (Outcome.Retained): the input placement plus, for a
+	// partitioned run, the per-region trees and summaries. SynthesizeECO
+	// requires it. Retention only extends lifetimes — nothing is copied —
+	// but at mega scale the region trees it keeps alive roughly double the
+	// resident tree memory, so it is opt-in.
+	RetainECO bool
 	// Progress, when non-nil, receives one event at the start and end of
 	// each phase (per completed point in DSE sweeps, and per completed
 	// corner in multi-corner sign-off). It never affects results. Must be
@@ -158,16 +170,23 @@ type Outcome struct {
 	// Regions carries per-region statistics of a partitioned run (nil for
 	// the monolithic flow), in region ID order.
 	Regions []RegionStat
+	// ECO summarizes an incremental run (nil for full synthesis).
+	ECO *ECOStats
+	// Retained is the incremental-re-synthesis state consumed by
+	// SynthesizeECO; nil unless Options.RetainECO was set.
+	Retained *ECOState
 
 	// Phase runtimes. For a partitioned run RouteTime/InsertTime/
 	// RefineTime sum the per-region phase times (total work, not
-	// wall-clock); PartitionTime and StitchTime are wall-clock.
+	// wall-clock); PartitionTime and StitchTime are wall-clock. ECOTime is
+	// the wall-clock of an incremental run's dirty-set re-synthesis span.
 	RouteTime     time.Duration
 	InsertTime    time.Duration
 	RefineTime    time.Duration
 	PartitionTime time.Duration
 	StitchTime    time.Duration
 	CornersTime   time.Duration
+	ECOTime       time.Duration
 	TotalTime     time.Duration
 }
 
@@ -258,6 +277,9 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 		out.Corners = rep
 		out.CornersTime = time.Since(t4)
 		emit(PhaseCorners, true, out.CornersTime)
+	}
+	if opt.RetainECO {
+		out.Retained = &ECOState{Root: rootPos, Sinks: sinks, Tech: tc, Opt: retainedOptions(opt)}
 	}
 	out.TotalTime = time.Since(start)
 	return out, nil

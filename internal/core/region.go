@@ -298,34 +298,52 @@ func synthesizeRegions(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
-	// Stitch: top tree over the region taps, cap-legality buffering,
-	// cross-region skew balancing, then the graft into one clock tree.
+	if err := stitchAndCompose(ctx, rootPos, regions, trees, sums, tc, opt, out, emit); err != nil {
+		return nil, err
+	}
+	if opt.RetainECO {
+		out.Retained = &ECOState{
+			Root: rootPos, Sinks: sinks, Tech: tc, Opt: retainedOptions(opt),
+			Regions: regions, Trees: trees, Sums: sums,
+		}
+	}
+	return out, nil
+}
+
+// stitchAndCompose is the shared tail of the partitioned pipeline and of
+// partitioned incremental (ECO) re-synthesis: it stitches the top tree over
+// the region taps, grafts the region trees into one validated clock tree,
+// composes the metrics hierarchically and runs multi-corner sign-off. The
+// caller has already filled out.Regions (region ID order) and the per-phase
+// work times; the region trees are only read, never mutated, so retained
+// trees may be shared across outcomes.
+func stitchAndCompose(ctx context.Context, rootPos geom.Point, regions []partition.Region, trees []*ctree.Tree, sums []*eval.RegionEval, tc *tech.Tech, opt Options, out *Outcome, emit func(Phase, bool, time.Duration)) error {
 	emit(PhaseStitch, false, 0)
 	ts := time.Now()
 	ev := eval.New(tc, eval.Elmore)
 	top, taps, err := stitchTop(rootPos, regions, sums, tc, opt, ev)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	arrivals, err := ev.TopDelays(top, taps, sums)
 	if err != nil {
-		return nil, fmt.Errorf("core: stitch: %w", err)
+		return fmt.Errorf("core: stitch: %w", err)
 	}
 	for i := range out.Regions {
 		out.Regions[i].Arrival = arrivals[i]
 	}
 	merged, err := graftRegions(top, taps, trees, regions)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := merged.Validate(); err != nil {
-		return nil, fmt.Errorf("core: stitched tree invalid: %w", err)
+		return fmt.Errorf("core: stitched tree invalid: %w", err)
 	}
 	out.Tree = merged
 	out.StitchTime = time.Since(ts)
 	emit(PhaseStitch, true, out.StitchTime)
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return fmt.Errorf("core: %w", err)
 	}
 
 	// Evaluation composes the region reports hierarchically — no walk of
@@ -334,17 +352,17 @@ func synthesizeRegions(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 	t3 := time.Now()
 	m, err := ev.ComposeHier(top, taps, sums)
 	if err != nil {
-		return nil, fmt.Errorf("core: evaluation: %w", err)
+		return fmt.Errorf("core: evaluation: %w", err)
 	}
 	out.Metrics = m
 	emit(PhaseEval, true, time.Since(t3))
 
 	if len(opt.Corners) > 0 {
 		if err := signoffCorners(ctx, out, tc, opt, emit); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // stitchTop builds the balanced top tree: DME over region taps, a

@@ -491,6 +491,49 @@ func (t *Tree) validateSides() error {
 	return err
 }
 
+// CloneWithout returns a deep copy of the tree that omits every node for
+// which drop returns true — together with that node's entire subtree — and
+// a map from prior node id to the copy's id (-1 for omitted nodes). Ids are
+// renumbered compactly in preorder. Dropping the root is not allowed. This
+// is the splice primitive of incremental re-synthesis: the retained tree is
+// the prior tree minus its dirty subtrees, and freshly synthesized subtrees
+// are grafted back at the surviving attachment points.
+func (t *Tree) CloneWithout(drop func(id int) bool) (*Tree, []int) {
+	if drop(t.Root()) {
+		panic("ctree: cannot drop the root")
+	}
+	nt := &Tree{Nodes: make([]Node, 0, len(t.Nodes))}
+	idMap := make([]int, len(t.Nodes))
+	var rec func(id, parent int)
+	rec = func(id, parent int) {
+		n := t.Nodes[id]
+		nid := len(nt.Nodes)
+		idMap[id] = nid
+		n.ID, n.Parent = nid, parent
+		n.Children = nil
+		nt.Nodes = append(nt.Nodes, n)
+		if parent >= 0 {
+			nt.Nodes[parent].Children = append(nt.Nodes[parent].Children, nid)
+		}
+		for _, c := range t.Nodes[id].Children {
+			if drop(c) {
+				markDropped(t, c, idMap)
+				continue
+			}
+			rec(c, nid)
+		}
+	}
+	rec(t.Root(), -1)
+	return nt, idMap
+}
+
+func markDropped(t *Tree, id int, idMap []int) {
+	idMap[id] = -1
+	for _, c := range t.Nodes[id].Children {
+		markDropped(t, c, idMap)
+	}
+}
+
 // Clone returns a deep copy of the tree.
 func (t *Tree) Clone() *Tree {
 	nt := &Tree{Nodes: make([]Node, len(t.Nodes))}

@@ -251,6 +251,50 @@ func TestSplitPreservesSinksProperty(t *testing.T) {
 	}
 }
 
+func TestCloneWithout(t *testing.T) {
+	tr := New(geom.Pt(0, 0))
+	st := tr.Add(0, KindSteiner, geom.Pt(10, 0))
+	c0 := tr.AddCentroid(st, geom.Pt(20, 0), 0)
+	c1 := tr.AddCentroid(st, geom.Pt(10, 20), 1)
+	tr.AddSink(c0, geom.Pt(21, 1), 0)
+	tr.AddSink(c0, geom.Pt(22, 0), 1)
+	s2 := tr.AddSink(c1, geom.Pt(11, 21), 2)
+	tr.Nodes[c1].BufferAtNode = true
+	tr.Nodes[s2].SnakeExtra = 3.5
+
+	// Drop cluster 0's leaf net (the children of c0).
+	dropSet := make([]bool, tr.Len())
+	for _, c := range tr.Nodes[c0].Children {
+		dropSet[c] = true
+	}
+	nt, idMap := tr.CloneWithout(func(id int) bool { return dropSet[id] })
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nt.Len() != tr.Len()-2 {
+		t.Fatalf("clone has %d nodes, want %d", nt.Len(), tr.Len()-2)
+	}
+	if idMap[c0] < 0 || len(nt.Nodes[idMap[c0]].Children) != 0 {
+		t.Fatal("graft point did not survive childless")
+	}
+	for _, c := range tr.Nodes[c0].Children {
+		if idMap[c] != -1 {
+			t.Fatalf("dropped node %d mapped to %d", c, idMap[c])
+		}
+	}
+	n := nt.Nodes[idMap[s2]]
+	if n.Kind != KindSink || n.SinkIdx != 2 || n.SnakeExtra != 3.5 {
+		t.Fatalf("surviving sink annotations lost: %+v", n)
+	}
+	if !nt.Nodes[idMap[c1]].BufferAtNode {
+		t.Fatal("surviving buffer annotation lost")
+	}
+	// The original is untouched.
+	if tr.Len() != 7 || len(tr.Nodes[c0].Children) != 2 {
+		t.Fatal("CloneWithout mutated the source tree")
+	}
+}
+
 func TestCloneIndependence(t *testing.T) {
 	tr := buildSmall()
 	cp := tr.Clone()

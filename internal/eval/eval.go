@@ -95,6 +95,48 @@ func (e *Evaluator) Evaluate(t *ctree.Tree) (*Metrics, error) {
 	return m, nil
 }
 
+// DownstreamCap returns the unshielded capacitance that node id's output
+// stage drives, under exactly BuildNetwork's lowering rules: wire body cap
+// by side, nTSV caps, sink pin caps, with buffers — node-level or mid-edge
+// — shielding everything below them behind their input cap. It lives here,
+// next to BuildNetwork, so the lowering rules have a single home; the ECO
+// engine uses it to re-legalize graft points (a spliced leaf net that
+// outgrew the drive budget gets a shielding buffer).
+// TestDownstreamCapMatchesNetwork pins it against the network builder.
+func DownstreamCap(t *ctree.Tree, id int, tc *tech.Tech) float64 {
+	front, back, tsv, buf := tc.Front(), tc.Back(), tc.TSV, tc.Buf
+	var rec func(c int) float64
+	rec = func(c int) float64 {
+		n := &t.Nodes[c]
+		w := n.Wiring
+		length := t.EdgeLen(c)
+		var capv float64
+		switch {
+		case w.BufMid:
+			return front.UnitCap*(length/2) + buf.InputCap
+		case w.WireSide == ctree.Back:
+			capv = back.UnitCap*length + float64(w.NTSVCount())*tsv.Cap
+		default:
+			capv = front.UnitCap * length
+		}
+		if n.BufferAtNode {
+			return capv + buf.InputCap
+		}
+		if n.Kind == ctree.KindSink {
+			return capv + tc.SinkCap
+		}
+		for _, cc := range n.Children {
+			capv += rec(cc)
+		}
+		return capv
+	}
+	total := 0.0
+	for _, c := range t.Nodes[id].Children {
+		total += rec(c)
+	}
+	return total
+}
+
 // BuildNetwork lowers the annotated clock tree into a staged RC network.
 // It returns the network and a map from original sink index to network node.
 //

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"math"
 
 	"dscts/internal/ctree"
@@ -145,6 +146,40 @@ func (w *WhatIf) CommittedTreeNodes() []int {
 		}
 	}
 	return out
+}
+
+// EvaluateWhatIf computes the tree's full Metrics through one flat WhatIf
+// pass instead of Evaluate's staged network, skipping the structural
+// re-validation walk. It exists for incremental (ECO) re-synthesis, where
+// the tree is a splice of already-validated pieces and the evaluation is
+// the tail of the hot path: the spliced structure is correct by
+// construction, so only the numbers need recomputing. nSinks bounds the
+// sink index space of the tree. Elmore mode only; agrees with Evaluate to
+// 1e-9 relative (TestWhatIfMatchesEvaluate).
+func (e *Evaluator) EvaluateWhatIf(t *ctree.Tree, nSinks int) (*Metrics, error) {
+	if e.mode != Elmore {
+		return nil, fmt.Errorf("eval: what-if evaluation requires Elmore mode")
+	}
+	w := NewWhatIf(t, e.tc)
+	if len(w.sinkIdx) == 0 {
+		return nil, fmt.Errorf("eval: tree has no sinks")
+	}
+	dst := make([]float64, nSinks)
+	for _, si := range w.sinkIdx {
+		if si < 0 || int(si) >= nSinks {
+			return nil, fmt.Errorf("eval: sink index %d outside [0,%d)", si, nSinks)
+		}
+	}
+	lat, skew := w.Eval(-1, w.NewScratch(), dst)
+	m := &Metrics{
+		Latency: lat, Skew: skew, WL: t.Wirelength(),
+		SinkDelays: make(map[int]float64, len(w.sinkIdx)),
+	}
+	m.Buffers, m.NTSVs = t.Counts()
+	for _, si := range w.sinkIdx {
+		m.SinkDelays[int(si)] = dst[si]
+	}
+	return m, nil
 }
 
 // Eval computes (latency, skew) of the network with slot `extra` (-1 for

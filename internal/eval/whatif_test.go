@@ -28,6 +28,33 @@ func refineryTree() *ctree.Tree {
 	return tr
 }
 
+// TestDownstreamCapMatchesNetwork pins DownstreamCap's lowering against the
+// network builder: without a root buffer, the cap the root stage drives in
+// the staged network (SourceLoad) must equal DownstreamCap at the root —
+// across plain wires, back-side wires with nTSVs, mid-edge buffers and
+// node buffers. A drift here means the ECO re-legalization is checking
+// loads under different physics than the evaluator.
+func TestDownstreamCapMatchesNetwork(t *testing.T) {
+	tc := tech.ASAP7()
+	tr := refineryTree()
+	// Decorate with every wiring shape the lowering distinguishes.
+	tr.Nodes[1].Wiring = ctree.EdgeWiring{WireSide: ctree.Back, TSVUp: true, TSVDown: true}
+	tr.Nodes[2].Wiring = ctree.EdgeWiring{BufMid: true}
+	tr.Nodes[3].BufferAtNode = true
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := BuildNetwork(tr, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DownstreamCap(tr, tr.Root(), tc)
+	want := net.SourceLoad()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("DownstreamCap(root) = %v, network SourceLoad = %v", got, want)
+	}
+}
+
 // TestWhatIfMatchesEvaluate cross-checks the flat what-if network against
 // the reference Evaluate, both in the base state and after committing an
 // end-point buffer (compared against BufferAtNode + full re-evaluation).

@@ -168,6 +168,28 @@ func kdSplit(sinks []geom.Point, members []int, opt Options, acc [][]int) [][]in
 	return kdSplit(sinks, hi, opt, acc)
 }
 
+// SplitMembers kd-splits an explicit member set (original sink indices)
+// into capacity-bounded groups, each sorted ascending, in the same
+// deterministic depth-first order Split uses. It exists for incremental
+// re-synthesis: a dirty region that grew past the capacity is re-cut in
+// place without re-partitioning the whole die. MaxSinks must be positive.
+func SplitMembers(sinks []geom.Point, members []int, opt Options) ([][]int, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if !opt.Enabled() {
+		return nil, fmt.Errorf("partition: SplitMembers needs MaxSinks > 0")
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("partition: no members")
+	}
+	groups := kdSplit(sinks, append([]int(nil), members...), opt, nil)
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups, nil
+}
+
 // nudgeCutOffMacros moves the median split index so the induced cut line —
 // halfway between the two sinks adjacent to the split — does not run through
 // a macro blockage that crosses the region. It scans outward from the median

@@ -14,11 +14,13 @@ type CacheStats struct {
 	Evictions  int64 `json:"evictions"`
 }
 
-// cache is a content-addressed result cache with LRU eviction. Results are
-// deterministic functions of their request key, so entries never go stale;
-// the only eviction pressure is capacity. Stored results are treated as
-// immutable by all readers.
-type cache struct {
+// lru is a content-addressed cache with LRU eviction. Stored values are
+// deterministic functions of their key, so entries never go stale; the only
+// eviction pressure is capacity. Stored values are treated as immutable by
+// all readers. It backs both the result cache (JSON payloads, cheap, many
+// entries) and the ECO base cache (full retained outcomes, heavy, few
+// entries).
+type lru[V any] struct {
 	mu        sync.Mutex
 	max       int
 	ll        *list.List // front = most recently used
@@ -28,53 +30,54 @@ type cache struct {
 	evictions int64
 }
 
-type cacheEntry struct {
+type lruEntry[V any] struct {
 	key string
-	val *Result
+	val V
 }
 
-func newCache(maxEntries int) *cache {
+func newLRU[V any](maxEntries, fallback int) *lru[V] {
 	if maxEntries <= 0 {
-		maxEntries = 128
+		maxEntries = fallback
 	}
-	return &cache{max: maxEntries, ll: list.New(), items: make(map[string]*list.Element)}
+	return &lru[V]{max: maxEntries, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached result for key, counting a hit or a miss.
-func (c *cache) Get(key string) (*Result, bool) {
+// Get returns the cached value for key, counting a hit or a miss.
+func (c *lru[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-// Put stores a result, evicting the least recently used entry beyond
+// Put stores a value, evicting the least recently used entry beyond
 // capacity. Storing an existing key refreshes its value and recency.
-func (c *cache) Put(key string, val *Result) {
+func (c *lru[V]) Put(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		el.Value.(*lruEntry[V]).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+		delete(c.items, last.Value.(*lruEntry[V]).key)
 		c.evictions++
 	}
 }
 
 // Stats snapshots the counters.
-func (c *cache) Stats() CacheStats {
+func (c *lru[V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
@@ -82,3 +85,8 @@ func (c *cache) Stats() CacheStats {
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 	}
 }
+
+// cache is the result cache.
+type cache = lru[*Result]
+
+func newCache(maxEntries int) *cache { return newLRU[*Result](maxEntries, 128) }

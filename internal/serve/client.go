@@ -96,8 +96,18 @@ func (c *Client) DSE(ctx context.Context, req *Request) (*JobInfo, error) {
 	return &info, nil
 }
 
-// SubmitAsync enqueues req (kind KindSynthesize or KindDSE) and returns the
-// queued job snapshot immediately; poll Job for completion.
+// ECO applies req.Delta incrementally against the base described by the
+// rest of req, synchronously.
+func (c *Client) ECO(ctx context.Context, req *Request) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.do(ctx, http.MethodPost, "/eco?mode=sync", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// SubmitAsync enqueues req (kind KindSynthesize, KindDSE or KindECO) and
+// returns the queued job snapshot immediately; poll Job for completion.
 func (c *Client) SubmitAsync(ctx context.Context, kind string, req *Request) (*JobInfo, error) {
 	var info JobInfo
 	if err := c.do(ctx, http.MethodPost, "/"+kind+"?mode=async", req, &info); err != nil {

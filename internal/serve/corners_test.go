@@ -42,22 +42,38 @@ func TestRequestKeyCorners(t *testing.T) {
 // MUST change whenever the encoding version bumps, and must NOT change
 // otherwise: an accidental encoding edit that silently remaps every cache
 // entry fails here, and so does adding a result-affecting field without
-// bumping requestKeyVersion (start from the recorded v3 values and
+// bumping requestKeyVersion (start from the recorded v4 values and
 // re-pin on every deliberate version bump).
 func TestRequestKeyPinned(t *testing.T) {
-	if requestKeyVersion != "dscts-request-v3" {
+	if requestKeyVersion != "dscts-request-v4" {
 		t.Fatalf("encoding version changed to %q: re-pin the hashes below", requestKeyVersion)
 	}
 	pins := map[string]*Request{
-		"928d37ac2713e5973f14b8cd874b7cd204b64e2e6b81aa1400f78a062ce92425": {Design: "C4", Seed: 1},
-		"58881f28b1547662b36eba34911d291b23270ee315c5d5816462007570a95d81": {Design: "C4", Seed: 1, Corners: []string{"slow", "typ", "fast"}},
-		"c12fcb9d9391c274339105620b89630e467f22596c2c1833e42a82fb23bcb926": {Design: "C4", Seed: 1, Options: OptionsSpec{PartitionMaxSinks: 50000}},
-		"99ec89bd49f2efc9ae8b70f1b97edb0dd0a9c6a32dd6d50c665cd7f9203f24af": {XLSinks: 1000000, Seed: 1, Options: OptionsSpec{PartitionMaxSinks: 50000}},
+		"c2c950a2aa40ee599e3fd5743bb84795e1ecf7dbf9b074cfa2a8936f5b585120": {Design: "C4", Seed: 1},
+		"1bef29523aa268296dc51b69e413320b619f6a75c627167bba9f4899041270de": {Design: "C4", Seed: 1, Corners: []string{"slow", "typ", "fast"}},
+		"85f74bd6d4dd9b737df44e0b9b6f13665ec189e14b1d74f9bc0c1196c88467fb": {Design: "C4", Seed: 1, Options: OptionsSpec{PartitionMaxSinks: 50000}},
+		"e6975a4041b1f7a27d23d4d7d0c25dbd8f593aa198542be0babda52665e9a649": {XLSinks: 1000000, Seed: 1, Options: OptionsSpec{PartitionMaxSinks: 50000}},
 	}
 	for want, req := range pins {
 		if got := req.Key(KindSynthesize); got != want {
 			t.Errorf("canonical encoding drifted without a version bump:\nrequest %+v\ngot  %s\nwant %s", req, got, want)
 		}
+	}
+	// The delta section hashes under the job kind "eco" and can never
+	// alias the base (same request, no delta, kind "synthesize").
+	ecoReq := &Request{Design: "C4", Seed: 1, Delta: &DeltaSpec{
+		Move:   []MoveSpec{{Sink: 7, X: 100.5, Y: 200.25}},
+		Remove: []int{3},
+		Add:    []XY{{X: 10, Y: 20}},
+	}}
+	const wantECO = "ca239420a52aa1356ce891bbaad98222be9cd9309002bf132b94adf071176450"
+	if got := ecoReq.Key(KindECO); got != wantECO {
+		t.Errorf("eco canonical encoding drifted without a version bump:\ngot  %s\nwant %s", got, wantECO)
+	}
+	base := *ecoReq
+	base.Delta = nil
+	if base.Key(KindSynthesize) == ecoReq.Key(KindECO) {
+		t.Fatal("eco request aliased its base")
 	}
 }
 

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dscts/internal/core"
+)
+
+// directECO computes the reference result for an eco request: resolve the
+// base (request minus delta), synthesize it with retained state, apply the
+// delta incrementally.
+func directECO(t *testing.T, req *Request) *core.Outcome {
+	t.Helper()
+	base := *req
+	base.Delta = nil
+	rv, err := base.resolve(KindSynthesize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := rv.opt
+	opt.RetainECO = true
+	prev, err := core.Synthesize(rv.root, rv.sinks, rv.tc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := req.Delta.toDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.SynthesizeECO(prev, d, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func ecoRequest(design string, moveSink int) *Request {
+	return &Request{
+		Design: design, Seed: 1,
+		Delta: &DeltaSpec{
+			Move:   []MoveSpec{{Sink: moveSink, X: 150, Y: 150}},
+			Remove: []int{moveSink + 1},
+			Add:    []XY{{X: 140, Y: 145}},
+		},
+	}
+}
+
+// TestECOJobEndToEnd: POST /eco resolves its base (synthesizing it on the
+// first miss), returns metrics bit-identical to the direct library path,
+// and reuses both the base cache and the result cache on repeats.
+func TestECOJobEndToEnd(t *testing.T) {
+	s, client := newTestServer(t, Config{MaxRunning: 2, MaxQueued: 8})
+	req := ecoRequest("C4", 10)
+
+	info, err := client.ECO(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateDone {
+		t.Fatalf("job ended %s (%s)", info.State, info.Error)
+	}
+	res := info.Result
+	if res.Kind != KindECO || res.ECO == nil {
+		t.Fatalf("unexpected result shape: kind %q, eco %+v", res.Kind, res.ECO)
+	}
+	if res.BaseCacheHit {
+		t.Fatal("first eco job cannot hit the base cache")
+	}
+	if res.ECO.DirtyScopes == 0 || res.ECO.TotalScopes == 0 {
+		t.Fatalf("eco stats empty: %+v", res.ECO)
+	}
+	if res.Sinks != 1056 { // 1056 - 1 removed + 1 added
+		t.Fatalf("post-delta sink count %d", res.Sinks)
+	}
+
+	want := directECO(t, req)
+	if res.Metrics.Latency != want.Metrics.Latency || res.Metrics.Skew != want.Metrics.Skew ||
+		res.Metrics.Buffers != want.Metrics.Buffers || res.Metrics.WL != want.Metrics.WL {
+		t.Fatalf("served eco differs from direct run:\nserve  %+v\ndirect %+v", res.Metrics, want.Metrics)
+	}
+
+	// The base synthesis was cached under the base's own key: a plain
+	// /synthesize of the base is a cache hit now.
+	base := *req
+	base.Delta = nil
+	binfo, err := client.Synthesize(context.Background(), &base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !binfo.CacheHit {
+		t.Fatal("base synthesis was not cached under the base key")
+	}
+
+	// Identical eco request: result cache hit, born done.
+	again, err := client.ECO(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("repeated eco request missed the result cache")
+	}
+
+	// A different delta against the same base: base cache hit this time.
+	other := ecoRequest("C4", 20)
+	oinfo, err := client.ECO(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oinfo.Result.BaseCacheHit {
+		t.Fatal("second delta on the same base missed the base cache")
+	}
+	st := s.Queue().Stats()
+	if st.ECOBases.Entries == 0 || st.ECOBases.Hits == 0 {
+		t.Fatalf("base cache stats: %+v", st.ECOBases)
+	}
+}
+
+// TestECOBadRequests: malformed eco traffic maps to 400s, and deltas are
+// rejected outside /eco.
+func TestECOBadRequests(t *testing.T) {
+	_, client := newTestServer(t, Config{MaxRunning: 1, MaxQueued: 4})
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"delta on /synthesize", func() error {
+			_, err := client.Synthesize(context.Background(), ecoRequest("C4", 1))
+			return err
+		}},
+		{"eco without delta", func() error {
+			_, err := client.ECO(context.Background(), &Request{Design: "C4"})
+			return err
+		}},
+		{"remove out of range", func() error {
+			_, err := client.ECO(context.Background(), &Request{Design: "C4",
+				Delta: &DeltaSpec{Remove: []int{1056}}})
+			return err
+		}},
+		{"move of removed sink", func() error {
+			_, err := client.ECO(context.Background(), &Request{Design: "C4",
+				Delta: &DeltaSpec{Remove: []int{5}, Move: []MoveSpec{{Sink: 5, X: 1, Y: 1}}}})
+			return err
+		}},
+		{"unknown delta corner", func() error {
+			_, err := client.ECO(context.Background(), &Request{Design: "C4",
+				Delta: &DeltaSpec{Corners: []string{"wat"}}})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+			continue
+		}
+		var api *apiError
+		if !asAPIError(err, &api) || api.Status != 400 {
+			t.Errorf("%s: got %v, want HTTP 400", tc.name, err)
+		}
+	}
+}
+
+func asAPIError(err error, out **apiError) bool {
+	if e, ok := err.(*apiError); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+// TestECOConcurrentJobs runs distinct deltas against one shared base
+// concurrently (exercising the base cache under contention; run under
+// -race by `make race`) and checks every result against the direct path.
+func TestECOConcurrentJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent end-to-end run")
+	}
+	_, client := newTestServer(t, Config{MaxRunning: 4, MaxQueued: 16})
+	const n = 6
+	infos := make([]*JobInfo, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = client.ECO(context.Background(), ecoRequest("C4", 30+7*i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if infos[i].State != StateDone {
+			t.Fatalf("job %d ended %s (%s)", i, infos[i].State, infos[i].Error)
+		}
+		want := directECO(t, ecoRequest("C4", 30+7*i))
+		got := infos[i].Result.Metrics
+		if got.Latency != want.Metrics.Latency || got.Skew != want.Metrics.Skew {
+			t.Fatalf("job %d diverged from direct run: %+v vs %+v", i, got, want.Metrics)
+		}
+	}
+}
+
+// TestECOBaseSingleFlight: N concurrent deltas against one COLD base must
+// synthesize the base exactly once — one leader (BaseCacheHit=false), every
+// other job waits and takes the cached outcome (BaseCacheHit=true).
+func TestECOBaseSingleFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent end-to-end run")
+	}
+	_, client := newTestServer(t, Config{MaxRunning: 6, MaxQueued: 16})
+	const n = 6
+	infos := make([]*JobInfo, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = client.ECO(context.Background(), ecoRequest("C5", 11*i))
+		}(i)
+	}
+	wg.Wait()
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if infos[i].State != StateDone {
+			t.Fatalf("job %d ended %s (%s)", i, infos[i].State, infos[i].Error)
+		}
+		if !infos[i].Result.BaseCacheHit {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d jobs synthesized the base, want exactly 1 (single-flight)", leaders)
+	}
+}
+
+// TestECOStreamPhases: the NDJSON stream of an eco job carries the eco
+// phase events and ends with a result-bearing terminal event.
+func TestECOStreamPhases(t *testing.T) {
+	_, client := newTestServer(t, Config{MaxRunning: 1, MaxQueued: 4})
+	seen := map[string]bool{}
+	last, err := client.Stream(context.Background(), KindECO, ecoRequest("C4", 40), func(ev Event) {
+		if ev.Event == "phase" {
+			seen[ev.Phase] = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != string(StateDone) || last.Result == nil {
+		t.Fatalf("terminal event %+v", last)
+	}
+	if !seen[string(core.PhaseECO)] {
+		t.Fatalf("no eco phase streamed; saw %v", seen)
+	}
+	// The base synthesis streamed its phases through the same job.
+	if !seen[string(core.PhaseRoute)] {
+		t.Fatalf("base synthesis phases missing; saw %v", seen)
+	}
+}
+
+// TestECODeltaCornersReplace: a corners-only delta re-runs sign-off on the
+// retained base without dirtying any scope.
+func TestECODeltaCornersReplace(t *testing.T) {
+	_, client := newTestServer(t, Config{MaxRunning: 1, MaxQueued: 4})
+	req := &Request{Design: "C4", Seed: 1, Delta: &DeltaSpec{Corners: []string{"slow", "fast"}}}
+	info, err := client.ECO(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := info.Result
+	if res.Corners == nil || len(res.Corners.Results) != 2 {
+		t.Fatalf("corner payload: %+v", res.Corners)
+	}
+	if res.ECO.DirtyScopes != 0 {
+		t.Fatalf("corners-only delta dirtied %d scopes", res.ECO.DirtyScopes)
+	}
+	for i, name := range []string{"slow", "fast"} {
+		if res.Corners.Results[i].Corner.Name != name {
+			t.Fatalf("corner %d is %q", i, res.Corners.Results[i].Corner.Name)
+		}
+	}
+}

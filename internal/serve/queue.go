@@ -19,6 +19,7 @@ import (
 const (
 	KindSynthesize = "synthesize"
 	KindDSE        = "dse"
+	KindECO        = "eco"
 )
 
 // JobState is the lifecycle state of a queued job.
@@ -104,11 +105,18 @@ type Result struct {
 	// entry per threshold, each carrying one point per corner in request
 	// corner order.
 	CornerPoints []dse.CornerPoint `json:"corner_points,omitempty"`
+	// ECO summarizes an incremental job's dirty set (eco jobs only).
+	ECO *core.ECOStats `json:"eco,omitempty"`
+	// BaseCacheHit reports whether an eco job found its base outcome in
+	// the base cache (false means the base was synthesized first, and its
+	// runtime is excluded from ECOMS but included in TotalMS).
+	BaseCacheHit bool `json:"base_cache_hit,omitempty"`
 
 	RouteMS   float64 `json:"route_ms,omitempty"`
 	InsertMS  float64 `json:"insert_ms,omitempty"`
 	RefineMS  float64 `json:"refine_ms,omitempty"`
 	CornersMS float64 `json:"corners_ms,omitempty"`
+	ECOMS     float64 `json:"eco_ms,omitempty"`
 	TotalMS   float64 `json:"total_ms"`
 }
 
@@ -342,6 +350,12 @@ type Config struct {
 	// per-job slices while it dominates the machine anyway. 0 uses
 	// DefaultXLSoloSinks. Budgets never affect results.
 	XLSoloSinks int
+	// ECOBaseEntries caps the base-outcome cache backing POST /eco: full
+	// retained outcomes (trees included) are orders of magnitude heavier
+	// than cached Result payloads, so this LRU is kept deliberately small.
+	// 0 uses DefaultECOBaseEntries; negative disables base caching (every
+	// eco job re-synthesizes its base).
+	ECOBaseEntries int
 }
 
 // DefaultMaxJobSinks bounds admitted job sizes when Config.MaxJobSinks is 0:
@@ -351,6 +365,9 @@ const DefaultMaxJobSinks = 4_000_000
 
 // DefaultXLSoloSinks is the job size that earns the whole worker budget.
 const DefaultXLSoloSinks = 100_000
+
+// DefaultECOBaseEntries bounds the retained base outcomes kept for /eco.
+const DefaultECOBaseEntries = 8
 
 func (c Config) withDefaults() Config {
 	if c.MaxQueued <= 0 {
@@ -370,6 +387,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.XLSoloSinks == 0 {
 		c.XLSoloSinks = DefaultXLSoloSinks
+	}
+	if c.ECOBaseEntries == 0 {
+		c.ECOBaseEntries = DefaultECOBaseEntries
 	}
 	return c
 }
@@ -395,13 +415,18 @@ type Stats struct {
 	UptimeMS float64    `json:"uptime_ms"`
 	Jobs     QueueStats `json:"jobs"`
 	Cache    CacheStats `json:"cache"`
+	// ECOBases is the base-outcome cache behind POST /eco.
+	ECOBases CacheStats `json:"eco_bases"`
 }
 
 // Queue runs jobs on a fixed pool of runners with bounded admission and a
 // shared result cache.
 type Queue struct {
-	cfg    Config
-	cache  *cache
+	cfg   Config
+	cache *cache
+	// bases retains recent synthesis outcomes (with their ECO state) so
+	// POST /eco can splice against them; nil when base caching is disabled.
+	bases  *lru[*core.Outcome]
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -412,6 +437,12 @@ type Queue struct {
 	closed   bool
 	jobs     map[string]*Job
 	finished []string // retention ring of finished job IDs, oldest first
+
+	// baseInflight coalesces concurrent base synthesis for /eco: one job
+	// per base key does the work, the rest wait on its channel and then
+	// take the cached outcome.
+	baseMu       sync.Mutex
+	baseInflight map[string]chan struct{}
 
 	nextID    atomic.Int64
 	submitted atomic.Int64
@@ -430,9 +461,13 @@ func NewQueue(cfg Config) *Queue {
 	q := &Queue{
 		cfg: cfg, cache: newCache(cfg.CacheEntries),
 		ctx: ctx, cancel: cancel,
-		pending: make(chan *Job, cfg.MaxQueued),
-		jobs:    make(map[string]*Job),
-		start:   time.Now(),
+		pending:      make(chan *Job, cfg.MaxQueued),
+		jobs:         make(map[string]*Job),
+		baseInflight: make(map[string]chan struct{}),
+		start:        time.Now(),
+	}
+	if cfg.ECOBaseEntries > 0 {
+		q.bases = newLRU[*core.Outcome](cfg.ECOBaseEntries, DefaultECOBaseEntries)
 	}
 	q.wg.Add(cfg.MaxRunning)
 	for i := 0; i < cfg.MaxRunning; i++ {
@@ -468,7 +503,7 @@ func (q *Queue) workersFor(sinks int) int {
 // placement itself is materialized at execution, not here, so cache hits
 // and rejections stay cheap.
 func (q *Queue) Submit(req *Request, kind string) (*Job, error) {
-	if kind != KindSynthesize && kind != KindDSE {
+	if kind != KindSynthesize && kind != KindDSE && kind != KindECO {
 		return nil, fmt.Errorf("%w: unknown job kind %q", ErrBadRequest, kind)
 	}
 	design, sinks, err := req.validate(kind)
@@ -569,8 +604,13 @@ func (q *Queue) Stats() Stats {
 		j.mu.Unlock()
 	}
 	q.mu.Unlock()
+	var baseStats CacheStats
+	if q.bases != nil {
+		baseStats = q.bases.Stats()
+	}
 	return Stats{
 		UptimeMS: ms(time.Since(q.start)),
+		ECOBases: baseStats,
 		Jobs: QueueStats{
 			Submitted: q.submitted.Load(), Rejected: q.rejected.Load(),
 			Queued: queued, Running: running,
@@ -638,6 +678,22 @@ func (q *Queue) run(job *Job) {
 		return
 	}
 	job.setRunning()
+	if job.kind == KindECO {
+		result, err := q.runECO(job)
+		switch {
+		case err == nil:
+			q.cache.Put(job.key, result)
+			job.finish(StateDone, result, nil)
+			q.doneCt.Add(1)
+		case job.ctx.Err() != nil:
+			job.finish(StateCancelled, nil, err)
+			q.cancelCt.Add(1)
+		default:
+			job.finish(StateFailed, nil, err)
+			q.failedCt.Add(1)
+		}
+		return
+	}
 	rv, err := job.req.resolve(job.kind)
 	if err != nil {
 		// Unreachable for a validated request; fail cleanly regardless.
@@ -655,7 +711,7 @@ func (q *Queue) run(job *Job) {
 		var o *core.Outcome
 		o, err = core.SynthesizeContext(job.ctx, rv.root, rv.sinks, rv.tc, opt)
 		if err == nil {
-			result = resultFromOutcome(job, o)
+			result = resultFromOutcome(KindSynthesize, job.design, job.sinks, o)
 		}
 	case KindDSE:
 		t0 := time.Now()
@@ -693,14 +749,116 @@ func (q *Queue) run(job *Job) {
 	}
 }
 
-func resultFromOutcome(job *Job, o *core.Outcome) *Result {
+// runECO executes an eco job: the base request (the job's request minus its
+// delta) is resolved through the base-outcome cache — synthesized with
+// retained state on a miss, which also populates the ordinary result cache
+// under the base's own key — and the delta is then applied incrementally.
+func (q *Queue) runECO(job *Job) (*Result, error) {
+	t0 := time.Now()
+	baseReq := *job.req
+	baseReq.Delta = nil
+	baseKey := baseReq.Key(KindSynthesize)
+	prev, baseHit, err := q.resolveBase(job, &baseReq, baseKey)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := job.req.Delta.toDelta()
+	if err != nil {
+		return nil, err // unreachable for a validated request
+	}
+	out, err := core.SynthesizeECOContext(job.ctx, prev, delta, core.Options{
+		Workers: q.workersFor(job.sinks), Progress: job.progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := resultFromOutcome(KindECO, job.design, job.sinks, out)
+	r.BaseCacheHit = baseHit
+	r.TotalMS = ms(time.Since(t0)) // include base resolution in the job total
+	return r, nil
+}
+
+// resolveBase returns the retained base outcome for an eco job: from the
+// base cache when present, otherwise synthesized — at most once per base
+// key across concurrent jobs (single-flight), so N cold deltas against the
+// same base pay for one synthesis instead of N. The leader's job streams
+// the base-run phases and reports BaseCacheHit=false; waiters pick the
+// outcome up from the cache (BaseCacheHit=true). If the leader fails or
+// its entry is evicted before a waiter wakes, the waiter retries and may
+// become the new leader. With base caching disabled every job synthesizes
+// its own base — there is nowhere to share the result through.
+func (q *Queue) resolveBase(job *Job, baseReq *Request, baseKey string) (*core.Outcome, bool, error) {
+	for {
+		if q.bases != nil {
+			if prev, ok := q.bases.Get(baseKey); ok {
+				return prev, true, nil
+			}
+		}
+		var ch chan struct{}
+		leader := q.bases == nil // no cache: coalescing cannot share anything
+		if !leader {
+			q.baseMu.Lock()
+			ch = q.baseInflight[baseKey]
+			if ch == nil {
+				ch = make(chan struct{})
+				q.baseInflight[baseKey] = ch
+				leader = true
+			}
+			q.baseMu.Unlock()
+		}
+		if !leader {
+			select {
+			case <-ch:
+				continue // leader finished: re-check the cache
+			case <-job.ctx.Done():
+				return nil, false, job.ctx.Err()
+			}
+		}
+		prev, err := q.synthesizeBase(job, baseReq, baseKey)
+		if ch != nil {
+			q.baseMu.Lock()
+			delete(q.baseInflight, baseKey)
+			q.baseMu.Unlock()
+			close(ch)
+		}
+		return prev, false, err
+	}
+}
+
+// synthesizeBase runs the base synthesis of an eco job with retained state
+// and populates both caches: the base-outcome LRU (for later deltas) and
+// the ordinary result cache under the base's own key (a later plain
+// /synthesize of the base is a hit).
+func (q *Queue) synthesizeBase(job *Job, baseReq *Request, baseKey string) (*core.Outcome, error) {
+	rv, err := baseReq.resolve(KindSynthesize)
+	if err != nil {
+		return nil, err
+	}
+	opt := rv.opt
+	opt.Workers = q.workersFor(len(rv.sinks))
+	opt.Progress = job.progress
+	opt.RetainECO = true
+	prev, err := core.SynthesizeContext(job.ctx, rv.root, rv.sinks, rv.tc, opt)
+	if err != nil {
+		return nil, err
+	}
+	if q.bases != nil {
+		q.bases.Put(baseKey, prev)
+	}
+	q.cache.Put(baseKey, resultFromOutcome(KindSynthesize, job.design, len(rv.sinks), prev))
+	return prev, nil
+}
+
+func resultFromOutcome(kind, design string, sinks int, o *core.Outcome) *Result {
 	r := &Result{
-		Kind: KindSynthesize, Design: job.design, Sinks: job.sinks,
+		Kind: kind, Design: design, Sinks: sinks,
 		Metrics: o.Metrics,
 		Corners: o.Corners,
+		ECO:     o.ECO,
 		DP:      &DPStats{Nodes: o.DP.Nodes, Solutions: o.DP.Solutions},
 		RouteMS: ms(o.RouteTime), InsertMS: ms(o.InsertTime),
-		RefineMS: ms(o.RefineTime), CornersMS: ms(o.CornersTime), TotalMS: ms(o.TotalTime),
+		RefineMS: ms(o.RefineTime), CornersMS: ms(o.CornersTime),
+		ECOMS: ms(o.ECOTime), TotalMS: ms(o.TotalTime),
 	}
 	if o.Refine != nil {
 		r.Refine = &RefineStats{

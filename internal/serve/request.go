@@ -22,6 +22,7 @@ import (
 	"dscts/internal/bench"
 	"dscts/internal/core"
 	"dscts/internal/corner"
+	"dscts/internal/eco"
 	"dscts/internal/geom"
 	"dscts/internal/partition"
 	"dscts/internal/tech"
@@ -95,9 +96,62 @@ type Request struct {
 	// Thresholds is the fanout sweep for POST /dse (ignored by
 	// /synthesize).
 	Thresholds []int `json:"thresholds,omitempty"`
+	// Delta is the engineering change order of POST /eco: the rest of the
+	// request describes the BASE synthesis (resolved through the
+	// content-addressed base cache, or synthesized on a miss), and the
+	// delta is applied incrementally on top. Required for /eco, rejected
+	// everywhere else.
+	Delta *DeltaSpec `json:"delta,omitempty"`
 	// IncludeSinkDelays asks the response to carry the per-sink delay map
 	// (it is large; off by default). Never part of the cache identity.
 	IncludeSinkDelays bool `json:"include_sink_delays,omitempty"`
+}
+
+// MoveSpec relocates one base-placement sink (JSON view of eco.Move).
+type MoveSpec struct {
+	Sink int     `json:"sink"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+// DeltaSpec is the JSON view of an engineering change order. Sink indices
+// refer to the BASE placement (benchmark generation order, or the request's
+// sink list order).
+type DeltaSpec struct {
+	// Add appends new sinks.
+	Add []XY `json:"add,omitempty"`
+	// Move relocates base sinks.
+	Move []MoveSpec `json:"move,omitempty"`
+	// Remove drops base sinks by index.
+	Remove []int `json:"remove,omitempty"`
+	// Corners, when non-empty, replaces the base run's sign-off corner set
+	// (a corner change never dirties the tree).
+	Corners []string `json:"corners,omitempty"`
+}
+
+// toDelta resolves the spec against the built-in corner presets.
+func (d *DeltaSpec) toDelta() (eco.Delta, error) {
+	var out eco.Delta
+	for _, p := range d.Add {
+		out.Add = append(out.Add, geom.Pt(p.X, p.Y))
+	}
+	for _, m := range d.Move {
+		out.Move = append(out.Move, eco.Move{Sink: m.Sink, To: geom.Pt(m.X, m.Y)})
+	}
+	out.Remove = d.Remove
+	for _, name := range d.Corners {
+		c, err := corner.ByName(name)
+		if err != nil {
+			return eco.Delta{}, err
+		}
+		out.SetCorners = append(out.SetCorners, c)
+	}
+	if len(out.SetCorners) > 0 {
+		if err := corner.ValidateSet(out.SetCorners); err != nil {
+			return eco.Delta{}, err
+		}
+	}
+	return out, nil
 }
 
 // resolved is a validated request, ready to execute.
@@ -176,6 +230,23 @@ func (r *Request) validate(kind string) (design string, sinks int, err error) {
 				return "", 0, fmt.Errorf("thresholds must be positive, got %d", th)
 			}
 		}
+	}
+	if r.Delta != nil && kind != KindECO {
+		return "", 0, fmt.Errorf("delta is only valid for eco requests")
+	}
+	if kind == KindECO {
+		if r.Delta == nil {
+			return "", 0, fmt.Errorf("eco request needs a delta")
+		}
+		d, err := r.Delta.toDelta()
+		if err != nil {
+			return "", 0, err
+		}
+		if err := d.Validate(sinks); err != nil {
+			return "", 0, err
+		}
+		// Admission control sizes the job by the post-delta placement.
+		sinks += len(r.Delta.Add) - len(r.Delta.Remove)
 	}
 	return design, sinks, nil
 }
@@ -269,8 +340,10 @@ func (r *Request) corners() ([]corner.Corner, error) {
 // length section — is always encoded, and any change to the field set or
 // their meaning MUST bump this version. v1 predates corners and the
 // evaluation-model tag; v2 appends both unconditionally; v3 appends the
-// XL-placement selector and the partition options unconditionally.
-const requestKeyVersion = "dscts-request-v3"
+// XL-placement selector and the partition options unconditionally; v4
+// appends the ECO delta section (add/move/remove/corner-replace)
+// unconditionally, so a delta-carrying request can never alias its base.
+const requestKeyVersion = "dscts-request-v4"
 
 // evalModel names the delay model the engine evaluates results with. It
 // is part of the canonical encoding so that a future model switch (e.g.
@@ -369,6 +442,36 @@ func (r *Request) Key(kind string) string {
 	// under those keys.
 	wi(int64(len(r.Corners)))
 	for _, name := range r.Corners {
+		if c, err := corner.ByName(name); err == nil {
+			name = c.Name
+		}
+		ws(name)
+	}
+	// The delta section is always encoded (zero counts when absent): the
+	// job kind already separates /eco from /synthesize, and the explicit
+	// counts keep any combination of delta fields prefix-free against the
+	// corner and threshold sections around it.
+	var dl DeltaSpec
+	if r.Delta != nil {
+		dl = *r.Delta
+	}
+	wi(int64(len(dl.Add)))
+	for _, p := range dl.Add {
+		wf(p.X)
+		wf(p.Y)
+	}
+	wi(int64(len(dl.Move)))
+	for _, m := range dl.Move {
+		wi(int64(m.Sink))
+		wf(m.X)
+		wf(m.Y)
+	}
+	wi(int64(len(dl.Remove)))
+	for _, s := range dl.Remove {
+		wi(int64(s))
+	}
+	wi(int64(len(dl.Corners)))
+	for _, name := range dl.Corners {
 		if c, err := corner.ByName(name); err == nil {
 			name = c.Name
 		}

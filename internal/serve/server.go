@@ -11,6 +11,7 @@ import (
 //
 //	POST /synthesize        run the full flow            (body: Request)
 //	POST /dse               run a fanout-threshold sweep (body: Request)
+//	POST /eco               incremental re-synthesis     (body: Request + delta)
 //	GET  /jobs/{id}         job snapshot (with result when done)
 //	POST /jobs/{id}/cancel  stop a queued or running job
 //	GET  /healthz           liveness
@@ -36,6 +37,9 @@ func NewServer(cfg Config) *Server {
 	})
 	s.mux.HandleFunc("POST /dse", func(w http.ResponseWriter, r *http.Request) {
 		s.submit(w, r, KindDSE)
+	})
+	s.mux.HandleFunc("POST /eco", func(w http.ResponseWriter, r *http.Request) {
+		s.submit(w, r, KindECO)
 	})
 	s.mux.HandleFunc("GET /jobs/{id}", s.job)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
