@@ -10,6 +10,7 @@
 #   make bench       - the substrate + parallel-engine + partition benchmarks
 #   make report      - regenerate BENCH_parallel.json
 #   make load        - regenerate BENCH_serve.json (service load test)
+#   make chaos       - 30s seeded fault-injection soak under -race + report gate (BENCH_chaos.json)
 #   make corners     - regenerate BENCH_corners.json (multi-corner sign-off scaling)
 #   make scale       - regenerate BENCH_scale.json (mono vs partition-parallel XL scaling)
 #   make eco         - regenerate BENCH_eco.json (full vs incremental re-synthesis)
@@ -24,7 +25,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load corners scale eco
+.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load chaos corners scale eco
 
 all: ci
 
@@ -79,6 +80,12 @@ smoke:
 
 load:
 	$(GO) run ./cmd/benchgen -load
+
+# The chaos soak runs under the race detector: a data race surfaced by
+# injected panics/hangs is exactly what this gate exists to catch.
+chaos:
+	$(GO) run -race ./cmd/benchgen -load -chaos default -duration 30s
+	$(GO) run ./cmd/cismoke chaos BENCH_chaos.json
 
 corners:
 	$(GO) run ./cmd/benchgen -corners-out BENCH_corners.json

@@ -1,0 +1,307 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dscts/internal/fault"
+	"dscts/internal/serve"
+)
+
+// defaultChaosSpec is the built-in seeded fault schedule of `-chaos default`:
+// every failure mode the hardening has to absorb. The one-shot nth= rules
+// guarantee each mode fires at least once even in a short smoke (so every
+// classification bucket is exercised); the rate rules keep firing for as
+// long as the soak runs. The hang is the nastiest entry — a worker stuck
+// past its deadline, reclaimed only by the watchdog — so it is rare and
+// bounded (3s against the jobs' 2s request deadline).
+const defaultChaosSpec = "panic@serve.job:nth=3;" +
+	"hang@serve.job:nth=11:3s;" +
+	"cancel@serve.job:nth=7;" +
+	"panic@serve.job:0.02;" +
+	"error@core.route:0.02;" +
+	"error@core.eco:0.02;" +
+	"delay@core.insert:0.05:20ms;" +
+	"hang@serve.job:0.004:3s;" +
+	"cancel@serve.job:0.01;" +
+	"corrupt@serve.cache:0.05"
+
+// chaosOps classifies every operation of the soak. An operation is one
+// logical client call after retries; exactly one bucket counts it.
+type chaosOps struct {
+	// Total is the number of operations issued.
+	Total int64 `json:"total"`
+	// Done finished successfully (CacheHits of them from the result cache).
+	Done      int64 `json:"done"`
+	CacheHits int64 `json:"cache_hits"`
+	// InjectedErrors are jobs failed by a scripted mid-flow error (the error
+	// string names the injection).
+	InjectedErrors int64 `json:"injected_errors"`
+	// Timeouts are HTTP 504s: the per-job deadline fired (including hung
+	// bodies reclaimed by the watchdog).
+	Timeouts int64 `json:"timeouts"`
+	// Panics are HTTP 500s: the job body panicked and the daemon recovered.
+	Panics int64 `json:"panics"`
+	// Cancelled jobs were stopped by an injected context cancellation.
+	Cancelled int64 `json:"cancelled"`
+	// Rejected operations exhausted their retries against 429/503.
+	Rejected int64 `json:"rejected"`
+	// OtherFailures are structured failures outside the buckets above.
+	OtherFailures int64 `json:"other_failures"`
+	// Unstructured counts everything else — transport errors, empty error
+	// bodies. The soak asserts this stays ZERO: every failure the daemon
+	// produces under chaos must be a structured, classified response.
+	Unstructured int64 `json:"unstructured"`
+}
+
+// chaosReport is the machine-readable BENCH_chaos.json.
+type chaosReport struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	FaultSpec  string  `json:"fault_spec"`
+	FaultSeed  int64   `json:"fault_seed"`
+	DurationMS float64 `json:"duration_ms"`
+	Workers    int     `json:"client_concurrency"`
+
+	Ops chaosOps `json:"ops"`
+	// ErrorRate is the non-success fraction of operations; the soak bounds
+	// it by MaxErrorRate (injection rates times flow depth, with slack).
+	ErrorRate    float64 `json:"error_rate"`
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// InjectedFaults totals the registry's fired injections across kinds.
+	InjectedFaults int64 `json:"injected_faults"`
+	// LeakedGoroutines is the post-shutdown goroutine delta (must be 0).
+	LeakedGoroutines int `json:"leaked_goroutines"`
+
+	Stats serve.Stats `json:"server_stats"`
+	Notes []string    `json:"notes"`
+}
+
+// runChaos soaks an in-process dsctsd under a seeded fault schedule for the
+// given duration, classifies every operation, and writes BENCH_chaos.json.
+// It fails (nonzero exit) if the daemon crashed, any failure was
+// unstructured, goroutines or worker budget leaked, or the error rate left
+// its bound — the chaos contract of DESIGN.md §5.
+func runChaos(path, spec string, seed int64, duration time.Duration, conc int) error {
+	if spec == "default" {
+		spec = defaultChaosSpec
+	}
+	if conc <= 0 {
+		conc = 8
+	}
+	if duration <= 0 {
+		duration = 30 * time.Second
+	}
+	reg, err := fault.Parse(spec, seed)
+	if err != nil {
+		return err
+	}
+	before := runtime.NumGoroutine()
+
+	srv := serve.NewServer(serve.Config{
+		MaxRunning: 4, MaxQueued: 64,
+		JobTimeout:    5 * time.Second,
+		WatchdogGrace: 300 * time.Millisecond,
+		Faults:        reg,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// The request pool mixes plain synthesis with ECO splices so the chaos
+	// schedule reaches the core phase boundaries AND the incremental path.
+	type op struct {
+		req *serve.Request
+		eco bool
+	}
+	pool := []op{
+		{req: &serve.Request{Design: "C1"}},
+		{req: &serve.Request{Design: "C2"}},
+		{req: &serve.Request{Design: "C1", Options: serve.OptionsSpec{FanoutThreshold: 150}}},
+		{req: &serve.Request{Design: "C2", Options: serve.OptionsSpec{SkipRefine: true}}},
+		{req: &serve.Request{Design: "C1", Seed: 2}},
+		{req: &serve.Request{Design: "C1", Delta: &serve.DeltaSpec{Add: []serve.XY{{X: 120, Y: 80}}}}, eco: true},
+		{req: &serve.Request{Design: "C2", Delta: &serve.DeltaSpec{Move: []serve.MoveSpec{{Sink: 3, X: 50, Y: 60}}}}, eco: true},
+	}
+
+	var ops chaosOps
+	count := func(p *int64) { atomic.AddInt64(p, 1) }
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &serve.Client{Base: base, RetryBackoff: 5 * time.Millisecond}
+			for n := 0; time.Now().Before(deadline); n++ {
+				o := pool[(w+n)%len(pool)]
+				req := *o.req
+				req.TimeoutMS = 2000
+				req.IdempotencyKey = fmt.Sprintf("chaos-%d-%d", w, n)
+				var info *serve.JobInfo
+				var err error
+				if o.eco {
+					info, err = client.ECO(context.Background(), &req)
+				} else {
+					info, err = client.Synthesize(context.Background(), &req)
+				}
+				count(&ops.Total)
+				classify(&ops, info, err, count)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	client := serve.NewClient(base)
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		return fmt.Errorf("chaos: daemon unreachable after the soak (crashed?): %w", err)
+	}
+	if err := client.Health(context.Background()); err != nil {
+		return fmt.Errorf("chaos: daemon unhealthy after the soak: %w", err)
+	}
+	hs.Close()
+	srv.Close()
+
+	// Goroutine settle loop: abandoned bodies are joined by Close, so the
+	// count must return to the pre-soak level.
+	settle := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(settle) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	leaked := runtime.NumGoroutine() - before
+	if leaked < 0 {
+		leaked = 0
+	}
+
+	var injected int64
+	for _, n := range st.Faults {
+		injected += n
+	}
+	failures := ops.Total - ops.Done
+	rep := chaosReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		FaultSpec: spec, FaultSeed: seed,
+		DurationMS: float64(wall) / float64(time.Millisecond),
+		Workers:    conc,
+		Ops:        ops,
+		ErrorRate:  float64(failures) / float64(max64(ops.Total, 1)),
+		// Bound: each job crosses several injection points, so the failure
+		// rate is roughly the sum of the per-point rates; 0.5 leaves room
+		// for unlucky seeds without masking a daemon that mostly fails.
+		MaxErrorRate:     0.5,
+		InjectedFaults:   injected,
+		LeakedGoroutines: leaked,
+		Stats:            *st,
+		Notes: []string{
+			"seeded chaos soak against an in-process dsctsd: keyed sync requests with client retries, while the fault registry injects panics, errors, delays, hangs, cancels and cache corruption",
+			"asserts: daemon alive, zero unstructured failures, zero leaked goroutines, zero abandoned workers after drain, injections actually fired, error rate bounded",
+			"the fire pattern is reproducible from fault_seed; rerun with the same spec and seed to replay the schedule",
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("chaos soak report -> %s\n", path)
+	fmt.Printf("  %d ops in %.1fs x%d clients: %d done (%d cached), %d injected errors, %d timeouts, %d panics, %d cancelled; %d faults fired; error rate %.3f\n",
+		ops.Total, wall.Seconds(), conc, ops.Done, ops.CacheHits,
+		ops.InjectedErrors, ops.Timeouts, ops.Panics, ops.Cancelled, injected, rep.ErrorRate)
+
+	var violations []string
+	if ops.Total == 0 {
+		violations = append(violations, "no operations completed")
+	}
+	if ops.Unstructured != 0 {
+		violations = append(violations, fmt.Sprintf("%d unstructured failures", ops.Unstructured))
+	}
+	if leaked != 0 {
+		violations = append(violations, fmt.Sprintf("%d leaked goroutines", leaked))
+	}
+	if st.Jobs.Running != 0 || st.Jobs.AbandonedWorkers != 0 {
+		violations = append(violations, fmt.Sprintf("worker budget not reclaimed: %d running, %d abandoned",
+			st.Jobs.Running, st.Jobs.AbandonedWorkers))
+	}
+	if injected == 0 {
+		violations = append(violations, "fault registry never fired (schedule or threading broken)")
+	}
+	if rep.ErrorRate > rep.MaxErrorRate {
+		violations = append(violations, fmt.Sprintf("error rate %.3f exceeds %.2f", rep.ErrorRate, rep.MaxErrorRate))
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("chaos contract violated: %s", strings.Join(violations, "; "))
+	}
+	return nil
+}
+
+// classify sorts one operation's outcome into its chaosOps bucket.
+func classify(ops *chaosOps, info *serve.JobInfo, err error, count func(*int64)) {
+	if err == nil {
+		switch info.State {
+		case serve.StateDone:
+			count(&ops.Done)
+			if info.CacheHit {
+				count(&ops.CacheHits)
+			}
+		case serve.StateCancelled:
+			count(&ops.Cancelled)
+		case serve.StateFailed:
+			if strings.Contains(info.Error, "injected fault") {
+				count(&ops.InjectedErrors)
+			} else if info.Error != "" {
+				count(&ops.OtherFailures)
+			} else {
+				count(&ops.Unstructured)
+			}
+		default:
+			count(&ops.Unstructured)
+		}
+		return
+	}
+	var apiErr interface{ HTTPStatus() int }
+	if errors.As(err, &apiErr) {
+		switch apiErr.HTTPStatus() {
+		case http.StatusGatewayTimeout:
+			count(&ops.Timeouts)
+		case http.StatusInternalServerError:
+			count(&ops.Panics)
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			count(&ops.Rejected)
+		default:
+			count(&ops.OtherFailures)
+		}
+		return
+	}
+	count(&ops.Unstructured)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -17,6 +17,13 @@
 //
 //	benchgen -load [-load-jobs 40] [-load-conc 8] [-load-distinct 20] [-load-out BENCH_serve.json]
 //
+// With -load -chaos it instead soaks the in-process service under a seeded
+// fault-injection schedule (internal/fault) for -duration, asserting the
+// hardening contract — daemon alive, every failure structured, zero leaked
+// goroutines or workers, bounded error rate — and writes BENCH_chaos.json:
+//
+//	benchgen -load -chaos default [-chaos-seed 1] [-duration 30s]
+//
 // With -corners-out it measures the multi-corner sign-off evaluator (one
 // synthesized tree swept across K interpolated PVT corners, at one worker
 // and at GOMAXPROCS) and writes the corner-scaling report:
@@ -31,6 +38,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"dscts/internal/bench"
 	"dscts/internal/lef"
@@ -54,6 +62,9 @@ func main() {
 		loadJobs  = flag.Int("load-jobs", 40, "total jobs to replay with -load")
 		loadConc  = flag.Int("load-conc", 8, "concurrent clients (and running-job slots) for -load")
 		loadDist  = flag.Int("load-distinct", 0, "distinct request shapes for -load (0 = jobs/2, so half the replay can hit the cache)")
+		chaos     = flag.String("chaos", "", "with -load: fault-injection spec for the chaos soak (\"default\" = built-in schedule; see internal/fault)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos (same spec + seed replays the same schedule)")
+		duration  = flag.Duration("duration", 30*time.Second, "chaos soak duration for -chaos")
 		ecoOut    = flag.String("eco-out", "", "measure full-vs-incremental (ECO) re-synthesis and write the JSON report to this path (e.g. BENCH_eco.json)")
 		ecoDes    = flag.String("eco-designs", "C1,C2,C3,C4,C5", "comma-separated designs for -eco-out")
 		ecoXL     = flag.Int("eco-xl", 500000, "XL placement sink count for -eco-out (0 = skip the XL row)")
@@ -80,6 +91,19 @@ func main() {
 		return
 	}
 	if *doLoad {
+		if *chaos != "" {
+			// The chaos soak gets its own default report name so a plain
+			// `-load` baseline and a chaos run never clobber each other;
+			// an explicit -load-out still wins.
+			out := *loadOut
+			if !flagWasSet("load-out") {
+				out = "BENCH_chaos.json"
+			}
+			if err := runChaos(out, *chaos, *chaosSeed, *duration, *loadConc); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := runLoad(*loadOut, *loadJobs, *loadConc, *loadDist); err != nil {
 			fatal(err)
 		}
@@ -148,6 +172,17 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("library -> %s\n", lefPath)
+}
+
+// flagWasSet reports whether a flag was given explicitly on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // parseSizes parses the comma-separated -scale-sizes list.

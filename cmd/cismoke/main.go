@@ -10,6 +10,7 @@
 //	cismoke scale BENCH_scale.json
 //	dscts -xl 500000 -partition 50000 -json | cismoke xl -sinks 500000
 //	cismoke eco -design C3 -pct 1 -min-speedup 5 BENCH_eco.json
+//	cismoke chaos BENCH_chaos.json
 package main
 
 import (
@@ -40,6 +41,8 @@ func main() {
 		err = cmdXL(args)
 	case "eco":
 		err = cmdECO(args)
+	case "chaos":
+		err = cmdChaos(args)
 	default:
 		usage()
 	}
@@ -50,7 +53,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cismoke {synth|corners|partition|scale|xl|eco} [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: cismoke {synth|corners|partition|scale|xl|eco|chaos} [flags] [file]")
 	os.Exit(2)
 }
 
@@ -353,6 +356,78 @@ func cmdECO(args []string) error {
 		return fmt.Errorf("best %s speedup at %.3g%% is %.2fx, want >= %.1fx", *design, *pct, best, *minSpeedup)
 	}
 	fmt.Printf("eco gate: %s at %.3g%% best speedup %.1fx (>= %.1fx)\n", *design, *pct, best, *minSpeedup)
+	return nil
+}
+
+// chaosView mirrors the BENCH_chaos.json fields the fault-tolerance gate
+// asserts on (benchgen -load -chaos).
+type chaosView struct {
+	FaultSpec  string  `json:"fault_spec"`
+	DurationMS float64 `json:"duration_ms"`
+	Ops        struct {
+		Total          int64 `json:"total"`
+		Done           int64 `json:"done"`
+		InjectedErrors int64 `json:"injected_errors"`
+		Timeouts       int64 `json:"timeouts"`
+		Panics         int64 `json:"panics"`
+		Unstructured   int64 `json:"unstructured"`
+	} `json:"ops"`
+	ErrorRate        float64 `json:"error_rate"`
+	MaxErrorRate     float64 `json:"max_error_rate"`
+	InjectedFaults   int64   `json:"injected_faults"`
+	LeakedGoroutines int     `json:"leaked_goroutines"`
+	Stats            struct {
+		Jobs struct {
+			Running          int64 `json:"running"`
+			AbandonedWorkers int64 `json:"abandoned_workers"`
+		} `json:"jobs"`
+	} `json:"server_stats"`
+}
+
+// cmdChaos re-checks the chaos soak's contract from its report: the soak ran
+// real traffic with real injections, every failure was structured, nothing
+// leaked, and the error rate stayed within its declared bound. The soak
+// binary asserts the same things before exiting zero; this gate keeps the
+// committed/uploaded artifact honest independently of that exit code.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	minOps := fs.Int64("min-ops", 50, "minimum operations the soak must have issued")
+	fs.Parse(args)
+	var r chaosView
+	if err := decode(fs, "BENCH_chaos.json", &r); err != nil {
+		return err
+	}
+	if r.FaultSpec == "" || r.DurationMS <= 0 {
+		return fmt.Errorf("header implausible: spec %q, duration %v ms", r.FaultSpec, r.DurationMS)
+	}
+	if r.Ops.Total < *minOps {
+		return fmt.Errorf("only %d ops issued, want >= %d", r.Ops.Total, *minOps)
+	}
+	if r.Ops.Done == 0 {
+		return fmt.Errorf("no operation succeeded under chaos")
+	}
+	if r.Ops.Unstructured != 0 {
+		return fmt.Errorf("%d unstructured failures (every failure must be a classified, structured response)", r.Ops.Unstructured)
+	}
+	if r.InjectedFaults == 0 {
+		return fmt.Errorf("no faults fired: the soak did not actually inject anything")
+	}
+	if r.LeakedGoroutines != 0 {
+		return fmt.Errorf("%d goroutines leaked past shutdown", r.LeakedGoroutines)
+	}
+	if r.Stats.Jobs.Running != 0 || r.Stats.Jobs.AbandonedWorkers != 0 {
+		return fmt.Errorf("worker budget not reclaimed: %d running, %d abandoned after drain",
+			r.Stats.Jobs.Running, r.Stats.Jobs.AbandonedWorkers)
+	}
+	if r.MaxErrorRate <= 0 || r.MaxErrorRate > 0.5 {
+		return fmt.Errorf("declared max_error_rate %.3f implausible", r.MaxErrorRate)
+	}
+	if r.ErrorRate > r.MaxErrorRate {
+		return fmt.Errorf("error rate %.3f exceeds the %.2f bound", r.ErrorRate, r.MaxErrorRate)
+	}
+	fmt.Printf("chaos gate: %d ops, %d injections (%d err/%d timeout/%d panic), error rate %.3f <= %.2f, zero leaks\n",
+		r.Ops.Total, r.InjectedFaults, r.Ops.InjectedErrors, r.Ops.Timeouts, r.Ops.Panics,
+		r.ErrorRate, r.MaxErrorRate)
 	return nil
 }
 

@@ -3,15 +3,27 @@
 // budgets, a content-addressed result cache, and NDJSON progress streaming.
 //
 //	dsctsd [-addr :8577] [-max-running 4] [-max-queued 64] [-workers 0] [-cache 128]
+//	       [-job-timeout 0] [-watchdog-grace 2s] [-idem-entries 512]
+//	       [-fault-spec ""] [-fault-seed 1]
 //
 // API (see internal/serve):
 //
 //	POST /synthesize?mode=sync|async|stream   body: serve.Request JSON
 //	POST /dse?mode=...                        body: serve.Request with thresholds
+//	POST /eco?mode=...                        body: serve.Request with delta
 //	GET  /jobs/{id}                           job snapshot (?mode=stream for NDJSON)
 //	POST /jobs/{id}/cancel                    stop a queued or running job
 //	GET  /healthz                             liveness
+//	GET  /readyz                              readiness (503 while draining or saturated)
 //	GET  /stats                               queue + cache counters
+//
+// On SIGTERM/SIGINT the daemon drains first — /readyz flips to 503 so load
+// balancers divert traffic — then shuts the listener down gracefully and
+// cancels whatever is still in flight.
+//
+// -fault-spec arms the deterministic fault-injection registry (see
+// internal/fault) for chaos testing a real deployment; leave it empty in
+// production (the default, a zero-cost no-op).
 //
 // Example:
 //
@@ -31,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"dscts/internal/fault"
 	"dscts/internal/serve"
 )
 
@@ -42,12 +55,28 @@ func main() {
 		workers    = flag.Int("workers", 0, "total synthesis worker budget shared by running jobs (0 = all CPUs)")
 		cacheSize  = flag.Int("cache", 128, "result cache capacity (entries, LRU)")
 		retain     = flag.Int("retain-jobs", 1024, "finished job records kept for GET /jobs/{id}")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job running wall-clock deadline (0 = none; requests can shorten it via timeout_ms)")
+		wdGrace    = flag.Duration("watchdog-grace", 0, "how long a cancelled/expired job may keep running before its worker is force-reclaimed (0 = default 2s)")
+		idemSize   = flag.Int("idem-entries", 0, "idempotency keys retained for deduplicating retried submissions (0 = default 512, negative disables)")
+		faultSpec  = flag.String("fault-spec", "", "fault-injection schedule for chaos testing, e.g. \"panic@serve.job:0.01\" (empty = disabled; see internal/fault)")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for -fault-spec (same spec + seed replays the same schedule)")
 	)
 	flag.Parse()
 
+	var reg *fault.Registry
+	if *faultSpec != "" {
+		var err error
+		if reg, err = fault.Parse(*faultSpec, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "dsctsd:", err)
+			os.Exit(1)
+		}
+		log.Printf("dsctsd: FAULT INJECTION ARMED (seed %d): %s", *faultSeed, reg)
+	}
 	srv := serve.NewServer(serve.Config{
 		MaxRunning: *maxRunning, MaxQueued: *maxQueued,
 		Workers: *workers, CacheEntries: *cacheSize, RetainJobs: *retain,
+		JobTimeout: *jobTimeout, WatchdogGrace: *wdGrace,
+		IdempotencyEntries: *idemSize, Faults: reg,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -65,7 +94,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsctsd:", err)
 		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("dsctsd: %v, shutting down", sig)
+		log.Printf("dsctsd: %v, draining and shutting down", sig)
+		// Flip /readyz to 503 before closing the listener so load
+		// balancers stop routing here while in-flight work finishes.
+		srv.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -26,6 +26,7 @@ import (
 	"dscts/internal/ctree"
 	"dscts/internal/eco"
 	"dscts/internal/eval"
+	"dscts/internal/fault"
 	"dscts/internal/geom"
 	"dscts/internal/insert"
 	"dscts/internal/par"
@@ -106,8 +107,18 @@ func SynthesizeECOContext(ctx context.Context, prev *Outcome, d eco.Delta, opt O
 	knobs.Workers = opt.Workers
 	knobs.Progress = opt.Progress
 	knobs.RetainECO = opt.RetainECO
+	if opt.Faults != nil {
+		// Like Progress, the caller's registry wins over a retained one: the
+		// service threads its live registry into chained deltas.
+		knobs.Faults = opt.Faults
+	}
 	if len(d.SetCorners) > 0 {
 		knobs.Corners = d.SetCorners
+	}
+	// The ECO injection point guards the whole splice path, including the
+	// tech-change full re-synthesis below.
+	if err := knobs.Faults.Check(ctx, fault.PointECO); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	// A technology change invalidates every retained delay and sizing

@@ -14,6 +14,7 @@ import (
 	"dscts/internal/corner"
 	"dscts/internal/ctree"
 	"dscts/internal/eval"
+	"dscts/internal/fault"
 	"dscts/internal/geom"
 	"dscts/internal/insert"
 	"dscts/internal/partition"
@@ -155,6 +156,13 @@ type Options struct {
 	// corner in multi-corner sign-off). It never affects results. Must be
 	// safe for concurrent use; see ProgressFunc.
 	Progress ProgressFunc
+	// Faults is the deterministic fault-injection registry (internal/fault)
+	// consulted at the flow's phase boundaries (core.route/insert/refine/
+	// eval/stitch/eco) so tests and the chaos soak can script failures
+	// reproducibly. nil — the default — is a zero-cost no-op. Like Progress
+	// it is a test/scheduling hook, never part of the result identity: a
+	// run that completes under injection is bit-identical to one without.
+	Faults *fault.Registry
 }
 
 // Outcome is the result of a synthesis run.
@@ -248,6 +256,9 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 	out.Tree, out.Dual, out.DP, out.Refine = st.tree, st.dual, st.dp, st.refine
 	out.RouteTime, out.InsertTime, out.RefineTime = st.routeTime, st.insertTime, st.refineTime
 
+	if err := opt.Faults.Check(ctx, fault.PointEval); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	emit(PhaseEval, false, 0)
 	t3 := time.Now()
 	m, err := eval.New(tc, eval.Elmore).Evaluate(out.Tree)

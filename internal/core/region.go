@@ -33,6 +33,7 @@ import (
 	"dscts/internal/ctree"
 	"dscts/internal/dme"
 	"dscts/internal/eval"
+	"dscts/internal/fault"
 	"dscts/internal/geom"
 	"dscts/internal/insert"
 	"dscts/internal/par"
@@ -104,6 +105,9 @@ func runStages(ctx context.Context, rootPos geom.Point, sinks []geom.Point, tc *
 	st := &stages{}
 
 	// Phase 1: hierarchical clock routing.
+	if err := opt.Faults.Check(ctx, fault.PointRoute); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	emit(PhaseRoute, false, 0)
 	t0 := time.Now()
 	dual, err := cluster.DualLevel(sinks, d)
@@ -128,6 +132,9 @@ func runStages(ctx context.Context, rootPos geom.Point, sinks []geom.Point, tc *
 	}
 
 	// Phase 2: concurrent buffer and nTSV insertion.
+	if err := opt.Faults.Check(ctx, fault.PointInsert); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	emit(PhaseInsert, false, 0)
 	t1 := time.Now()
 	cfg := insert.DefaultConfig(tc)
@@ -164,6 +171,9 @@ func runStages(ctx context.Context, rootPos geom.Point, sinks []geom.Point, tc *
 
 	// Phase 3: skew refinement.
 	if !opt.SkipRefine {
+		if err := opt.Faults.Check(ctx, fault.PointRefine); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 		emit(PhaseRefine, false, 0)
 		t2 := time.Now()
 		rp := opt.Refine
@@ -318,6 +328,9 @@ func synthesizeRegions(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 // work times; the region trees are only read, never mutated, so retained
 // trees may be shared across outcomes.
 func stitchAndCompose(ctx context.Context, rootPos geom.Point, regions []partition.Region, trees []*ctree.Tree, sums []*eval.RegionEval, tc *tech.Tech, opt Options, out *Outcome, emit func(Phase, bool, time.Duration)) error {
+	if err := opt.Faults.Check(ctx, fault.PointStitch); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	emit(PhaseStitch, false, 0)
 	ts := time.Now()
 	ev := eval.New(tc, eval.Elmore)

@@ -2,7 +2,10 @@ package serve
 
 import (
 	"container/list"
+	"encoding/json"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 )
 
 // CacheStats is the cache section of GET /stats.
@@ -12,6 +15,9 @@ type CacheStats struct {
 	Hits       int64 `json:"hits"`
 	Misses     int64 `json:"misses"`
 	Evictions  int64 `json:"evictions"`
+	// Corruptions counts entries whose integrity checksum failed on read;
+	// each was evicted and recomputed instead of served (result cache only).
+	Corruptions int64 `json:"corruptions,omitempty"`
 }
 
 // lru is a content-addressed cache with LRU eviction. Stored values are
@@ -76,6 +82,32 @@ func (c *lru[V]) Put(key string, val V) {
 	}
 }
 
+// Remove drops a key if present (corrupted-entry eviction); it counts as an
+// eviction.
+func (c *lru[V]) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.evictions++
+	return true
+}
+
+// Peek returns the value without touching recency or the hit/miss counters.
+func (c *lru[V]) Peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Stats snapshots the counters.
 func (c *lru[V]) Stats() CacheStats {
 	c.mu.Lock()
@@ -86,7 +118,74 @@ func (c *lru[V]) Stats() CacheStats {
 	}
 }
 
-// cache is the result cache.
-type cache = lru[*Result]
+// cachedResult is one result-cache entry: the immutable result plus the
+// integrity checksum computed at store time.
+type cachedResult struct {
+	res *Result
+	sum uint64
+}
 
-func newCache(maxEntries int) *cache { return newLRU[*Result](maxEntries, 128) }
+// cache is the result cache: a checksummed LRU. Every entry's checksum is
+// computed when stored and re-verified on every read; a mismatch means the
+// entry was corrupted in place (injected by the fault harness, or real
+// memory damage once entries live off-heap), so Get evicts it and reports a
+// miss — the caller recomputes instead of serving garbage.
+type cache struct {
+	lru         *lru[cachedResult]
+	corruptions atomic.Int64
+}
+
+func newCache(maxEntries int) *cache {
+	return &cache{lru: newLRU[cachedResult](maxEntries, 128)}
+}
+
+// Get returns the cached result after verifying its checksum.
+func (c *cache) Get(key string) (*Result, bool) {
+	e, ok := c.lru.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if checksumResult(e.res) != e.sum {
+		c.corruptions.Add(1)
+		c.lru.Remove(key)
+		return nil, false
+	}
+	return e.res, true
+}
+
+// Put stores a result with a fresh checksum.
+func (c *cache) Put(key string, res *Result) {
+	c.lru.Put(key, cachedResult{res: res, sum: checksumResult(res)})
+}
+
+// Corrupt flips the stored checksum of an entry, simulating in-place
+// corruption for the fault harness and tests; the next Get must detect it.
+func (c *cache) Corrupt(key string) bool {
+	e, ok := c.lru.Peek(key)
+	if !ok {
+		return false
+	}
+	e.sum ^= 0xdeadbeef
+	c.lru.Put(key, e)
+	return true
+}
+
+// Stats snapshots the counters. A corrupted read counts as a miss (the
+// caller recomputed), not a hit, and its eviction is included in Evictions.
+func (c *cache) Stats() CacheStats {
+	st := c.lru.Stats()
+	corr := c.corruptions.Load()
+	st.Hits -= corr
+	st.Misses += corr
+	st.Corruptions = corr
+	return st
+}
+
+// checksumResult hashes the canonical JSON encoding of a result (FNV-64a).
+// JSON keeps the walk stable (struct order, sorted maps) and exactly covers
+// what a client could ever be served.
+func checksumResult(r *Result) uint64 {
+	h := fnv.New64a()
+	json.NewEncoder(h).Encode(r)
+	return h.Sum64()
+}

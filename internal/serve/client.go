@@ -4,17 +4,60 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
+	"time"
 )
 
+// DefaultClientTimeout bounds each non-streaming request end to end
+// (including reading the response body) when Client.Timeout is zero. It is
+// deliberately generous — a sync XL synthesis can legitimately run for
+// minutes — while still guaranteeing that no call can hang forever the way
+// the old default (http.DefaultClient, no timeout at all) could.
+const DefaultClientTimeout = 15 * time.Minute
+
+// DefaultMaxRetries is the retry budget for idempotent requests when
+// Client.MaxRetries is zero.
+const DefaultMaxRetries = 3
+
+// DefaultRetryBackoff is the base backoff when Client.RetryBackoff is zero;
+// attempt n waits base·2ⁿ with ±50% jitter, capped at maxRetryBackoff, and
+// a server Retry-After hint always wins when it is longer.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
+const maxRetryBackoff = 5 * time.Second
+
 // Client is a small Go client for the dsctsd HTTP API.
+//
+// Retries: transient failures — connection errors, 429 Too Many Requests,
+// 503 Service Unavailable — are retried with exponential backoff and
+// jitter, honoring the server's Retry-After hint, but ONLY for requests
+// that are safe to repeat: GETs, cancels, and submissions carrying an
+// IdempotencyKey (the server dedups those onto the original job). An
+// unkeyed POST is never retried: the response loss could mask a submission
+// that actually ran.
 type Client struct {
 	// Base is the server base URL, e.g. "http://127.0.0.1:8577".
 	Base string
-	// HTTP is the underlying client; nil means http.DefaultClient.
+	// HTTP is the underlying client; when set it is used as-is (its own
+	// Timeout included) for non-streaming calls. nil builds one with
+	// Timeout below.
 	HTTP *http.Client
+	// Timeout bounds each non-streaming request end to end when HTTP is
+	// nil: 0 means DefaultClientTimeout, negative disables the bound.
+	// Streaming requests are exempt — an NDJSON stream legitimately stays
+	// open for the whole job — and are governed by their context instead.
+	Timeout time.Duration
+	// MaxRetries is the transient-failure retry budget for idempotent
+	// requests: 0 means DefaultMaxRetries, negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base backoff; 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // NewClient returns a Client for the given base URL.
@@ -24,18 +67,42 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	t := c.Timeout
+	switch {
+	case t == 0:
+		t = DefaultClientTimeout
+	case t < 0:
+		t = 0
+	}
+	return &http.Client{Timeout: t}
+}
+
+// streamHTTP is the client for NDJSON streams: no overall timeout (the
+// stream lives as long as the job; ctx cancels it), sharing the configured
+// transport when one was given.
+func (c *Client) streamHTTP() *http.Client {
+	if c.HTTP != nil {
+		return &http.Client{Transport: c.HTTP.Transport}
+	}
+	return &http.Client{}
 }
 
 // apiError is the decoded JSON error envelope of a non-2xx response.
 type apiError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's parsed Retry-After hint (0 when absent).
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string {
 	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Msg)
 }
+
+// HTTPStatus exposes the status code to callers outside the package (via
+// errors.As against an interface{ HTTPStatus() int }), so they can tell a
+// 504 deadline from a 500 panic from a 429 rejection without string-matching.
+func (e *apiError) HTTPStatus() int { return e.Status }
 
 func decodeErr(resp *http.Response) error {
 	var body struct {
@@ -45,23 +112,98 @@ func decodeErr(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
 		msg = body.Error
 	}
-	return &apiError{Status: resp.StatusCode, Msg: msg}
+	e := &apiError{Status: resp.StatusCode, Msg: msg}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+// do performs one API call; when idempotent is set, transient failures are
+// retried with backoff.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
+	}
+	retries := c.MaxRetries
+	switch {
+	case retries == 0:
+		retries = DefaultMaxRetries
+	case retries < 0:
+		retries = 0
+	}
+	if !idempotent {
+		retries = 0
+	}
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, data, out)
+		if err == nil || attempt >= retries {
+			return err
+		}
+		wait, retriable := retryDelay(err, attempt, base)
+		if !retriable {
+			return err
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// retryDelay classifies an error and computes the attempt's backoff:
+// exponential with ±50% jitter, floored by the server's Retry-After hint.
+// Only transport errors and 429/503 are retriable; context cancellation
+// (and everything else) is not.
+func retryDelay(err error, attempt int, base time.Duration) (time.Duration, bool) {
+	var hint time.Duration
+	var apiErr *apiError
+	var urlErr *url.Error
+	switch {
+	case errors.As(err, &apiErr):
+		if apiErr.Status != http.StatusTooManyRequests && apiErr.Status != http.StatusServiceUnavailable {
+			return 0, false
+		}
+		hint = apiErr.RetryAfter
+	case errors.As(err, &urlErr):
+		if urlErr.Err != nil && (errors.Is(urlErr.Err, context.Canceled) || errors.Is(urlErr.Err, context.DeadlineExceeded)) {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	backoff := base << attempt
+	if backoff > maxRetryBackoff {
+		backoff = maxRetryBackoff
+	}
+	backoff = time.Duration(float64(backoff) * (0.5 + rand.Float64()))
+	if hint > backoff {
+		backoff = hint
+	}
+	return backoff, true
+}
+
+func (c *Client) once(ctx context.Context, method, path string, data []byte, out any) error {
+	var rd io.Reader
+	if data != nil {
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
@@ -81,7 +223,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 // Synthesize runs req synchronously and returns the finished job snapshot.
 func (c *Client) Synthesize(ctx context.Context, req *Request) (*JobInfo, error) {
 	var info JobInfo
-	if err := c.do(ctx, http.MethodPost, "/synthesize?mode=sync", req, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/synthesize?mode=sync", req, &info, req.IdempotencyKey != ""); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -90,7 +232,7 @@ func (c *Client) Synthesize(ctx context.Context, req *Request) (*JobInfo, error)
 // DSE runs a fanout sweep synchronously.
 func (c *Client) DSE(ctx context.Context, req *Request) (*JobInfo, error) {
 	var info JobInfo
-	if err := c.do(ctx, http.MethodPost, "/dse?mode=sync", req, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/dse?mode=sync", req, &info, req.IdempotencyKey != ""); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -100,7 +242,7 @@ func (c *Client) DSE(ctx context.Context, req *Request) (*JobInfo, error) {
 // rest of req, synchronously.
 func (c *Client) ECO(ctx context.Context, req *Request) (*JobInfo, error) {
 	var info JobInfo
-	if err := c.do(ctx, http.MethodPost, "/eco?mode=sync", req, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/eco?mode=sync", req, &info, req.IdempotencyKey != ""); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -108,9 +250,11 @@ func (c *Client) ECO(ctx context.Context, req *Request) (*JobInfo, error) {
 
 // SubmitAsync enqueues req (kind KindSynthesize, KindDSE or KindECO) and
 // returns the queued job snapshot immediately; poll Job for completion.
+// With req.IdempotencyKey set, transient rejections are retried and a
+// retried submission resolves to the original job.
 func (c *Client) SubmitAsync(ctx context.Context, kind string, req *Request) (*JobInfo, error) {
 	var info JobInfo
-	if err := c.do(ctx, http.MethodPost, "/"+kind+"?mode=async", req, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/"+kind+"?mode=async", req, &info, req.IdempotencyKey != ""); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -119,7 +263,8 @@ func (c *Client) SubmitAsync(ctx context.Context, kind string, req *Request) (*J
 // Stream submits req and follows its NDJSON progress stream, calling fn for
 // every event. It returns the terminal event's result-bearing job snapshot
 // reconstructed from the stream. Cancelling ctx aborts the stream, which
-// cancels the job server-side.
+// cancels the job server-side. Streams are never retried — a broken stream
+// may have cancelled the job — and are exempt from Client.Timeout.
 func (c *Client) Stream(ctx context.Context, kind string, req *Request, fn func(Event)) (*Event, error) {
 	data, err := json.Marshal(req)
 	if err != nil {
@@ -130,7 +275,7 @@ func (c *Client) Stream(ctx context.Context, kind string, req *Request, fn func(
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(hreq)
+	resp, err := c.streamHTTP().Do(hreq)
 	if err != nil {
 		return nil, err
 	}
@@ -166,16 +311,17 @@ func (c *Client) Stream(ctx context.Context, kind string, req *Request, fn func(
 // Job fetches a job snapshot by ID.
 func (c *Client) Job(ctx context.Context, id string) (*JobInfo, error) {
 	var info JobInfo
-	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &info); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &info, true); err != nil {
 		return nil, err
 	}
 	return &info, nil
 }
 
-// Cancel stops a queued or running job.
+// Cancel stops a queued or running job. Cancellation is idempotent
+// server-side, so it is safe to retry.
 func (c *Client) Cancel(ctx context.Context, id string) (*JobInfo, error) {
 	var info JobInfo
-	if err := c.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, &info, true); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -184,7 +330,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobInfo, error) {
 // Stats fetches the queue and cache counters.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var st Stats
-	if err := c.do(ctx, http.MethodGet, "/stats", nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/stats", nil, &st, true); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -192,5 +338,11 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 
 // Health checks GET /healthz.
 func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, true)
+}
+
+// Ready checks GET /readyz: nil when the daemon accepts new work, an
+// *apiError (503) while draining or saturated.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil, false)
 }

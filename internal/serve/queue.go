@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"dscts/internal/corner"
 	"dscts/internal/dse"
 	"dscts/internal/eval"
+	"dscts/internal/fault"
 	"dscts/internal/par"
 )
 
@@ -175,6 +177,13 @@ type JobInfo struct {
 	RunMS    float64   `json:"run_ms,omitempty"`
 	Error    string    `json:"error,omitempty"`
 	Result   *Result   `json:"result,omitempty"`
+	// TimedOut marks a failure caused by the job's wall-clock deadline
+	// (Config.JobTimeout or the request's timeout_ms); sync HTTP maps it to
+	// 504.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Panicked marks a failure caused by a panic inside the job body (the
+	// worker recovered; see /stats last_panics); sync HTTP maps it to 500.
+	Panicked bool `json:"panicked,omitempty"`
 }
 
 // Job is one admitted request moving through the queue.
@@ -190,6 +199,14 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// timeout is the job's effective running wall-clock deadline (0 = none),
+	// fixed at admission from Config.JobTimeout and the request's timeout_ms.
+	timeout time.Duration
+	// abandon is closed by the watchdog to release the job's runner while
+	// the body is stuck; the body goroutine is joined separately.
+	abandon     chan struct{}
+	abandonOnce sync.Once
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	state    JobState
@@ -200,6 +217,14 @@ type Job struct {
 	result   *Result
 	errMsg   string
 	log      []Event
+	// runCtx is the body's context (job.ctx plus the deadline), set when the
+	// job starts running; the watchdog reads it to spot stuck bodies.
+	runCtx context.Context
+	// stuckSince is watchdog bookkeeping: when the job's cancelled/expired
+	// context was first observed still running.
+	stuckSince time.Time
+	timedOut   bool
+	panicked   bool
 }
 
 // ID returns the job's identifier.
@@ -222,7 +247,8 @@ func (j *Job) Info() JobInfo {
 		ID: j.id, Kind: j.kind, State: j.state, CacheHit: j.cacheHit,
 		Design: j.design, Sinks: j.sinks,
 		Created: j.created, Error: j.errMsg,
-		Result: j.result.view(j.req.IncludeSinkDelays),
+		Result:   j.result.view(j.req.IncludeSinkDelays),
+		TimedOut: j.timedOut, Panicked: j.panicked,
 	}
 	if !j.started.IsZero() {
 		info.QueueMS = ms(j.started.Sub(j.created))
@@ -274,8 +300,12 @@ func (j *Job) Follow(ctx context.Context, fn func(Event) error) error {
 
 func (j *Job) append(ev Event) {
 	j.mu.Lock()
-	j.log = append(j.log, ev)
-	j.cond.Broadcast()
+	// An abandoned body can emit progress after the watchdog already
+	// finished the job; followers have seen the terminal event, so drop it.
+	if !j.state.terminal() {
+		j.log = append(j.log, ev)
+		j.cond.Broadcast()
+	}
 	j.mu.Unlock()
 }
 
@@ -287,21 +317,40 @@ func (j *Job) progress(p core.Progress) {
 	})
 }
 
-func (j *Job) setRunning() {
+func (j *Job) setRunning(runCtx context.Context) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	j.runCtx = runCtx
 	j.log = append(j.log, Event{Event: "running", JobID: j.id})
 	j.cond.Broadcast()
 	j.mu.Unlock()
 }
 
-// finish moves the job to a terminal state exactly once.
-func (j *Job) finish(state JobState, res *Result, err error) {
+// setTimedOut marks the terminal error as deadline-caused (HTTP 504); must
+// be called before finish so snapshots taken after Done see it.
+func (j *Job) setTimedOut() {
+	j.mu.Lock()
+	j.timedOut = true
+	j.mu.Unlock()
+}
+
+// setPanicked marks the terminal error as panic-caused (HTTP 500).
+func (j *Job) setPanicked() {
+	j.mu.Lock()
+	j.panicked = true
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once, reporting whether
+// THIS call did the transition. Late finishers — an abandoned body returning
+// after the watchdog already failed the job — get false and must not touch
+// the queue counters again.
+func (j *Job) finish(state JobState, res *Result, err error) bool {
 	j.mu.Lock()
 	if j.state.terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.state = state
 	j.finished = time.Now()
@@ -319,6 +368,7 @@ func (j *Job) finish(state JobState, res *Result, err error) {
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
 	close(j.done)
+	return true
 }
 
 // Config sizes the service.
@@ -356,6 +406,28 @@ type Config struct {
 	// 0 uses DefaultECOBaseEntries; negative disables base caching (every
 	// eco job re-synthesizes its base).
 	ECOBaseEntries int
+	// JobTimeout bounds each job's RUNNING wall-clock (queue wait excluded):
+	// past it the job's context is cancelled, the job fails with TimedOut
+	// set (HTTP 504 in sync mode) and its worker returns to the pool. A
+	// request may shorten — never extend — it per job via timeout_ms. 0
+	// disables the service-wide deadline.
+	JobTimeout time.Duration
+	// WatchdogGrace is how long a job whose context is already cancelled or
+	// expired may keep running before the watchdog force-fails it and
+	// abandons its worker goroutine (the body is stuck: a hung syscall, an
+	// injected hang, a bug). The freed runner picks up the next job
+	// immediately; the abandoned goroutine is joined when it eventually
+	// returns (Close waits for them). 0 uses DefaultWatchdogGrace.
+	WatchdogGrace time.Duration
+	// IdempotencyEntries caps the idempotency-key LRU backing retried
+	// submissions: while a key is retained, every submission carrying it
+	// maps to the original job instead of running again. 0 uses
+	// DefaultIdempotencyEntries; negative disables keyed dedup.
+	IdempotencyEntries int
+	// Faults is the deterministic fault-injection registry (internal/fault)
+	// threaded into the queue, the result cache and every job's
+	// core.Options. nil — the production default — is a zero-cost no-op.
+	Faults *fault.Registry
 }
 
 // DefaultMaxJobSinks bounds admitted job sizes when Config.MaxJobSinks is 0:
@@ -368,6 +440,18 @@ const DefaultXLSoloSinks = 100_000
 
 // DefaultECOBaseEntries bounds the retained base outcomes kept for /eco.
 const DefaultECOBaseEntries = 8
+
+// DefaultWatchdogGrace is how long a cancelled job may ignore its context
+// before its worker is abandoned: long enough that every cooperative
+// mid-phase cancellation check fires first, short enough that a stuck job
+// cannot monopolize a worker slot for more than a couple of seconds.
+const DefaultWatchdogGrace = 2 * time.Second
+
+// DefaultIdempotencyEntries bounds the retained idempotency keys.
+const DefaultIdempotencyEntries = 512
+
+// panicRingSize bounds the panic records retained for GET /stats.
+const panicRingSize = 8
 
 func (c Config) withDefaults() Config {
 	if c.MaxQueued <= 0 {
@@ -391,6 +475,12 @@ func (c Config) withDefaults() Config {
 	if c.ECOBaseEntries == 0 {
 		c.ECOBaseEntries = DefaultECOBaseEntries
 	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = DefaultWatchdogGrace
+	}
+	if c.IdempotencyEntries == 0 {
+		c.IdempotencyEntries = DefaultIdempotencyEntries
+	}
 	return c
 }
 
@@ -408,6 +498,30 @@ type QueueStats struct {
 	WorkerBudget  int   `json:"worker_budget"`
 	PerJobWorkers int   `json:"per_job_workers"`
 	MaxJobSinks   int   `json:"max_job_sinks"`
+	// Panics counts job bodies that panicked and were recovered (each is
+	// also in Failed).
+	Panics int64 `json:"panics,omitempty"`
+	// Timeouts counts failures caused by the per-job deadline (subset of
+	// Failed).
+	Timeouts int64 `json:"timeouts,omitempty"`
+	// WatchdogKills counts jobs force-finished by the watchdog because the
+	// body ignored cancellation past the grace period.
+	WatchdogKills int64 `json:"watchdog_kills,omitempty"`
+	// AbandonedWorkers is the number of stuck job bodies currently detached
+	// from the runner pool and not yet returned — a persistent nonzero
+	// value means something is permanently hung.
+	AbandonedWorkers int64 `json:"abandoned_workers,omitempty"`
+	// Deduped counts submissions answered by an earlier job through their
+	// idempotency key.
+	Deduped int64 `json:"deduped,omitempty"`
+}
+
+// PanicRecord is one recovered job panic retained for GET /stats.
+type PanicRecord struct {
+	JobID string    `json:"job_id"`
+	Value string    `json:"value"`
+	Stack string    `json:"stack"`
+	Time  time.Time `json:"time"`
 }
 
 // Stats is the GET /stats payload.
@@ -417,6 +531,12 @@ type Stats struct {
 	Cache    CacheStats `json:"cache"`
 	// ECOBases is the base-outcome cache behind POST /eco.
 	ECOBases CacheStats `json:"eco_bases"`
+	// Faults counts fired injections per "kind@point" when a fault registry
+	// is armed (chaos/test builds only).
+	Faults map[string]int64 `json:"faults,omitempty"`
+	// LastPanics is the ring of most recent recovered job panics, oldest
+	// first, stack traces included.
+	LastPanics []PanicRecord `json:"last_panics,omitempty"`
 }
 
 // Queue runs jobs on a fixed pool of runners with bounded admission and a
@@ -430,13 +550,22 @@ type Queue struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	// bodyWG tracks abandoned job bodies (stuck goroutines the watchdog
+	// detached from the runner pool); Close joins them after the runners.
+	bodyWG sync.WaitGroup
+	// wdStop stops the watchdog; it outlives the runners so a stuck body
+	// can still be reaped during shutdown.
+	wdStop    chan struct{}
+	wdWG      sync.WaitGroup
+	closeOnce sync.Once
 
 	pending chan *Job
 
 	mu       sync.Mutex
 	closed   bool
 	jobs     map[string]*Job
-	finished []string // retention ring of finished job IDs, oldest first
+	finished []string      // retention ring of finished job IDs, oldest first
+	panics   []PanicRecord // ring of recovered panics, oldest first
 
 	// baseInflight coalesces concurrent base synthesis for /eco: one job
 	// per base key does the work, the rest wait on its channel and then
@@ -444,12 +573,23 @@ type Queue struct {
 	baseMu       sync.Mutex
 	baseInflight map[string]chan struct{}
 
-	nextID    atomic.Int64
-	submitted atomic.Int64
-	rejected  atomic.Int64
-	doneCt    atomic.Int64
-	failedCt  atomic.Int64
-	cancelCt  atomic.Int64
+	// idemMu serializes idempotency-key lookup-and-create so concurrent
+	// retries with the same key coalesce onto one job; idem maps key→jobID
+	// (nil when keyed dedup is disabled).
+	idemMu sync.Mutex
+	idem   *lru[string]
+
+	nextID     atomic.Int64
+	submitted  atomic.Int64
+	rejected   atomic.Int64
+	doneCt     atomic.Int64
+	failedCt   atomic.Int64
+	cancelCt   atomic.Int64
+	panicCt    atomic.Int64
+	timeoutCt  atomic.Int64
+	watchdogCt atomic.Int64
+	abandonCt  atomic.Int64 // gauge: bodies currently detached
+	dedupCt    atomic.Int64
 
 	start time.Time
 }
@@ -464,16 +604,101 @@ func NewQueue(cfg Config) *Queue {
 		pending:      make(chan *Job, cfg.MaxQueued),
 		jobs:         make(map[string]*Job),
 		baseInflight: make(map[string]chan struct{}),
+		wdStop:       make(chan struct{}),
 		start:        time.Now(),
 	}
 	if cfg.ECOBaseEntries > 0 {
 		q.bases = newLRU[*core.Outcome](cfg.ECOBaseEntries, DefaultECOBaseEntries)
 	}
+	if cfg.IdempotencyEntries > 0 {
+		q.idem = newLRU[string](cfg.IdempotencyEntries, DefaultIdempotencyEntries)
+	}
 	q.wg.Add(cfg.MaxRunning)
 	for i := 0; i < cfg.MaxRunning; i++ {
 		go q.runner()
 	}
+	q.wdWG.Add(1)
+	go q.watchdog()
 	return q
+}
+
+// watchdog periodically sweeps the running jobs for bodies that ignored
+// cancellation (or their deadline) past the grace period, force-finishes
+// them and frees their runners. It runs until Close has joined the runner
+// pool, so shutdown cannot hang on a stuck body either.
+func (q *Queue) watchdog() {
+	defer q.wdWG.Done()
+	interval := q.cfg.WatchdogGrace / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.wdStop:
+			return
+		case now := <-t.C:
+			q.sweepStuck(now)
+		}
+	}
+}
+
+// sweepStuck force-fails every running job whose context has been done for
+// at least the grace period: the body is stuck, so the job is finished on
+// its behalf (timeout or cancellation semantics, matching what the body
+// would have reported) and its runner released via the abandon channel.
+func (q *Queue) sweepStuck(now time.Time) {
+	q.mu.Lock()
+	running := make([]*Job, 0, q.cfg.MaxRunning)
+	for _, j := range q.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			running = append(running, j)
+		}
+		j.mu.Unlock()
+	}
+	q.mu.Unlock()
+	for _, j := range running {
+		j.mu.Lock()
+		if j.state != StateRunning || j.runCtx == nil || j.runCtx.Err() == nil {
+			j.stuckSince = time.Time{}
+			j.mu.Unlock()
+			continue
+		}
+		if j.stuckSince.IsZero() {
+			j.stuckSince = now
+			j.mu.Unlock()
+			continue
+		}
+		stuck := now.Sub(j.stuckSince) >= q.cfg.WatchdogGrace
+		timedOut := errors.Is(j.runCtx.Err(), context.DeadlineExceeded) && j.ctx.Err() == nil
+		j.mu.Unlock()
+		if !stuck {
+			continue
+		}
+		state, err := StateCancelled, fmt.Errorf(
+			"serve: watchdog: job ignored cancellation for %v; worker abandoned", q.cfg.WatchdogGrace)
+		if timedOut {
+			state = StateFailed
+			err = fmt.Errorf("serve: watchdog: job still running %v past its %v deadline; worker abandoned",
+				q.cfg.WatchdogGrace, j.timeout)
+			j.setTimedOut()
+		}
+		if j.finish(state, nil, err) {
+			q.watchdogCt.Add(1)
+			if timedOut {
+				q.failedCt.Add(1)
+				q.timeoutCt.Add(1)
+			} else {
+				q.cancelCt.Add(1)
+			}
+		}
+		j.abandonOnce.Do(func() { close(j.abandon) })
+	}
 }
 
 // perJobWorkers is the worker budget handed to each running job.
@@ -502,7 +727,37 @@ func (q *Queue) workersFor(sinks int) int {
 // with ErrQueueFull. Validation failures wrap ErrBadRequest. The benchmark
 // placement itself is materialized at execution, not here, so cache hits
 // and rejections stay cheap.
+//
+// A request carrying an IdempotencyKey is deduplicated first: while the key
+// is retained, resubmissions (client retries of a POST whose response was
+// lost) return the ORIGINAL job — whatever state it is in — instead of
+// running the work again. Lookup and insert hold one lock, so concurrent
+// retries of the same key coalesce onto a single job.
 func (q *Queue) Submit(req *Request, kind string) (*Job, error) {
+	key := req.IdempotencyKey
+	if key == "" || q.idem == nil {
+		return q.submitNew(req, kind)
+	}
+	q.idemMu.Lock()
+	defer q.idemMu.Unlock()
+	if id, ok := q.idem.Get(key); ok {
+		q.mu.Lock()
+		j := q.jobs[id]
+		q.mu.Unlock()
+		if j != nil {
+			q.dedupCt.Add(1)
+			return j, nil
+		}
+		// The job fell out of the retention ring; run it afresh below.
+	}
+	job, err := q.submitNew(req, kind)
+	if err == nil {
+		q.idem.Put(key, job.id)
+	}
+	return job, err
+}
+
+func (q *Queue) submitNew(req *Request, kind string) (*Job, error) {
 	if kind != KindSynthesize && kind != KindDSE && kind != KindECO {
 		return nil, fmt.Errorf("%w: unknown job kind %q", ErrBadRequest, kind)
 	}
@@ -521,18 +776,26 @@ func (q *Queue) Submit(req *Request, kind string) (*Job, error) {
 		kind: kind, key: req.Key(kind), req: req,
 		design: design, sinks: sinks,
 		ctx: ctx, cancel: cancel,
-		done: make(chan struct{}), state: StateQueued, created: time.Now(),
+		done: make(chan struct{}), abandon: make(chan struct{}),
+		state: StateQueued, created: time.Now(),
+		timeout: effectiveTimeout(q.cfg.JobTimeout, req.TimeoutMS),
 	}
 	job.cond = sync.NewCond(&job.mu)
 	job.append(Event{Event: "queued", JobID: job.id})
 
+	// Scripted cache corruption fires here, before the lookup, so the
+	// integrity check below is what must catch it.
+	if f := q.cfg.Faults.Fire(fault.PointServeCache); f != nil && f.Kind == fault.Corrupt {
+		q.cache.Corrupt(job.key)
+	}
 	if res, ok := q.cache.Get(job.key); ok {
 		job.cacheHit = true
 		if err := q.admit(job, false); err != nil {
 			return nil, err
 		}
-		job.finish(StateDone, res, nil)
-		q.doneCt.Add(1)
+		if job.finish(StateDone, res, nil) {
+			q.doneCt.Add(1)
+		}
 		q.retire(job)
 		return job, nil
 	}
@@ -540,6 +803,19 @@ func (q *Queue) Submit(req *Request, kind string) (*Job, error) {
 		return nil, err
 	}
 	return job, nil
+}
+
+// effectiveTimeout combines the service deadline with the request's
+// timeout_ms: the request can only shorten it.
+func effectiveTimeout(svc time.Duration, reqMS float64) time.Duration {
+	d := svc
+	if reqMS > 0 {
+		r := time.Duration(reqMS * float64(time.Millisecond))
+		if d == 0 || r < d {
+			d = r
+		}
+	}
+	return d
 }
 
 // admit registers the job — and, when enqueue is set, places it on the
@@ -603,6 +879,7 @@ func (q *Queue) Stats() Stats {
 		}
 		j.mu.Unlock()
 	}
+	lastPanics := append([]PanicRecord(nil), q.panics...)
 	q.mu.Unlock()
 	var baseStats CacheStats
 	if q.bases != nil {
@@ -618,32 +895,65 @@ func (q *Queue) Stats() Stats {
 			MaxQueued: q.cfg.MaxQueued, MaxRunning: q.cfg.MaxRunning,
 			WorkerBudget: par.N(q.cfg.Workers), PerJobWorkers: q.perJobWorkers(),
 			MaxJobSinks: q.cfg.MaxJobSinks,
+			Panics:      q.panicCt.Load(), Timeouts: q.timeoutCt.Load(),
+			WatchdogKills:    q.watchdogCt.Load(),
+			AbandonedWorkers: q.abandonCt.Load(),
+			Deduped:          q.dedupCt.Load(),
 		},
-		Cache: q.cache.Stats(),
+		Cache:      q.cache.Stats(),
+		Faults:     q.cfg.Faults.Counts(),
+		LastPanics: lastPanics,
 	}
 }
 
 // Close stops the runner pool: new submissions are rejected with
 // ErrClosed, running jobs are cancelled mid-phase, still queued jobs are
-// finished as cancelled, and Close blocks until every runner goroutine has
-// exited.
+// finished as cancelled, and Close blocks until every goroutine the queue
+// started — runners, the watchdog, and any abandoned job bodies — has
+// exited. The watchdog keeps running until the runners have drained, so a
+// body stuck past the grace period cannot hang shutdown: its runner is
+// freed, and the body itself is joined once its (bounded) hang returns.
+// Safe to call more than once.
 func (q *Queue) Close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cancel()
-	q.wg.Wait()
-	// Drain jobs the runners never picked up.
-	for {
-		select {
-		case job := <-q.pending:
-			job.finish(StateCancelled, nil, context.Canceled)
-			q.cancelCt.Add(1)
-			q.retire(job)
-		default:
-			return
+	q.closeOnce.Do(func() {
+		q.mu.Lock()
+		q.closed = true
+		q.mu.Unlock()
+		q.cancel()
+		q.wg.Wait()
+		close(q.wdStop)
+		q.wdWG.Wait()
+		q.bodyWG.Wait()
+		// Drain jobs the runners never picked up.
+		for {
+			select {
+			case job := <-q.pending:
+				if job.finish(StateCancelled, nil, context.Canceled) {
+					q.cancelCt.Add(1)
+				}
+				q.retire(job)
+			default:
+				return
+			}
 		}
+	})
+}
+
+// Saturated reports whether the pending queue is full: the next enqueue
+// would be rejected with ErrQueueFull, so /readyz turns not-ready and load
+// balancers can drain before clients see 429s.
+func (q *Queue) Saturated() bool { return len(q.pending) >= cap(q.pending) }
+
+// RetryAfter estimates when a rejected submission is worth retrying: the
+// queue depth divided by the running slots, floored at one second. It is
+// deliberately coarse — job runtimes vary by orders of magnitude — but it
+// scales with backlog, which is what spreads a thundering herd.
+func (q *Queue) RetryAfter() time.Duration {
+	d := time.Duration(1+len(q.pending)/q.cfg.MaxRunning) * time.Second
+	if d > 60*time.Second {
+		d = 60 * time.Second
 	}
+	return d
 }
 
 // retire records a finished job in the retention ring, forgetting the
@@ -670,46 +980,96 @@ func (q *Queue) runner() {
 	}
 }
 
+// run executes one job on a runner. The body runs in a child goroutine so
+// the runner can be reclaimed if the body gets stuck: normally the select
+// ends with the body's return, but when the watchdog abandons the job the
+// runner moves on immediately and the stuck goroutine is joined later
+// (bodyWG, waited by Close).
 func (q *Queue) run(job *Job) {
 	defer q.retire(job)
 	if job.ctx.Err() != nil { // cancelled while queued
-		job.finish(StateCancelled, nil, job.ctx.Err())
-		q.cancelCt.Add(1)
+		if job.finish(StateCancelled, nil, job.ctx.Err()) {
+			q.cancelCt.Add(1)
+		}
 		return
 	}
-	job.setRunning()
-	if job.kind == KindECO {
-		result, err := q.runECO(job)
-		switch {
-		case err == nil:
-			q.cache.Put(job.key, result)
-			job.finish(StateDone, result, nil)
-			q.doneCt.Add(1)
-		case job.ctx.Err() != nil:
-			job.finish(StateCancelled, nil, err)
-			q.cancelCt.Add(1)
-		default:
-			job.finish(StateFailed, nil, err)
-			q.failedCt.Add(1)
+	runCtx, cancelRun := job.ctx, context.CancelFunc(func() {})
+	if job.timeout > 0 {
+		runCtx, cancelRun = context.WithTimeout(job.ctx, job.timeout)
+	}
+	job.setRunning(runCtx)
+	bodyDone := make(chan struct{})
+	go func() {
+		defer close(bodyDone)
+		defer cancelRun()
+		q.execute(job, runCtx)
+	}()
+	select {
+	case <-bodyDone:
+	case <-job.abandon:
+		// Watchdog force-failed the job: this runner is free, the body is
+		// tracked until it eventually returns. The Add happens before this
+		// runner exits, so it is always ordered before Close's bodyWG.Wait.
+		q.abandonCt.Add(1)
+		q.bodyWG.Add(1)
+		go func() {
+			<-bodyDone
+			q.abandonCt.Add(-1)
+			q.bodyWG.Done()
+		}()
+	}
+}
+
+// execute is the job body: recover any panic into a structured failure,
+// apply the serve.job injection point, dispatch by kind and classify the
+// terminal state. Runs in its own goroutine; all counter updates are gated
+// on finish() returning true so a late-returning abandoned body cannot
+// double-count.
+func (q *Queue) execute(job *Job, ctx context.Context) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.recordPanic(job.id, r, debug.Stack())
+			job.setPanicked()
+			if job.finish(StateFailed, nil, fmt.Errorf("serve: job panicked: %v", r)) {
+				q.failedCt.Add(1)
+			}
+			q.panicCt.Add(1)
 		}
+	}()
+	if f := q.cfg.Faults.Fire(fault.PointServeJob); f != nil {
+		switch f.Kind {
+		case fault.Cancel:
+			job.cancel()
+		case fault.Corrupt:
+			// Meaningless at the job boundary; ignore.
+		default:
+			if err := f.Apply(ctx); err != nil {
+				q.finishJob(job, ctx, nil, err)
+				return
+			}
+		}
+	}
+	if job.kind == KindECO {
+		result, err := q.runECO(job, ctx)
+		q.finishJob(job, ctx, result, err)
 		return
 	}
 	rv, err := job.req.resolve(job.kind)
 	if err != nil {
 		// Unreachable for a validated request; fail cleanly regardless.
-		job.finish(StateFailed, nil, err)
-		q.failedCt.Add(1)
+		q.finishJob(job, ctx, nil, err)
 		return
 	}
 	opt := rv.opt
 	opt.Workers = q.workersFor(job.sinks)
 	opt.Progress = job.progress
+	opt.Faults = q.cfg.Faults
 
 	var result *Result
 	switch job.kind {
 	case KindSynthesize:
 		var o *core.Outcome
-		o, err = core.SynthesizeContext(job.ctx, rv.root, rv.sinks, rv.tc, opt)
+		o, err = core.SynthesizeContext(ctx, rv.root, rv.sinks, rv.tc, opt)
 		if err == nil {
 			result = resultFromOutcome(KindSynthesize, job.design, job.sinks, o)
 		}
@@ -717,7 +1077,7 @@ func (q *Queue) run(job *Job) {
 		t0 := time.Now()
 		if len(rv.opt.Corners) > 0 {
 			var pts []dse.CornerPoint
-			pts, err = dse.SweepFanoutCorners(job.ctx, rv.root, rv.sinks, rv.tc, job.req.Thresholds, rv.opt.Corners, opt)
+			pts, err = dse.SweepFanoutCorners(ctx, rv.root, rv.sinks, rv.tc, job.req.Thresholds, rv.opt.Corners, opt)
 			if err == nil {
 				result = &Result{
 					Kind: KindDSE, Design: job.design, Sinks: job.sinks,
@@ -727,7 +1087,7 @@ func (q *Queue) run(job *Job) {
 			break
 		}
 		var pts []dse.Point
-		pts, err = dse.SweepFanoutContext(job.ctx, rv.root, rv.sinks, rv.tc, job.req.Thresholds, opt)
+		pts, err = dse.SweepFanoutContext(ctx, rv.root, rv.sinks, rv.tc, job.req.Thresholds, opt)
 		if err == nil {
 			result = &Result{
 				Kind: KindDSE, Design: job.design, Sinks: job.sinks,
@@ -735,30 +1095,62 @@ func (q *Queue) run(job *Job) {
 			}
 		}
 	}
+	q.finishJob(job, ctx, result, err)
+}
+
+// finishJob classifies a body's outcome into the job's terminal state:
+// success, deadline (failed + TimedOut, only when the PARENT context is
+// still live — a cancelled parent is a cancellation however the deadline
+// raced it), cancellation, or plain failure. A successful result is cached
+// even if the job was already force-finished (it is valid; the next
+// identical request deserves the hit).
+func (q *Queue) finishJob(job *Job, runCtx context.Context, res *Result, err error) {
 	switch {
 	case err == nil:
-		q.cache.Put(job.key, result)
-		job.finish(StateDone, result, nil)
-		q.doneCt.Add(1)
+		q.cache.Put(job.key, res)
+		if job.finish(StateDone, res, nil) {
+			q.doneCt.Add(1)
+		}
+	case errors.Is(runCtx.Err(), context.DeadlineExceeded) && job.ctx.Err() == nil:
+		job.setTimedOut()
+		if job.finish(StateFailed, nil, fmt.Errorf("serve: deadline exceeded after %v: %w", job.timeout, err)) {
+			q.failedCt.Add(1)
+			q.timeoutCt.Add(1)
+		}
 	case job.ctx.Err() != nil:
-		job.finish(StateCancelled, nil, err)
-		q.cancelCt.Add(1)
+		if job.finish(StateCancelled, nil, err) {
+			q.cancelCt.Add(1)
+		}
 	default:
-		job.finish(StateFailed, nil, err)
-		q.failedCt.Add(1)
+		if job.finish(StateFailed, nil, err) {
+			q.failedCt.Add(1)
+		}
 	}
+}
+
+// recordPanic appends to the bounded panic ring retained for GET /stats.
+func (q *Queue) recordPanic(jobID string, val any, stack []byte) {
+	rec := PanicRecord{
+		JobID: jobID, Value: fmt.Sprint(val), Stack: string(stack), Time: time.Now(),
+	}
+	q.mu.Lock()
+	q.panics = append(q.panics, rec)
+	if len(q.panics) > panicRingSize {
+		q.panics = q.panics[len(q.panics)-panicRingSize:]
+	}
+	q.mu.Unlock()
 }
 
 // runECO executes an eco job: the base request (the job's request minus its
 // delta) is resolved through the base-outcome cache — synthesized with
 // retained state on a miss, which also populates the ordinary result cache
 // under the base's own key — and the delta is then applied incrementally.
-func (q *Queue) runECO(job *Job) (*Result, error) {
+func (q *Queue) runECO(job *Job, ctx context.Context) (*Result, error) {
 	t0 := time.Now()
 	baseReq := *job.req
 	baseReq.Delta = nil
 	baseKey := baseReq.Key(KindSynthesize)
-	prev, baseHit, err := q.resolveBase(job, &baseReq, baseKey)
+	prev, baseHit, err := q.resolveBase(job, ctx, &baseReq, baseKey)
 	if err != nil {
 		return nil, err
 	}
@@ -766,8 +1158,9 @@ func (q *Queue) runECO(job *Job) (*Result, error) {
 	if err != nil {
 		return nil, err // unreachable for a validated request
 	}
-	out, err := core.SynthesizeECOContext(job.ctx, prev, delta, core.Options{
+	out, err := core.SynthesizeECOContext(ctx, prev, delta, core.Options{
 		Workers: q.workersFor(job.sinks), Progress: job.progress,
+		Faults: q.cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -787,7 +1180,7 @@ func (q *Queue) runECO(job *Job) (*Result, error) {
 // its entry is evicted before a waiter wakes, the waiter retries and may
 // become the new leader. With base caching disabled every job synthesizes
 // its own base — there is nowhere to share the result through.
-func (q *Queue) resolveBase(job *Job, baseReq *Request, baseKey string) (*core.Outcome, bool, error) {
+func (q *Queue) resolveBase(job *Job, ctx context.Context, baseReq *Request, baseKey string) (*core.Outcome, bool, error) {
 	for {
 		if q.bases != nil {
 			if prev, ok := q.bases.Get(baseKey); ok {
@@ -810,17 +1203,24 @@ func (q *Queue) resolveBase(job *Job, baseReq *Request, baseKey string) (*core.O
 			select {
 			case <-ch:
 				continue // leader finished: re-check the cache
-			case <-job.ctx.Done():
-				return nil, false, job.ctx.Err()
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
 			}
 		}
-		prev, err := q.synthesizeBase(job, baseReq, baseKey)
-		if ch != nil {
-			q.baseMu.Lock()
-			delete(q.baseInflight, baseKey)
-			q.baseMu.Unlock()
-			close(ch)
-		}
+		// The inflight entry MUST be cleared even if the base synthesis
+		// panics (e.g. an injected fault): a stranded entry would park every
+		// later delta against this base forever.
+		prev, err := func() (*core.Outcome, error) {
+			defer func() {
+				if ch != nil {
+					q.baseMu.Lock()
+					delete(q.baseInflight, baseKey)
+					q.baseMu.Unlock()
+					close(ch)
+				}
+			}()
+			return q.synthesizeBase(job, ctx, baseReq, baseKey)
+		}()
 		return prev, false, err
 	}
 }
@@ -829,7 +1229,7 @@ func (q *Queue) resolveBase(job *Job, baseReq *Request, baseKey string) (*core.O
 // and populates both caches: the base-outcome LRU (for later deltas) and
 // the ordinary result cache under the base's own key (a later plain
 // /synthesize of the base is a hit).
-func (q *Queue) synthesizeBase(job *Job, baseReq *Request, baseKey string) (*core.Outcome, error) {
+func (q *Queue) synthesizeBase(job *Job, ctx context.Context, baseReq *Request, baseKey string) (*core.Outcome, error) {
 	rv, err := baseReq.resolve(KindSynthesize)
 	if err != nil {
 		return nil, err
@@ -837,8 +1237,9 @@ func (q *Queue) synthesizeBase(job *Job, baseReq *Request, baseKey string) (*cor
 	opt := rv.opt
 	opt.Workers = q.workersFor(len(rv.sinks))
 	opt.Progress = job.progress
+	opt.Faults = q.cfg.Faults
 	opt.RetainECO = true
-	prev, err := core.SynthesizeContext(job.ctx, rv.root, rv.sinks, rv.tc, opt)
+	prev, err := core.SynthesizeContext(ctx, rv.root, rv.sinks, rv.tc, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -105,6 +105,18 @@ type Request struct {
 	// IncludeSinkDelays asks the response to carry the per-sink delay map
 	// (it is large; off by default). Never part of the cache identity.
 	IncludeSinkDelays bool `json:"include_sink_delays,omitempty"`
+	// TimeoutMS bounds this job's RUNNING wall-clock in milliseconds. It can
+	// only shorten the service-wide Config.JobTimeout, never extend it; 0
+	// means the service default. A deadline-exceeded job fails with HTTP
+	// 504. A scheduling knob: never part of the cache identity.
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+	// IdempotencyKey deduplicates submissions: while the key is retained,
+	// resubmitting it returns the ORIGINAL job instead of running the work
+	// again, making client retries of lost POST responses safe. Mirrors the
+	// Idempotency-Key HTTP header (the body field wins when both are set).
+	// Keys are caller-chosen opaque strings scoped to the daemon instance.
+	// A scheduling knob: never part of the cache identity.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // MoveSpec relocates one base-placement sink (JSON view of eco.Move).
@@ -231,6 +243,9 @@ func (r *Request) validate(kind string) (design string, sinks int, err error) {
 			}
 		}
 	}
+	if r.TimeoutMS < 0 {
+		return "", 0, fmt.Errorf("timeout_ms must be >= 0, got %g", r.TimeoutMS)
+	}
 	if r.Delta != nil && kind != KindECO {
 		return "", 0, fmt.Errorf("delta is only valid for eco requests")
 	}
@@ -355,9 +370,9 @@ const evalModel = "elmore"
 // that determines the result — the placement (by benchmark identity or
 // exact coordinate bits), the technology name, the evaluation model, the
 // option fields, the corner set and, for DSE, the threshold sweep.
-// Scheduling knobs (worker budgets) and response-shape knobs
-// (IncludeSinkDelays) are excluded, so requests differing only in those
-// share one cache entry.
+// Scheduling knobs (worker budgets, TimeoutMS, IdempotencyKey) and
+// response-shape knobs (IncludeSinkDelays) are excluded, so requests
+// differing only in those share one cache entry.
 func (r *Request) Key(kind string) string {
 	h := sha256.New()
 	ws := func(s string) {

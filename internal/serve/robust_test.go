@@ -1,0 +1,555 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dscts/internal/fault"
+)
+
+// mustFaults parses a chaos spec or fails the test.
+func mustFaults(t *testing.T, spec string, seed int64) *fault.Registry {
+	t.Helper()
+	reg, err := fault.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// awaitTerminal polls a job until it reaches a terminal state.
+func awaitTerminal(t *testing.T, c *Client, id string, within time.Duration) *JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		info, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State.terminal() {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, info.State, within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPanicIsolation: a panic inside a job body becomes a structured 500 on
+// that job only — the daemon keeps serving, the worker is reused, and the
+// panic is retained (value + stack) in /stats.
+func TestPanicIsolation(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxRunning: 1, MaxQueued: 4, Workers: 1,
+		Faults: mustFaults(t, "panic@serve.job:once", 1),
+	})
+	ctx := context.Background()
+
+	_, err := client.Synthesize(ctx, &Request{Design: "C1"})
+	var apiErr *apiError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("panicked sync job returned %v, want HTTP 500", err)
+	}
+	if !strings.Contains(apiErr.Msg, "panicked") {
+		t.Errorf("500 body %q does not say the job panicked", apiErr.Msg)
+	}
+
+	// The same worker serves the next request normally.
+	info, err := client.Synthesize(ctx, &Request{Design: "C1"})
+	if err != nil {
+		t.Fatalf("request after a panic failed: %v", err)
+	}
+	if info.State != StateDone || info.Result == nil {
+		t.Fatalf("request after a panic ended %s", info.State)
+	}
+	if err := client.Health(ctx); err != nil {
+		t.Errorf("daemon unhealthy after a recovered panic: %v", err)
+	}
+
+	st := s.Queue().Stats()
+	if st.Jobs.Panics != 1 || st.Jobs.Failed != 1 {
+		t.Errorf("stats: panics %d failed %d, want 1 and 1", st.Jobs.Panics, st.Jobs.Failed)
+	}
+	if len(st.LastPanics) != 1 {
+		t.Fatalf("stats retained %d panics, want 1", len(st.LastPanics))
+	}
+	rec := st.LastPanics[0]
+	if rec.Stack == "" || !strings.Contains(rec.Value, "injected panic") {
+		t.Errorf("panic record missing stack or value: %+v", rec)
+	}
+	if st.Faults["panic@serve.job"] != 1 {
+		t.Errorf("fault counters = %v, want panic@serve.job: 1", st.Faults)
+	}
+}
+
+// TestInjectedErrorIsStructured: a scripted mid-flow error fails only its own
+// job, with the injection visible in the job's error string (HTTP 200: the
+// request itself was handled fine).
+func TestInjectedErrorIsStructured(t *testing.T) {
+	_, client := newTestServer(t, Config{
+		MaxRunning: 1, MaxQueued: 4, Workers: 1,
+		Faults: mustFaults(t, "error@core.route:once", 1),
+	})
+	info, err := client.Synthesize(context.Background(), &Request{Design: "C1"})
+	if err != nil {
+		t.Fatalf("sync submit: %v", err)
+	}
+	if info.State != StateFailed {
+		t.Fatalf("job ended %s, want failed", info.State)
+	}
+	if !strings.Contains(info.Error, "injected fault") || !strings.Contains(info.Error, "core.route") {
+		t.Errorf("failure %q does not identify the injected fault", info.Error)
+	}
+}
+
+// TestJobDeadline: a job past its wall-clock deadline fails with TimedOut
+// set, sync mode maps it to 504, and the worker is immediately reusable.
+func TestJobDeadline(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxRunning: 1, MaxQueued: 4, Workers: 1,
+		// Two one-shot delays (context-honoring) stall the first two jobs
+		// past their request deadlines; the third job runs clean.
+		Faults: mustFaults(t, "delay@core.insert:nth=1:30s;delay@core.insert:nth=2:30s", 1),
+	})
+	ctx := context.Background()
+
+	info, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1", TimeoutMS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitTerminal(t, client, info.ID, 10*time.Second)
+	if final.State != StateFailed || !final.TimedOut {
+		t.Fatalf("deadline job ended %s (timed_out=%v), want failed+timed_out", final.State, final.TimedOut)
+	}
+	if !strings.Contains(final.Error, "deadline exceeded") {
+		t.Errorf("deadline failure %q does not say so", final.Error)
+	}
+
+	_, err = client.Synthesize(ctx, &Request{Design: "C1", TimeoutMS: 100})
+	var apiErr *apiError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("sync deadline job returned %v, want HTTP 504", err)
+	}
+
+	// The worker that hosted both timed-out jobs serves the next request.
+	done, err := client.Synthesize(ctx, &Request{Design: "C1"})
+	if err != nil {
+		t.Fatalf("request after timeouts: %v", err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("request after timeouts ended %s", done.State)
+	}
+	if st := s.Queue().Stats(); st.Jobs.Timeouts != 2 {
+		t.Errorf("stats timeouts = %d, want 2", st.Jobs.Timeouts)
+	}
+}
+
+// TestWatchdogReclaimsStuckWorker: a body that IGNORES cancellation (an
+// injected hang) is force-failed by the watchdog after the grace period, its
+// runner serves the next job while the stuck goroutine drains, and the gauge
+// of abandoned workers returns to zero once it does.
+func TestWatchdogReclaimsStuckWorker(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := NewServer(Config{
+		MaxRunning: 1, MaxQueued: 4, Workers: 1,
+		WatchdogGrace: 100 * time.Millisecond,
+		Faults:        mustFaults(t, "hang@serve.job:once:1500ms", 1),
+	})
+	ts := httptest.NewServer(s.Handler())
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	// The deadline rides on the request so only the hung job carries it.
+	info, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1", TimeoutMS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitTerminal(t, client, info.ID, 5*time.Second)
+	if final.State != StateFailed || !final.TimedOut {
+		t.Fatalf("hung job ended %s (timed_out=%v), want failed+timed_out", final.State, final.TimedOut)
+	}
+	if !strings.Contains(final.Error, "watchdog") {
+		t.Errorf("watchdog kill error %q does not say so", final.Error)
+	}
+
+	// The hang lasts 1.5s but the kill lands around 200ms, so right now the
+	// body is still detached from the pool.
+	st := s.Queue().Stats()
+	if st.Jobs.WatchdogKills != 1 {
+		t.Errorf("watchdog kills = %d, want 1", st.Jobs.WatchdogKills)
+	}
+	if st.Jobs.AbandonedWorkers != 1 {
+		t.Errorf("abandoned workers = %d, want 1 while the body hangs", st.Jobs.AbandonedWorkers)
+	}
+
+	// The freed runner serves the next job well before the hang drains.
+	done, err := client.Synthesize(ctx, &Request{Design: "C1"})
+	if err != nil {
+		t.Fatalf("request while a body hangs: %v", err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("request while a body hangs ended %s", done.State)
+	}
+
+	// The stuck body eventually returns and is reabsorbed.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Queue().Stats().Jobs.AbandonedWorkers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned worker never drained")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ts.Close()
+	s.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after close", before, n)
+	}
+}
+
+// TestIdempotentSubmission: resubmitting an idempotency key — sequentially or
+// from concurrent retries — returns the ORIGINAL job, and the header spelling
+// aliases the body field.
+func TestIdempotentSubmission(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxRunning: 1, MaxQueued: 8, Workers: 1,
+		// Hold the first job in flight (context-honoring, cancelled at close)
+		// so dedup is observable against a live job.
+		Faults: mustFaults(t, "delay@serve.job:every=1:30s", 1),
+	})
+	ctx := context.Background()
+
+	first, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1", IdempotencyKey: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const retries = 4
+	ids := make([]string, retries)
+	var wg sync.WaitGroup
+	for i := 0; i < retries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			info, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1", IdempotencyKey: "k1"})
+			if err == nil {
+				ids[i] = info.ID
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if id != first.ID {
+			t.Errorf("retry %d got job %q, want original %q", i, id, first.ID)
+		}
+	}
+
+	// The Idempotency-Key header is an alias for the body field.
+	body, _ := json.Marshal(&Request{Design: "C1"})
+	hreq, err := http.NewRequest(http.MethodPost, client.Base+"/synthesize?mode=async", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Idempotency-Key", "k1")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaHeader JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&viaHeader); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if viaHeader.ID != first.ID {
+		t.Errorf("header-keyed submit got job %q, want original %q", viaHeader.ID, first.ID)
+	}
+
+	// A different key is a different job.
+	other, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1", IdempotencyKey: "k2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.ID == first.ID {
+		t.Error("distinct keys shared a job")
+	}
+
+	st := s.Queue().Stats()
+	if st.Jobs.Deduped != retries+1 {
+		t.Errorf("deduped = %d, want %d", st.Jobs.Deduped, retries+1)
+	}
+	if st.Jobs.Submitted != 2 {
+		t.Errorf("submitted = %d, want 2 (k1 and k2 only)", st.Jobs.Submitted)
+	}
+}
+
+// TestCorruptedCacheRecompute: a cache entry whose checksum fails is evicted
+// and recomputed — the client gets a correct fresh result, never garbage, and
+// the corruption is counted.
+func TestCorruptedCacheRecompute(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxRunning: 1, MaxQueued: 4, Workers: 1,
+		// The second submission's cache probe hits a corrupted entry.
+		Faults: mustFaults(t, "corrupt@serve.cache:nth=2", 1),
+	})
+	ctx := context.Background()
+	req := &Request{Design: "C1"}
+
+	first, err := client.Synthesize(ctx, req)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if first.State != StateDone {
+		t.Fatalf("first run ended %s", first.State)
+	}
+
+	second, err := client.Synthesize(ctx, req)
+	if err != nil {
+		t.Fatalf("recompute after corruption: %v", err)
+	}
+	if second.State != StateDone {
+		t.Fatalf("recompute after corruption ended %s", second.State)
+	}
+	if second.CacheHit {
+		t.Error("corrupted entry was served as a cache hit")
+	}
+	if second.Result.Metrics.Skew != first.Result.Metrics.Skew ||
+		second.Result.Metrics.Latency != first.Result.Metrics.Latency {
+		t.Error("recomputed result differs from the original")
+	}
+
+	// The recompute restored a good entry: the third identical request hits.
+	third, err := client.Synthesize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.CacheHit {
+		t.Error("cache entry not restored after recompute")
+	}
+
+	st := s.Queue().Stats()
+	if st.Cache.Corruptions != 1 {
+		t.Errorf("corruptions = %d, want 1", st.Cache.Corruptions)
+	}
+}
+
+// TestClientRetryBackoff: the client retries keyed submissions through
+// transient 429s (honoring Retry-After) and never retries an unkeyed POST.
+func TestClientRetryBackoff(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	fail := 2
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= fail {
+			w.Header().Set("Retry-After", "0")
+			writeErr(w, http.StatusTooManyRequests, ErrQueueFull)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, JobInfo{ID: "job-000001", State: StateQueued})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	client := &Client{Base: ts.URL, RetryBackoff: time.Millisecond}
+	ctx := context.Background()
+
+	info, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1", IdempotencyKey: "k"})
+	if err != nil {
+		t.Fatalf("keyed submit did not survive transient 429s: %v", err)
+	}
+	if info.ID != "job-000001" {
+		t.Fatalf("got job %q", info.ID)
+	}
+	mu.Lock()
+	got := attempts
+	mu.Unlock()
+	if got != fail+1 {
+		t.Errorf("keyed submit took %d attempts, want %d", got, fail+1)
+	}
+
+	mu.Lock()
+	attempts = 0
+	mu.Unlock()
+	_, err = client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1"})
+	var apiErr *apiError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("unkeyed submit returned %v, want immediate 429", err)
+	}
+	mu.Lock()
+	got = attempts
+	mu.Unlock()
+	if got != 1 {
+		t.Errorf("unkeyed POST was retried: %d attempts", got)
+	}
+}
+
+// TestRetryDelay unit-tests the retry classifier and backoff math.
+func TestRetryDelay(t *testing.T) {
+	base := time.Millisecond
+
+	// 429 with a Retry-After hint: retriable, and the hint floors the wait.
+	wait, ok := retryDelay(&apiError{Status: 429, RetryAfter: 2 * time.Second}, 0, base)
+	if !ok || wait < 2*time.Second {
+		t.Errorf("429 with hint: wait %v retriable %v, want >= 2s", wait, ok)
+	}
+	if _, ok := retryDelay(&apiError{Status: 503}, 0, base); !ok {
+		t.Error("503 not retriable")
+	}
+	if _, ok := retryDelay(&apiError{Status: 400}, 0, base); ok {
+		t.Error("400 retriable")
+	}
+	if _, ok := retryDelay(&apiError{Status: 504}, 0, base); ok {
+		t.Error("504 retriable (the job ran and timed out; repeating it is not transient recovery)")
+	}
+
+	// Transport errors are retriable unless the caller's context caused them.
+	if _, ok := retryDelay(&url.Error{Op: "Post", URL: "x", Err: io.EOF}, 0, base); !ok {
+		t.Error("connection error not retriable")
+	}
+	if _, ok := retryDelay(&url.Error{Op: "Post", URL: "x", Err: context.Canceled}, 0, base); ok {
+		t.Error("context cancellation retried")
+	}
+	if _, ok := retryDelay(errors.New("other"), 0, base); ok {
+		t.Error("arbitrary error retried")
+	}
+
+	// Exponential growth with jitter, capped.
+	w0, _ := retryDelay(&apiError{Status: 503}, 0, 100*time.Millisecond)
+	if w0 < 50*time.Millisecond || w0 > 150*time.Millisecond {
+		t.Errorf("attempt 0 backoff %v outside 100ms±50%%", w0)
+	}
+	w20, _ := retryDelay(&apiError{Status: 503}, 20, 100*time.Millisecond)
+	if w20 > maxRetryBackoff*3/2 {
+		t.Errorf("attempt 20 backoff %v exceeds cap (with jitter) %v", w20, maxRetryBackoff*3/2)
+	}
+}
+
+// TestEffectiveTimeout: the request can shorten the service deadline, never
+// extend it.
+func TestEffectiveTimeout(t *testing.T) {
+	cases := []struct {
+		svc   time.Duration
+		reqMS float64
+		want  time.Duration
+	}{
+		{0, 0, 0},
+		{0, 250, 250 * time.Millisecond},
+		{time.Second, 0, time.Second},
+		{time.Second, 250, 250 * time.Millisecond},
+		{time.Second, 5000, time.Second}, // cannot extend
+	}
+	for _, c := range cases {
+		if got := effectiveTimeout(c.svc, c.reqMS); got != c.want {
+			t.Errorf("effectiveTimeout(%v, %g) = %v, want %v", c.svc, c.reqMS, got, c.want)
+		}
+	}
+}
+
+// TestReadyz: ready → 200; saturated queue → 503 with Retry-After; draining
+// → 503 with Retry-After.
+func TestReadyz(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxRunning: 1, MaxQueued: 1, Workers: 1,
+		// Hold jobs in flight so the queue can saturate.
+		Faults: mustFaults(t, "delay@serve.job:every=1:30s", 1),
+	})
+	ctx := context.Background()
+
+	if err := client.Ready(ctx); err != nil {
+		t.Fatalf("idle server not ready: %v", err)
+	}
+
+	// Occupy the single runner, then fill the single queue slot.
+	running, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info, err := client.Job(ctx, running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (state %s)", info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	err = client.Ready(ctx)
+	var apiErr *apiError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server readyz = %v, want 503", err)
+	}
+	if apiErr.RetryAfter < time.Second {
+		t.Errorf("saturated readyz Retry-After = %v, want >= 1s", apiErr.RetryAfter)
+	}
+
+	resp, err := http.Get(client.Base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if status.Status != "saturated" {
+		t.Errorf("readyz status %q, want saturated", status.Status)
+	}
+
+	s.Drain()
+	err = client.Ready(ctx)
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining server readyz = %v, want 503", err)
+	}
+	resp, err = http.Get(client.Base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if status.Status != "draining" {
+		t.Errorf("readyz status %q, want draining", status.Status)
+	}
+}
+
+// TestSchedulingKnobsOutsideKey: timeout_ms, idempotency_key and
+// include_sink_delays never change the cache identity.
+func TestSchedulingKnobsOutsideKey(t *testing.T) {
+	plain := (&Request{Design: "C1"}).Key(KindSynthesize)
+	knobbed := (&Request{
+		Design: "C1", TimeoutMS: 5000, IdempotencyKey: "k", IncludeSinkDelays: true,
+	}).Key(KindSynthesize)
+	if plain != knobbed {
+		t.Error("scheduling knobs changed the request key")
+	}
+	if other := (&Request{Design: "C1", Options: OptionsSpec{SkipRefine: true}}).Key(KindSynthesize); other == plain {
+		t.Error("a result-affecting option did not change the request key")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"dscts/internal/bench"
 	"dscts/internal/core"
 	"dscts/internal/dse"
+	"dscts/internal/fault"
 	"dscts/internal/tech"
 )
 
@@ -163,7 +164,15 @@ func TestCacheHitOnRepeat(t *testing.T) {
 func TestCancelInFlight(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	s := NewServer(Config{MaxRunning: 1, MaxQueued: 4, Workers: 1})
+	// A deterministic context-honoring delay at the insert boundary holds
+	// the job in flight long enough to be cancelled on any machine (the
+	// bare C2 synthesis can finish in tens of milliseconds, losing the
+	// race); cancellation interrupts the delay immediately.
+	reg, err := fault.Parse("delay@core.insert:every=1:30s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{MaxRunning: 1, MaxQueued: 4, Workers: 1, Faults: reg})
 	ts := httptest.NewServer(s.Handler())
 	client := NewClient(ts.URL)
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 )
 
 // Server is the HTTP face of the job queue.
@@ -15,6 +17,7 @@ import (
 //	GET  /jobs/{id}         job snapshot (with result when done)
 //	POST /jobs/{id}/cancel  stop a queued or running job
 //	GET  /healthz           liveness
+//	GET  /readyz            readiness (503 while draining or saturated)
 //	GET  /stats             queue + cache counters
 //
 // POST endpoints take ?mode=sync (default), async or stream. Sync waits for
@@ -27,6 +30,9 @@ import (
 type Server struct {
 	queue *Queue
 	mux   *http.ServeMux
+	// draining flips /readyz to 503 ahead of shutdown so load balancers
+	// stop routing here before in-flight jobs are cancelled.
+	draining atomic.Bool
 }
 
 // NewServer builds a Server with its own queue.
@@ -44,6 +50,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}", s.job)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	s.mux.HandleFunc("GET /stats", s.stats)
 	return s
 }
@@ -54,8 +61,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Queue exposes the underlying queue (stats, direct submission).
 func (s *Server) Queue() *Queue { return s.queue }
 
-// Close stops the queue; see Queue.Close.
-func (s *Server) Close() { s.queue.Close() }
+// Drain marks the server not-ready (/readyz → 503) without stopping it:
+// call it before the HTTP server's graceful shutdown so load balancers
+// divert traffic while in-flight jobs finish.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Close stops the queue (draining first); see Queue.Close.
+func (s *Server) Close() {
+	s.Drain()
+	s.queue.Close()
+}
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	var req Request
@@ -68,6 +83,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	mode := r.URL.Query().Get("mode")
 	if mode == "" {
 		mode = "sync"
+	}
+	// The Idempotency-Key header is an alias for the request field; the
+	// body field wins when both are set.
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.Header.Get("Idempotency-Key")
 	}
 	job, err := s.queue.Submit(&req, kind)
 	if err != nil {
@@ -82,10 +102,12 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 				"max_sinks":       sz.MaxSinks,
 			})
 		case errors.Is(err, ErrQueueFull):
+			s.setRetryAfter(w)
 			writeErr(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrBadRequest):
 			writeErr(w, http.StatusBadRequest, err)
 		case errors.Is(err, ErrClosed):
+			s.setRetryAfter(w)
 			writeErr(w, http.StatusServiceUnavailable, err)
 		default:
 			writeErr(w, http.StatusInternalServerError, err)
@@ -102,7 +124,8 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 		// burning workers.
 		select {
 		case <-job.Done():
-			writeJSON(w, http.StatusOK, job.Info())
+			info := job.Info()
+			writeJSON(w, terminalStatus(info), info)
 		case <-r.Context().Done():
 			job.Cancel()
 			<-job.Done()
@@ -111,6 +134,28 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want sync, async or stream)", mode))
 	}
+}
+
+// terminalStatus maps a finished job to the sync-mode HTTP status: 504 for
+// deadline-exceeded, 500 for a recovered panic, 200 otherwise (including
+// plain failures, whose structured error rides in the body — the request
+// itself was handled fine).
+func terminalStatus(info JobInfo) int {
+	if info.State == StateFailed {
+		switch {
+		case info.TimedOut:
+			return http.StatusGatewayTimeout
+		case info.Panicked:
+			return http.StatusInternalServerError
+		}
+	}
+	return http.StatusOK
+}
+
+// setRetryAfter stamps the backlog-scaled retry hint on 429/503 responses.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int(s.queue.RetryAfter().Seconds())
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // stream writes the job's event log as NDJSON until the terminal event.
@@ -158,6 +203,23 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyz is the load-balancer readiness gate, distinct from the /healthz
+// liveness probe: the daemon is alive but should receive no new traffic
+// while draining toward shutdown or while the queue is saturated (the next
+// submission would be rejected with 429 anyway).
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.queue.Saturated():
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
