@@ -11,6 +11,7 @@
 #   make report      - regenerate BENCH_parallel.json
 #   make load        - regenerate BENCH_serve.json (service load test)
 #   make chaos       - 30s seeded fault-injection soak under -race + report gate (BENCH_chaos.json)
+#   make metrics     - short load run + observability gate: /metrics scrape must match /stats
 #   make corners     - regenerate BENCH_corners.json (multi-corner sign-off scaling)
 #   make scale       - regenerate BENCH_scale.json (mono vs partition-parallel XL scaling)
 #   make eco         - regenerate BENCH_eco.json (full vs incremental re-synthesis)
@@ -25,7 +26,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load chaos corners scale eco
+.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load chaos metrics corners scale eco
 
 all: ci
 
@@ -86,6 +87,15 @@ load:
 chaos:
 	$(GO) run -race ./cmd/benchgen -load -chaos default -duration 30s
 	$(GO) run ./cmd/cismoke chaos BENCH_chaos.json
+	$(GO) run ./cmd/cismoke metrics BENCH_chaos.json
+
+# The observability consistency gate: replay a short load against an
+# in-process daemon, then require the /metrics scrape embedded in the
+# report to agree with its /stats snapshot counter-for-counter (they read
+# the same atomics, so any drift is an exporter-wiring regression).
+metrics:
+	$(GO) run ./cmd/benchgen -load -load-jobs 40 -load-conc 8 -load-out /tmp/BENCH_serve_metrics.json
+	$(GO) run ./cmd/cismoke metrics /tmp/BENCH_serve_metrics.json
 
 corners:
 	$(GO) run ./cmd/benchgen -corners-out BENCH_corners.json

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dscts/internal/fault"
+	"dscts/internal/obs"
 	"dscts/internal/serve"
 )
 
@@ -87,7 +88,10 @@ type chaosReport struct {
 	LeakedGoroutines int `json:"leaked_goroutines"`
 
 	Stats serve.Stats `json:"server_stats"`
-	Notes []string    `json:"notes"`
+	// Metrics is a GET /metrics scrape taken at the same quiescent moment
+	// as Stats; `cismoke metrics` asserts the two agree sample-for-sample.
+	Metrics *metricsSection `json:"metrics,omitempty"`
+	Notes   []string        `json:"notes"`
 }
 
 // runChaos soaks an in-process dsctsd under a seeded fault schedule for the
@@ -116,6 +120,7 @@ func runChaos(path, spec string, seed int64, duration time.Duration, conc int) e
 		JobTimeout:    5 * time.Second,
 		WatchdogGrace: 300 * time.Millisecond,
 		Faults:        reg,
+		Metrics:       obs.NewRegistry(),
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -179,6 +184,12 @@ func runChaos(path, spec string, seed int64, duration time.Duration, conc int) e
 	if err := client.Health(context.Background()); err != nil {
 		return fmt.Errorf("chaos: daemon unhealthy after the soak: %w", err)
 	}
+	// Scrape at the same quiescent point as Stats: the clients have joined
+	// and the daemon is still up, so the two snapshots must agree.
+	metrics, err := scrapeMetrics(base)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
 	hs.Close()
 	srv.Close()
 
@@ -213,6 +224,7 @@ func runChaos(path, spec string, seed int64, duration time.Duration, conc int) e
 		InjectedFaults:   injected,
 		LeakedGoroutines: leaked,
 		Stats:            *st,
+		Metrics:          metrics,
 		Notes: []string{
 			"seeded chaos soak against an in-process dsctsd: keyed sync requests with client retries, while the fault registry injects panics, errors, delays, hangs, cancels and cache corruption",
 			"asserts: daemon alive, zero unstructured failures, zero leaked goroutines, zero abandoned workers after drain, injections actually fired, error rate bounded",

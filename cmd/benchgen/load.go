@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"dscts/internal/obs"
 	"dscts/internal/serve"
 )
 
@@ -45,7 +46,11 @@ type loadReport struct {
 	WarmMS     latencyStats `json:"latency_cache_hit"`
 
 	Stats serve.Stats `json:"server_stats"`
-	Notes []string    `json:"notes"`
+	// MetricsBefore and Metrics are GET /metrics scrapes bracketing the run;
+	// `cismoke metrics` cross-checks the after-run samples against Stats.
+	MetricsBefore *metricsSection `json:"metrics_before,omitempty"`
+	Metrics       *metricsSection `json:"metrics,omitempty"`
+	Notes         []string        `json:"notes"`
 }
 
 func percentiles(ms []float64) latencyStats {
@@ -85,6 +90,7 @@ func runLoad(path string, jobs, conc, distinct int) error {
 	srv := serve.NewServer(serve.Config{
 		MaxRunning: maxRunning,
 		MaxQueued:  jobs + conc, // admission never the bottleneck here
+		Metrics:    obs.NewRegistry(),
 	})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -94,7 +100,12 @@ func runLoad(path string, jobs, conc, distinct int) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	defer hs.Close()
-	client := serve.NewClient("http://" + ln.Addr().String())
+	base := "http://" + ln.Addr().String()
+	client := serve.NewClient(base)
+	metricsBefore, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
 
 	// The distinct request pool: the five Table II designs crossed with
 	// option variants that change the result identity.
@@ -156,6 +167,12 @@ func runLoad(path string, jobs, conc, distinct int) error {
 	if err != nil {
 		return err
 	}
+	// Scrape while the daemon is quiescent (all clients joined) so the
+	// sample map and the Stats snapshot describe the same moment.
+	metricsAfter, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
 
 	var all, cold, warm []float64
 	for _, s := range samples {
@@ -170,12 +187,14 @@ func runLoad(path string, jobs, conc, distinct int) error {
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Jobs: jobs, Distinct: distinct, Concurrency: conc, MaxRunning: maxRunning,
-		WallMS:     float64(wall) / float64(time.Millisecond),
-		Throughput: float64(jobs) / wall.Seconds(),
-		Latency:    percentiles(all),
-		ColdMS:     percentiles(cold),
-		WarmMS:     percentiles(warm),
-		Stats:      *st,
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		Throughput:    float64(jobs) / wall.Seconds(),
+		Latency:       percentiles(all),
+		ColdMS:        percentiles(cold),
+		WarmMS:        percentiles(warm),
+		Stats:         *st,
+		MetricsBefore: metricsBefore,
+		Metrics:       metricsAfter,
 		Notes: []string{
 			"end-to-end HTTP sync requests against an in-process dsctsd over loopback; latency includes queueing, JSON and the synthesis itself",
 			"requests are drawn round-robin from the distinct pool, so repeats past the first pass are content-addressed cache hits (identical requests in flight concurrently may both miss)",

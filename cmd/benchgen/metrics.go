@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+
+	"dscts/internal/obs"
+)
+
+// metricsSection embeds a GET /metrics scrape in a benchmark report:
+// the family inventory plus the raw sample map, so `cismoke metrics` can
+// cross-check the exported counters against the server_stats section
+// without re-running the load.
+type metricsSection struct {
+	// Families is the number of distinct metric families exported.
+	Families int `json:"families"`
+	// FamilyNames is the sorted family inventory (histogram suffixes
+	// collapsed).
+	FamilyNames []string `json:"family_names"`
+	// Samples maps full sample names (labels included, as rendered) to
+	// values.
+	Samples map[string]float64 `json:"samples"`
+}
+
+// scrapeMetrics fetches and parses base/metrics.
+func scrapeMetrics(base string) (*metricsSection, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape /metrics: HTTP %d", resp.StatusCode)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	fams := obs.FamilyNames(samples)
+	return &metricsSection{Families: len(fams), FamilyNames: fams, Samples: samples}, nil
+}

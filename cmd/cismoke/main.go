@@ -11,6 +11,8 @@
 //	dscts -xl 500000 -partition 50000 -json | cismoke xl -sinks 500000
 //	cismoke eco -design C3 -pct 1 -min-speedup 5 BENCH_eco.json
 //	cismoke chaos BENCH_chaos.json
+//	cismoke metrics BENCH_serve.json
+//	cismoke metrics -min-families 25 BENCH_chaos.json
 package main
 
 import (
@@ -43,6 +45,8 @@ func main() {
 		err = cmdECO(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	default:
 		usage()
 	}
@@ -53,7 +57,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cismoke {synth|corners|partition|scale|xl|eco|chaos} [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: cismoke {synth|corners|partition|scale|xl|eco|chaos|metrics} [flags] [file]")
 	os.Exit(2)
 }
 

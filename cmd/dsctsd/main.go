@@ -4,6 +4,7 @@
 //
 //	dsctsd [-addr :8577] [-max-running 4] [-max-queued 64] [-workers 0] [-cache 128]
 //	       [-job-timeout 0] [-watchdog-grace 2s] [-idem-entries 512]
+//	       [-metrics] [-debug-addr ""] [-log-level info] [-log-format text]
 //	       [-fault-spec ""] [-fault-seed 1]
 //
 // API (see internal/serve):
@@ -16,6 +17,15 @@
 //	GET  /healthz                             liveness
 //	GET  /readyz                              readiness (503 while draining or saturated)
 //	GET  /stats                               queue + cache counters
+//	GET  /version                             build identity (module version, VCS revision)
+//	GET  /metrics                             Prometheus text exposition (unless -metrics=false)
+//
+// Observability: -metrics (on by default) serves the Prometheus registry at
+// GET /metrics — every counter it exports reads the same atomics as /stats.
+// -debug-addr mounts net/http/pprof on a SEPARATE listener (keep it off the
+// service port and firewalled; profiles expose internals). Logs are
+// structured (log/slog): -log-level trims severity, -log-format=json emits
+// one JSON object per line for log pipelines.
 //
 // On SIGTERM/SIGINT the daemon drains first — /readyz flips to 503 so load
 // balancers divert traffic — then shuts the listener down gracefully and
@@ -29,6 +39,7 @@
 //
 //	curl -s localhost:8577/synthesize -d '{"design":"C3"}'
 //	curl -s localhost:8577/dse -d '{"design":"C4","thresholds":[50,200,800]}'
+//	curl -s localhost:8577/metrics | grep dscts_jobs_total
 package main
 
 import (
@@ -36,14 +47,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dscts/internal/fault"
+	"dscts/internal/obs"
 	"dscts/internal/serve"
 )
 
@@ -58,31 +72,54 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job running wall-clock deadline (0 = none; requests can shorten it via timeout_ms)")
 		wdGrace    = flag.Duration("watchdog-grace", 0, "how long a cancelled/expired job may keep running before its worker is force-reclaimed (0 = default 2s)")
 		idemSize   = flag.Int("idem-entries", 0, "idempotency keys retained for deduplicating retried submissions (0 = default 512, negative disables)")
+		metricsOn  = flag.Bool("metrics", true, "serve the Prometheus registry at GET /metrics")
+		debugAddr  = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = disabled; never expose publicly)")
+		logLevel   = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		faultSpec  = flag.String("fault-spec", "", "fault-injection schedule for chaos testing, e.g. \"panic@serve.job:0.01\" (empty = disabled; see internal/fault)")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for -fault-spec (same spec + seed replays the same schedule)")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsctsd:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+
 	var reg *fault.Registry
 	if *faultSpec != "" {
-		var err error
 		if reg, err = fault.Parse(*faultSpec, *faultSeed); err != nil {
-			fmt.Fprintln(os.Stderr, "dsctsd:", err)
+			logger.Error("bad -fault-spec", "error", err)
 			os.Exit(1)
 		}
-		log.Printf("dsctsd: FAULT INJECTION ARMED (seed %d): %s", *faultSeed, reg)
+		logger.Warn("FAULT INJECTION ARMED — never run this configuration in production",
+			"spec", reg.String(), "seed", *faultSeed)
+	}
+	var metrics *obs.Registry
+	if *metricsOn {
+		metrics = obs.NewRegistry()
 	}
 	srv := serve.NewServer(serve.Config{
 		MaxRunning: *maxRunning, MaxQueued: *maxQueued,
 		Workers: *workers, CacheEntries: *cacheSize, RetainJobs: *retain,
 		JobTimeout: *jobTimeout, WatchdogGrace: *wdGrace,
 		IdempotencyEntries: *idemSize, Faults: reg,
+		Metrics: metrics, Logger: logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dsctsd: listening on %s (max-running %d, max-queued %d)", *addr, *maxRunning, *maxQueued)
+		build := obs.Build()
+		logger.Info("listening",
+			"addr", *addr, "max_running", *maxRunning, "max_queued", *maxQueued,
+			"metrics", *metricsOn, "version", build.Version, "revision", build.Revision)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -91,20 +128,64 @@ func main() {
 	select {
 	case err := <-errc:
 		srv.Close()
-		fmt.Fprintln(os.Stderr, "dsctsd:", err)
+		logger.Error("listener failed", "error", err)
 		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("dsctsd: %v, draining and shutting down", sig)
+		logger.Info("draining and shutting down", "signal", sig.String())
 		// Flip /readyz to 503 before closing the listener so load
 		// balancers stop routing here while in-flight work finishes.
 		srv.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintln(os.Stderr, "dsctsd: shutdown:", err)
+			logger.Error("shutdown failed", "error", err)
 			srv.Close()
 			os.Exit(1)
 		}
 		srv.Close() // cancels in-flight jobs, joins runners
+	}
+}
+
+// buildLogger assembles the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// serveDebug mounts net/http/pprof on its own listener: profiling must
+// never ride the service port (it bypasses the API surface and leaks
+// internals), so the handlers are registered on a private mux bound to
+// -debug-addr only.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof debug listener up", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug listener failed", "error", err)
 	}
 }

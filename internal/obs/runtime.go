@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memCache caches one runtime.ReadMemStats snapshot per scrape window:
+// ReadMemStats stops the world briefly, and a scrape reads several heap
+// families, so all of them share a snapshot no older than memCacheTTL.
+type memCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+const memCacheTTL = time.Second
+
+func (m *memCache) get() *runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > memCacheTTL {
+		runtime.ReadMemStats(&m.stat)
+		m.at = time.Now()
+	}
+	return &m.stat
+}
+
+// RegisterRuntime adds the Go runtime families (goroutines, GOMAXPROCS,
+// heap sizes and object count, GC cycle count and cumulative pause time)
+// to the registry. Values are read at scrape time; heap families share one
+// cached MemStats snapshot per second. Nil-safe.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	mc := &memCache{}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_gomaxprocs", "GOMAXPROCS: the scheduler's processor limit.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(mc.get().HeapAlloc) })
+	r.GaugeFunc("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.",
+		func() float64 { return float64(mc.get().HeapSys) })
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(mc.get().HeapObjects) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles since process start.",
+		func() float64 { return float64(mc.get().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(mc.get().PauseTotalNs) / 1e9 })
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the module version, the VCS
+// revision it was built from, and the Go toolchain. Fields that the build
+// did not stamp (e.g. a test binary, or a build outside a git checkout)
+// are "unknown".
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, with a "-dirty" suffix when the
+	// working tree was modified.
+	Revision string `json:"revision"`
+	// BuildTime is the VCS commit timestamp (RFC 3339), when stamped.
+	BuildTime string `json:"build_time,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity, read once from
+// runtime/debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", Revision: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.BuildTime = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if dirty && buildInfo.Revision != "unknown" {
+			buildInfo.Revision += "-dirty"
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo adds the constant build-identity family (value 1,
+// identity in the labels — the Prometheus *_info convention). Nil-safe.
+func RegisterBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	b := Build()
+	r.GaugeFunc("dscts_build_info",
+		"Build identity of the running dsctsd (constant 1; identity in the labels).",
+		func() float64 { return 1 },
+		L("version", b.Version), L("revision", b.Revision), L("go_version", b.GoVersion))
+}

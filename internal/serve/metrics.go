@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"dscts/internal/obs"
+	"dscts/internal/par"
+)
+
+// metrics is the queue's instrument set. Counters and gauges that mirror
+// GET /stats are registered as CounterFunc/GaugeFunc closures over the SAME
+// atomics the stats snapshot reads, so /metrics and /stats can never drift:
+// there is one source of truth and two renderings. Owned instruments exist
+// only for distributions /stats does not carry (latency histograms) and for
+// HTTP-layer counts. A nil *metrics (registry disabled) is a no-op
+// everywhere it is consulted.
+type metrics struct {
+	reg *obs.Registry
+
+	// jobDur is the end-to-end job latency (admission to terminal state) of
+	// DONE jobs, split by cache hit/miss; its total count equals the done
+	// counter, which cismoke cross-checks.
+	jobDurHit  *obs.Histogram
+	jobDurMiss *obs.Histogram
+	// queueWait is time from admission to the runner picking the job up
+	// (executed jobs only — cache hits never wait).
+	queueWait *obs.Histogram
+	// regions accumulates partition regions synthesized; per-phase duration
+	// histograms are created lazily through HistogramOf as phases first
+	// complete.
+	regions *obs.Counter
+}
+
+// newMetrics registers the queue's families. reg may be nil (disabled).
+func newMetrics(reg *obs.Registry, q *Queue) *metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &metrics{reg: reg}
+
+	reg.CounterFunc("dscts_jobs_submitted_total",
+		"Jobs past validation and size control (admitted, cache hits included).",
+		func() float64 { return float64(q.submitted.Load()) })
+	reg.CounterFunc("dscts_jobs_rejected_total",
+		"Submissions rejected by admission control: the queue was full.",
+		func() float64 { return float64(q.rejectedFull.Load()) },
+		obs.L("reason", "queue_full"))
+	reg.CounterFunc("dscts_jobs_rejected_total",
+		"Submissions rejected by admission control: over the sink budget.",
+		func() float64 { return float64(q.rejectedLarge.Load()) },
+		obs.L("reason", "too_large"))
+	reg.CounterFunc("dscts_jobs_rejected_total",
+		"Submissions rejected by admission control: the queue was closed.",
+		func() float64 { return float64(q.rejectedClosed.Load()) },
+		obs.L("reason", "closed"))
+	reg.CounterFunc("dscts_jobs_total", "Jobs finished done.",
+		func() float64 { return float64(q.doneCt.Load()) }, obs.L("state", "done"))
+	reg.CounterFunc("dscts_jobs_total", "Jobs finished failed.",
+		func() float64 { return float64(q.failedCt.Load()) }, obs.L("state", "failed"))
+	reg.CounterFunc("dscts_jobs_total", "Jobs finished cancelled.",
+		func() float64 { return float64(q.cancelCt.Load()) }, obs.L("state", "cancelled"))
+	reg.CounterFunc("dscts_jobs_panics_total",
+		"Job bodies that panicked and were recovered (each also counts as failed).",
+		func() float64 { return float64(q.panicCt.Load()) })
+	reg.CounterFunc("dscts_jobs_timeouts_total",
+		"Job failures caused by the per-job running deadline.",
+		func() float64 { return float64(q.timeoutCt.Load()) })
+	reg.CounterFunc("dscts_jobs_watchdog_kills_total",
+		"Jobs force-finished by the watchdog after ignoring cancellation past the grace period.",
+		func() float64 { return float64(q.watchdogCt.Load()) })
+	reg.CounterFunc("dscts_idempotent_replays_total",
+		"Submissions answered by an earlier job through their idempotency key.",
+		func() float64 { return float64(q.dedupCt.Load()) })
+	reg.GaugeFunc("dscts_jobs_abandoned_workers",
+		"Stuck job bodies currently detached from the runner pool.",
+		func() float64 { return float64(q.abandonCt.Load()) })
+	reg.GaugeFunc("dscts_jobs_queue_depth",
+		"Jobs admitted and waiting for a runner.",
+		func() float64 { return float64(len(q.pending)) })
+	reg.GaugeFunc("dscts_jobs_queue_capacity",
+		"Pending-queue bound past which submissions are rejected with 429.",
+		func() float64 { return float64(cap(q.pending)) })
+	reg.GaugeFunc("dscts_jobs_running",
+		"Jobs currently executing on a runner.",
+		func() float64 { return float64(q.countState(StateRunning)) })
+	reg.GaugeFunc("dscts_worker_budget",
+		"Total synthesis worker budget shared by the running jobs.",
+		func() float64 { return float64(par.N(q.cfg.Workers)) })
+
+	// Result cache: same CacheStats the /stats payload snapshots.
+	reg.CounterFunc("dscts_cache_hits_total", "Result-cache lookups answered from the cache.",
+		func() float64 { return float64(q.cache.Stats().Hits) })
+	reg.CounterFunc("dscts_cache_misses_total",
+		"Result-cache lookups that missed (checksum corruptions included).",
+		func() float64 { return float64(q.cache.Stats().Misses) })
+	reg.CounterFunc("dscts_cache_evictions_total", "Result-cache entries evicted by the LRU cap.",
+		func() float64 { return float64(q.cache.Stats().Evictions) })
+	reg.CounterFunc("dscts_cache_corruptions_total",
+		"Result-cache entries dropped by the integrity check (counted in misses too).",
+		func() float64 { return float64(q.cache.Stats().Corruptions) })
+	reg.GaugeFunc("dscts_cache_entries", "Result-cache entries currently resident.",
+		func() float64 { return float64(q.cache.Stats().Entries) })
+	reg.CounterFunc("dscts_eco_base_hits_total", "ECO base-outcome cache hits.",
+		func() float64 { return float64(q.baseStats().Hits) })
+	reg.CounterFunc("dscts_eco_base_misses_total",
+		"ECO base-outcome cache misses (the base was re-synthesized).",
+		func() float64 { return float64(q.baseStats().Misses) })
+	reg.GaugeFunc("dscts_eco_base_entries", "ECO base outcomes currently retained.",
+		func() float64 { return float64(q.baseStats().Entries) })
+
+	reg.CounterFunc("dscts_faults_injected_total",
+		"Fired fault injections across all points (chaos/test builds; 0 in production).",
+		func() float64 {
+			var n int64
+			for _, v := range q.cfg.Faults.Counts() {
+				n += v
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("dscts_uptime_seconds", "Seconds since the queue started.",
+		func() float64 { return time.Since(q.start).Seconds() })
+
+	m.jobDurHit = reg.Histogram("dscts_job_duration_seconds",
+		"End-to-end latency of done jobs, admission to terminal state.",
+		nil, obs.L("cache", "hit"))
+	m.jobDurMiss = reg.Histogram("dscts_job_duration_seconds",
+		"End-to-end latency of done jobs, admission to terminal state.",
+		nil, obs.L("cache", "miss"))
+	m.queueWait = reg.Histogram("dscts_job_queue_wait_seconds",
+		"Time executed jobs spent waiting for a runner.", nil)
+	m.regions = reg.Counter("dscts_regions_total",
+		"Partition regions synthesized by partition-parallel jobs.")
+
+	obs.RegisterRuntime(reg)
+	obs.RegisterBuildInfo(reg)
+	return m
+}
+
+// observeRetired feeds the latency and per-phase histograms from a job that
+// just reached the retention ring (every job passes through exactly once,
+// already terminal). Nil-safe.
+func (m *metrics) observeRetired(j *Job) {
+	if m == nil {
+		return
+	}
+	j.mu.Lock()
+	state, hit := j.state, j.cacheHit
+	created, started, finished := j.created, j.started, j.finished
+	j.mu.Unlock()
+	if state == StateDone && !finished.IsZero() {
+		h := m.jobDurMiss
+		if hit {
+			h = m.jobDurHit
+		}
+		h.Observe(finished.Sub(created).Seconds())
+	}
+	if !started.IsZero() {
+		m.queueWait.Observe(started.Sub(created).Seconds())
+	}
+	for _, pt := range j.trace.Totals() {
+		if pt.Count > 0 {
+			m.reg.HistogramOf("dscts_phase_duration_seconds",
+				"Flow phase durations across jobs, engine-measured.",
+				nil, obs.L("phase", pt.Phase)).Observe(pt.MS / 1e3)
+		}
+		if pt.Phase == "partition" && pt.Points > 0 {
+			m.regions.Add(int64(pt.Points))
+		}
+	}
+}
+
+// countState counts jobs currently in the given state (scrape-time only;
+// holds the queue and per-job locks briefly).
+func (q *Queue) countState(s JobState) int {
+	n := 0
+	q.mu.Lock()
+	for _, j := range q.jobs {
+		j.mu.Lock()
+		if j.state == s {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	q.mu.Unlock()
+	return n
+}
+
+// baseStats snapshots the ECO base cache, empty when base caching is off.
+func (q *Queue) baseStats() CacheStats {
+	if q.bases == nil {
+		return CacheStats{}
+	}
+	return q.bases.Stats()
+}
+
+// httpMetrics instruments the HTTP layer: request counts by status code, a
+// latency histogram, and readiness-probe outcomes. Nil when the registry is
+// disabled.
+type httpMetrics struct {
+	reg    *obs.Registry
+	reqDur *obs.Histogram
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &httpMetrics{
+		reg: reg,
+		reqDur: reg.Histogram("dscts_http_request_duration_seconds",
+			"HTTP request handling latency (sync submissions include the job run).", nil),
+	}
+}
+
+func (h *httpMetrics) observe(code int, dur time.Duration) {
+	if h == nil {
+		return
+	}
+	h.reg.CounterOf("dscts_http_requests_total", "HTTP requests served, by status code.",
+		obs.L("code", strconv.Itoa(code))).Inc()
+	h.reqDur.Observe(dur.Seconds())
+}
+
+func (h *httpMetrics) readyz(state string) {
+	if h == nil {
+		return
+	}
+	h.reg.CounterOf("dscts_readyz_checks_total",
+		"Readiness probes answered, by reported state.", obs.L("state", state)).Inc()
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush keeps NDJSON streaming working through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

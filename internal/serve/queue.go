@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"dscts/internal/dse"
 	"dscts/internal/eval"
 	"dscts/internal/fault"
+	"dscts/internal/obs"
 	"dscts/internal/par"
 )
 
@@ -120,6 +122,14 @@ type Result struct {
 	CornersMS float64 `json:"corners_ms,omitempty"`
 	ECOMS     float64 `json:"eco_ms,omitempty"`
 	TotalMS   float64 `json:"total_ms"`
+
+	// Phases is the traced per-phase breakdown of the run that produced the
+	// result (span counts, point counts, summed durations), in completion
+	// order. Like the *_ms fields, a cache hit reports the original run's.
+	Phases []obs.PhaseTotal `json:"phases,omitempty"`
+	// Version and Revision identify the build that produced the result.
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
 }
 
 // view returns the response shape of the result: a shallow copy whose
@@ -194,6 +204,14 @@ type Job struct {
 	req    *Request
 	design string
 	sinks  int
+	// reqID is the HTTP request ID that admitted the job (empty for direct
+	// queue submissions); it threads through the job's log lines so a
+	// client-reported ID leads straight to the job.
+	reqID string
+	// trace records the job's phase timeline from the progress events; it is
+	// always on (the tracer is a few locked appends per phase) so results
+	// carry their phase breakdown even with metrics disabled.
+	trace *obs.Tracer
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -310,6 +328,18 @@ func (j *Job) append(ev Event) {
 }
 
 func (j *Job) progress(p core.Progress) {
+	// The flow's event grammar maps onto the tracer directly: Done closes a
+	// span (the engine-measured Elapsed preferred over wall-clock), a
+	// positive Total is a point event (sweep point, region, corner,
+	// cluster), anything else opens a span.
+	switch {
+	case p.Done:
+		j.trace.End(string(p.Phase), p.Elapsed)
+	case p.Total > 0:
+		j.trace.Point(string(p.Phase))
+	default:
+		j.trace.Begin(string(p.Phase))
+	}
 	j.append(Event{
 		Event: "phase", JobID: j.id,
 		Phase: string(p.Phase), PhaseDone: p.Done, ElapsedMS: ms(p.Elapsed),
@@ -428,6 +458,14 @@ type Config struct {
 	// threaded into the queue, the result cache and every job's
 	// core.Options. nil — the production default — is a zero-cost no-op.
 	Faults *fault.Registry
+	// Metrics is the observability registry GET /metrics renders. Every
+	// counter that /stats also reports is registered as a closure over the
+	// same atomics, so the two endpoints cannot drift. nil disables
+	// instrument registration entirely (zero hot-path cost).
+	Metrics *obs.Registry
+	// Logger receives the queue's structured log lines (admissions, job
+	// terminations, panics, watchdog kills). nil discards them.
+	Logger *slog.Logger
 }
 
 // DefaultMaxJobSinks bounds admitted job sizes when Config.MaxJobSinks is 0:
@@ -486,18 +524,25 @@ func (c Config) withDefaults() Config {
 
 // QueueStats is the jobs section of GET /stats.
 type QueueStats struct {
-	Submitted     int64 `json:"submitted"`
-	Rejected      int64 `json:"rejected"`
-	Queued        int64 `json:"queued"`
-	Running       int64 `json:"running"`
-	Done          int64 `json:"done"`
-	Failed        int64 `json:"failed"`
-	Cancelled     int64 `json:"cancelled"`
-	MaxQueued     int   `json:"max_queued"`
-	MaxRunning    int   `json:"max_running"`
-	WorkerBudget  int   `json:"worker_budget"`
-	PerJobWorkers int   `json:"per_job_workers"`
-	MaxJobSinks   int   `json:"max_job_sinks"`
+	Submitted int64 `json:"submitted"`
+	// Rejected is the total of the three rejection reasons below.
+	Rejected int64 `json:"rejected"`
+	// RejectedFull / RejectedLarge / RejectedClosed break rejections down by
+	// cause: bounded queue full (429), over the sink budget (413), queue
+	// closed during shutdown (503).
+	RejectedFull   int64 `json:"rejected_full,omitempty"`
+	RejectedLarge  int64 `json:"rejected_large,omitempty"`
+	RejectedClosed int64 `json:"rejected_closed,omitempty"`
+	Queued         int64 `json:"queued"`
+	Running        int64 `json:"running"`
+	Done           int64 `json:"done"`
+	Failed         int64 `json:"failed"`
+	Cancelled      int64 `json:"cancelled"`
+	MaxQueued      int   `json:"max_queued"`
+	MaxRunning     int   `json:"max_running"`
+	WorkerBudget   int   `json:"worker_budget"`
+	PerJobWorkers  int   `json:"per_job_workers"`
+	MaxJobSinks    int   `json:"max_job_sinks"`
 	// Panics counts job bodies that panicked and were recovered (each is
 	// also in Failed).
 	Panics int64 `json:"panics,omitempty"`
@@ -526,7 +571,12 @@ type PanicRecord struct {
 
 // Stats is the GET /stats payload.
 type Stats struct {
-	UptimeMS float64    `json:"uptime_ms"`
+	UptimeMS      float64 `json:"uptime_ms"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Version and Revision identify the running build (GET /version has the
+	// full identity).
+	Version  string     `json:"version"`
+	Revision string     `json:"revision"`
 	Jobs     QueueStats `json:"jobs"`
 	Cache    CacheStats `json:"cache"`
 	// ECOBases is the base-outcome cache behind POST /eco.
@@ -579,17 +629,26 @@ type Queue struct {
 	idemMu sync.Mutex
 	idem   *lru[string]
 
-	nextID     atomic.Int64
-	submitted  atomic.Int64
-	rejected   atomic.Int64
-	doneCt     atomic.Int64
-	failedCt   atomic.Int64
-	cancelCt   atomic.Int64
-	panicCt    atomic.Int64
-	timeoutCt  atomic.Int64
-	watchdogCt atomic.Int64
-	abandonCt  atomic.Int64 // gauge: bodies currently detached
-	dedupCt    atomic.Int64
+	nextID    atomic.Int64
+	submitted atomic.Int64
+	// Rejections split by cause; /stats reports the sum plus the breakdown
+	// and /metrics labels dscts_jobs_rejected_total by reason.
+	rejectedFull   atomic.Int64
+	rejectedLarge  atomic.Int64
+	rejectedClosed atomic.Int64
+	doneCt         atomic.Int64
+	failedCt       atomic.Int64
+	cancelCt       atomic.Int64
+	panicCt        atomic.Int64
+	timeoutCt      atomic.Int64
+	watchdogCt     atomic.Int64
+	abandonCt      atomic.Int64 // gauge: bodies currently detached
+	dedupCt        atomic.Int64
+
+	// metrics is the instrument set over these atomics (nil when
+	// Config.Metrics is nil); log is never nil (discard by default).
+	metrics *metrics
+	log     *slog.Logger
 
 	start time.Time
 }
@@ -613,6 +672,11 @@ func NewQueue(cfg Config) *Queue {
 	if cfg.IdempotencyEntries > 0 {
 		q.idem = newLRU[string](cfg.IdempotencyEntries, DefaultIdempotencyEntries)
 	}
+	q.log = cfg.Logger
+	if q.log == nil {
+		q.log = slog.New(slog.DiscardHandler)
+	}
+	q.metrics = newMetrics(cfg.Metrics, q)
 	q.wg.Add(cfg.MaxRunning)
 	for i := 0; i < cfg.MaxRunning; i++ {
 		go q.runner()
@@ -696,6 +760,9 @@ func (q *Queue) sweepStuck(now time.Time) {
 			} else {
 				q.cancelCt.Add(1)
 			}
+			q.log.Warn("watchdog abandoned stuck job",
+				"job", j.id, "kind", j.kind, "timed_out", timedOut,
+				"grace", q.cfg.WatchdogGrace, "request_id", j.reqID)
 		}
 		j.abandonOnce.Do(func() { close(j.abandon) })
 	}
@@ -766,7 +833,10 @@ func (q *Queue) submitNew(req *Request, kind string) (*Job, error) {
 		return nil, fmt.Errorf("%w: %s", ErrBadRequest, err)
 	}
 	if q.cfg.MaxJobSinks > 0 && sinks > q.cfg.MaxJobSinks {
-		q.rejected.Add(1)
+		q.rejectedLarge.Add(1)
+		q.log.Debug("job rejected: too large",
+			"kind", kind, "design", design, "sinks", sinks,
+			"max_sinks", q.cfg.MaxJobSinks, "request_id", req.reqID)
 		return nil, &SizeError{EstimatedSinks: sinks, MaxSinks: q.cfg.MaxJobSinks}
 	}
 	q.submitted.Add(1)
@@ -775,6 +845,7 @@ func (q *Queue) submitNew(req *Request, kind string) (*Job, error) {
 		id:   fmt.Sprintf("job-%06d", q.nextID.Add(1)),
 		kind: kind, key: req.Key(kind), req: req,
 		design: design, sinks: sinks,
+		reqID: req.reqID, trace: obs.NewTracer(),
 		ctx: ctx, cancel: cancel,
 		done: make(chan struct{}), abandon: make(chan struct{}),
 		state: StateQueued, created: time.Now(),
@@ -796,12 +867,18 @@ func (q *Queue) submitNew(req *Request, kind string) (*Job, error) {
 		if job.finish(StateDone, res, nil) {
 			q.doneCt.Add(1)
 		}
+		q.log.Debug("job served from cache",
+			"job", job.id, "kind", kind, "design", design, "sinks", sinks,
+			"request_id", job.reqID)
 		q.retire(job)
 		return job, nil
 	}
 	if err := q.admit(job, true); err != nil {
 		return nil, err
 	}
+	q.log.Debug("job admitted",
+		"job", job.id, "kind", kind, "design", design, "sinks", sinks,
+		"request_id", job.reqID)
 	return job, nil
 }
 
@@ -826,6 +903,7 @@ func (q *Queue) admit(job *Job, enqueue bool) error {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
+		q.rejectedClosed.Add(1)
 		job.cancel()
 		return ErrClosed
 	}
@@ -834,7 +912,9 @@ func (q *Queue) admit(job *Job, enqueue bool) error {
 		case q.pending <- job:
 		default:
 			q.mu.Unlock()
-			q.rejected.Add(1)
+			q.rejectedFull.Add(1)
+			q.log.Debug("job rejected: queue full",
+				"kind", job.kind, "design", job.design, "request_id", job.reqID)
 			job.cancel()
 			return ErrQueueFull
 		}
@@ -881,15 +961,17 @@ func (q *Queue) Stats() Stats {
 	}
 	lastPanics := append([]PanicRecord(nil), q.panics...)
 	q.mu.Unlock()
-	var baseStats CacheStats
-	if q.bases != nil {
-		baseStats = q.bases.Stats()
-	}
+	rejFull, rejLarge, rejClosed := q.rejectedFull.Load(), q.rejectedLarge.Load(), q.rejectedClosed.Load()
+	build := obs.Build()
+	uptime := time.Since(q.start)
 	return Stats{
-		UptimeMS: ms(time.Since(q.start)),
-		ECOBases: baseStats,
+		UptimeMS: ms(uptime), UptimeSeconds: uptime.Seconds(),
+		Version: build.Version, Revision: build.Revision,
+		ECOBases: q.baseStats(),
 		Jobs: QueueStats{
-			Submitted: q.submitted.Load(), Rejected: q.rejected.Load(),
+			Submitted:    q.submitted.Load(),
+			Rejected:     rejFull + rejLarge + rejClosed,
+			RejectedFull: rejFull, RejectedLarge: rejLarge, RejectedClosed: rejClosed,
 			Queued: queued, Running: running,
 			Done: q.doneCt.Load(), Failed: q.failedCt.Load(), Cancelled: q.cancelCt.Load(),
 			MaxQueued: q.cfg.MaxQueued, MaxRunning: q.cfg.MaxRunning,
@@ -957,8 +1039,19 @@ func (q *Queue) RetryAfter() time.Duration {
 }
 
 // retire records a finished job in the retention ring, forgetting the
-// oldest finished jobs beyond the cap.
+// oldest finished jobs beyond the cap. Every job passes through exactly
+// once, already terminal, which makes it the one funnel for the latency
+// histograms and the per-job log line.
 func (q *Queue) retire(job *Job) {
+	q.metrics.observeRetired(job)
+	job.mu.Lock()
+	state, errMsg, hit := job.state, job.errMsg, job.cacheHit
+	dur := job.finished.Sub(job.created)
+	job.mu.Unlock()
+	q.log.Debug("job finished",
+		"job", job.id, "kind", job.kind, "state", string(state),
+		"cache_hit", hit, "dur_ms", ms(dur),
+		"error", errMsg, "request_id", job.reqID)
 	q.mu.Lock()
 	q.finished = append(q.finished, job.id)
 	for len(q.finished) > q.cfg.RetainJobs {
@@ -1034,6 +1127,9 @@ func (q *Queue) execute(job *Job, ctx context.Context) {
 				q.failedCt.Add(1)
 			}
 			q.panicCt.Add(1)
+			q.log.Warn("job panicked (recovered)",
+				"job", job.id, "kind", job.kind, "panic", fmt.Sprint(r),
+				"request_id", job.reqID)
 		}
 	}()
 	if f := q.cfg.Faults.Fire(fault.PointServeJob); f != nil {
@@ -1081,6 +1177,7 @@ func (q *Queue) execute(job *Job, ctx context.Context) {
 			if err == nil {
 				result = &Result{
 					Kind: KindDSE, Design: job.design, Sinks: job.sinks,
+					Version: obs.Build().Version, Revision: obs.Build().Revision,
 					CornerPoints: pts, TotalMS: ms(time.Since(t0)),
 				}
 			}
@@ -1091,6 +1188,7 @@ func (q *Queue) execute(job *Job, ctx context.Context) {
 		if err == nil {
 			result = &Result{
 				Kind: KindDSE, Design: job.design, Sinks: job.sinks,
+				Version: obs.Build().Version, Revision: obs.Build().Revision,
 				Points: pts, TotalMS: ms(time.Since(t0)),
 			}
 		}
@@ -1107,6 +1205,9 @@ func (q *Queue) execute(job *Job, ctx context.Context) {
 func (q *Queue) finishJob(job *Job, runCtx context.Context, res *Result, err error) {
 	switch {
 	case err == nil:
+		// The traced phase breakdown rides with the result into the cache:
+		// like the *_ms fields, a later hit reports the producing run's.
+		res.Phases = job.trace.Totals()
 		q.cache.Put(job.key, res)
 		if job.finish(StateDone, res, nil) {
 			q.doneCt.Add(1)
@@ -1246,13 +1347,20 @@ func (q *Queue) synthesizeBase(job *Job, ctx context.Context, baseReq *Request, 
 	if q.bases != nil {
 		q.bases.Put(baseKey, prev)
 	}
-	q.cache.Put(baseKey, resultFromOutcome(KindSynthesize, job.design, len(rv.sinks), prev))
+	// The base result cached under the base's own key carries the phases
+	// traced so far — exactly the base-run phases, since the ECO splice has
+	// not started yet.
+	baseRes := resultFromOutcome(KindSynthesize, job.design, len(rv.sinks), prev)
+	baseRes.Phases = job.trace.Totals()
+	q.cache.Put(baseKey, baseRes)
 	return prev, nil
 }
 
 func resultFromOutcome(kind, design string, sinks int, o *core.Outcome) *Result {
+	build := obs.Build()
 	r := &Result{
 		Kind: kind, Design: design, Sinks: sinks,
+		Version: build.Version, Revision: build.Revision,
 		Metrics: o.Metrics,
 		Corners: o.Corners,
 		ECO:     o.ECO,

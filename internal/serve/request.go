@@ -117,6 +117,11 @@ type Request struct {
 	// Keys are caller-chosen opaque strings scoped to the daemon instance.
 	// A scheduling knob: never part of the cache identity.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+
+	// reqID is the HTTP request ID that carried the submission, stamped by
+	// the server for log correlation. Unexported: invisible to JSON and
+	// never part of the cache identity.
+	reqID string
 }
 
 // MoveSpec relocates one base-placement sink (JSON view of eco.Move).

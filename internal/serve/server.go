@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
+
+	"dscts/internal/obs"
 )
 
 // Server is the HTTP face of the job queue.
@@ -19,6 +23,8 @@ import (
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (503 while draining or saturated)
 //	GET  /stats             queue + cache counters
+//	GET  /version           build identity (module version, VCS revision)
+//	GET  /metrics           Prometheus text exposition (when Config.Metrics set)
 //
 // POST endpoints take ?mode=sync (default), async or stream. Sync waits for
 // the job and returns its final snapshot; the job is cancelled if the
@@ -27,17 +33,30 @@ import (
 // one Event per line — lifecycle transitions and per-phase progress — ending
 // with the terminal event, which carries the result; disconnecting mid-
 // stream cancels the job.
+//
+// Every response carries an X-Request-ID header (client-supplied value
+// echoed, otherwise generated); error bodies repeat it as request_id, and
+// the queue's job log lines carry it, so a client-reported failure leads
+// straight to the matching server-side records.
 type Server struct {
 	queue *Queue
 	mux   *http.ServeMux
+	log   *slog.Logger
+	hm    *httpMetrics
+	// nextReq numbers generated request IDs.
+	nextReq atomic.Int64
 	// draining flips /readyz to 503 ahead of shutdown so load balancers
 	// stop routing here before in-flight jobs are cancelled.
 	draining atomic.Bool
 }
 
-// NewServer builds a Server with its own queue.
+// NewServer builds a Server with its own queue. Config.Metrics, when set,
+// additionally serves GET /metrics; Config.Logger receives the HTTP access
+// log at debug level alongside the queue's job log.
 func NewServer(cfg Config) *Server {
 	s := &Server{queue: NewQueue(cfg), mux: http.NewServeMux()}
+	s.log = s.queue.log
+	s.hm = newHTTPMetrics(cfg.Metrics)
 	s.mux.HandleFunc("POST /synthesize", func(w http.ResponseWriter, r *http.Request) {
 		s.submit(w, r, KindSynthesize)
 	})
@@ -52,11 +71,42 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /readyz", s.readyz)
 	s.mux.HandleFunc("GET /stats", s.stats)
+	s.mux.HandleFunc("GET /version", s.version)
+	if cfg.Metrics != nil {
+		reg := cfg.Metrics
+		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WritePrometheus(w); err != nil {
+				s.log.Debug("metrics write failed", "error", err)
+			}
+		})
+	}
 	return s
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler: the API mux behind the request-ID and
+// instrumentation middleware.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%08x", s.nextReq.Add(1))
+			r.Header.Set("X-Request-ID", id)
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		s.mux.ServeHTTP(rec, r)
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.hm.observe(code, time.Since(t0))
+		s.log.Debug("http request",
+			"method", r.Method, "path", r.URL.Path, "status", code,
+			"dur_ms", ms(time.Since(t0)), "request_id", id)
+	})
+}
 
 // Queue exposes the underlying queue (stats, direct submission).
 func (s *Server) Queue() *Queue { return s.queue }
@@ -77,7 +127,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 		return
 	}
 	mode := r.URL.Query().Get("mode")
@@ -89,6 +139,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	if req.IdempotencyKey == "" {
 		req.IdempotencyKey = r.Header.Get("Idempotency-Key")
 	}
+	req.reqID = r.Header.Get("X-Request-ID")
 	job, err := s.queue.Submit(&req, kind)
 	if err != nil {
 		var sz *SizeError
@@ -96,27 +147,28 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 		case errors.As(err, &sz):
 			// 413 with the size estimate so clients can right-size or
 			// partition the request.
-			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+			s.writeJSON(w, r, http.StatusRequestEntityTooLarge, map[string]any{
 				"error":           err.Error(),
 				"estimated_sinks": sz.EstimatedSinks,
 				"max_sinks":       sz.MaxSinks,
+				"request_id":      r.Header.Get("X-Request-ID"),
 			})
 		case errors.Is(err, ErrQueueFull):
 			s.setRetryAfter(w)
-			writeErr(w, http.StatusTooManyRequests, err)
+			s.writeErr(w, r, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrBadRequest):
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, r, http.StatusBadRequest, err)
 		case errors.Is(err, ErrClosed):
 			s.setRetryAfter(w)
-			writeErr(w, http.StatusServiceUnavailable, err)
+			s.writeErr(w, r, http.StatusServiceUnavailable, err)
 		default:
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, r, http.StatusInternalServerError, err)
 		}
 		return
 	}
 	switch mode {
 	case "async":
-		writeJSON(w, http.StatusAccepted, job.Info())
+		s.writeJSON(w, r, http.StatusAccepted, job.Info())
 	case "stream":
 		s.stream(w, r, job)
 	case "sync":
@@ -125,14 +177,14 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 		select {
 		case <-job.Done():
 			info := job.Info()
-			writeJSON(w, terminalStatus(info), info)
+			s.writeJSON(w, r, terminalStatus(info), info)
 		case <-r.Context().Done():
 			job.Cancel()
 			<-job.Done()
-			writeErr(w, http.StatusRequestTimeout, fmt.Errorf("client went away; job %s cancelled", job.ID()))
+			s.writeErr(w, r, http.StatusRequestTimeout, fmt.Errorf("client went away; job %s cancelled", job.ID()))
 		}
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want sync, async or stream)", mode))
+		s.writeErr(w, r, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want sync, async or stream)", mode))
 	}
 }
 
@@ -182,50 +234,80 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, job *Job) {
 func (s *Server) job(w http.ResponseWriter, r *http.Request) {
 	job, err := s.queue.Job(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	if r.URL.Query().Get("mode") == "stream" {
 		s.stream(w, r, job)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Info())
+	s.writeJSON(w, r, http.StatusOK, job.Info())
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	job, err := s.queue.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Info())
+	s.writeJSON(w, r, http.StatusOK, job.Info())
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // readyz is the load-balancer readiness gate, distinct from the /healthz
 // liveness probe: the daemon is alive but should receive no new traffic
 // while draining toward shutdown or while the queue is saturated (the next
-// submission would be rejected with 429 anyway).
+// submission would be rejected with 429 anyway). Each probe outcome
+// increments its own dscts_readyz_checks_total counter.
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
+		s.hm.readyz("draining")
 		s.setRetryAfter(w)
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		s.writeJSON(w, r, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 	case s.queue.Saturated():
+		s.hm.readyz("saturated")
 		s.setRetryAfter(w)
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+		s.writeJSON(w, r, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
 	default:
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		s.hm.readyz("ready")
+		s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ready"})
 	}
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.queue.Stats())
+	s.writeJSON(w, r, http.StatusOK, s.queue.Stats())
 }
 
+func (s *Server) version(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, obs.Build())
+}
+
+// writeJSON writes a JSON response; encode failures (a client that went
+// away mid-body, typically) are logged at debug instead of dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Debug("response encode failed",
+			"path", r.URL.Path, "status", status, "error", err,
+			"request_id", r.Header.Get("X-Request-ID"))
+	}
+}
+
+// writeErr writes a structured error body carrying the request ID.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, r, status, map[string]string{
+		"error":      err.Error(),
+		"request_id": r.Header.Get("X-Request-ID"),
+	})
+}
+
+// writeJSON and writeErr are the bare helpers behind the Server methods,
+// kept for callers with no request in hand.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
