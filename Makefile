@@ -12,6 +12,7 @@
 #   make load        - regenerate BENCH_serve.json (service load test)
 #   make chaos       - 30s seeded fault-injection soak under -race + report gate (BENCH_chaos.json)
 #   make metrics     - short load run + observability gate: /metrics scrape must match /stats
+#   make persist     - regenerate BENCH_persist.json (warm-vs-cold restart) + persist gate
 #   make corners     - regenerate BENCH_corners.json (multi-corner sign-off scaling)
 #   make scale       - regenerate BENCH_scale.json (mono vs partition-parallel XL scaling)
 #   make eco         - regenerate BENCH_eco.json (full vs incremental re-synthesis)
@@ -26,7 +27,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load chaos metrics corners scale eco
+.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load chaos metrics persist corners scale eco
 
 all: ci
 
@@ -96,6 +97,14 @@ chaos:
 metrics:
 	$(GO) run ./cmd/benchgen -load -load-jobs 40 -load-conc 8 -load-out /tmp/BENCH_serve_metrics.json
 	$(GO) run ./cmd/cismoke metrics /tmp/BENCH_serve_metrics.json
+
+# The persistence gate: replay a workload cold, restart the daemon over the
+# same cache directory, and require every replayed request to come back as a
+# warm hit — including an ECO delta the first process never saw, which only
+# the persisted base snapshot can explain.
+persist:
+	$(GO) run ./cmd/benchgen -persist -persist-out BENCH_persist.json
+	$(GO) run ./cmd/cismoke persist BENCH_persist.json
 
 corners:
 	$(GO) run ./cmd/benchgen -corners-out BENCH_corners.json

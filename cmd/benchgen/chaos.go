@@ -17,6 +17,7 @@ import (
 	"dscts/internal/fault"
 	"dscts/internal/obs"
 	"dscts/internal/serve"
+	"dscts/internal/store"
 )
 
 // defaultChaosSpec is the built-in seeded fault schedule of `-chaos default`:
@@ -99,7 +100,7 @@ type chaosReport struct {
 // It fails (nonzero exit) if the daemon crashed, any failure was
 // unstructured, goroutines or worker budget leaked, or the error rate left
 // its bound — the chaos contract of DESIGN.md §5.
-func runChaos(path, spec string, seed int64, duration time.Duration, conc int) error {
+func runChaos(path, spec string, seed int64, duration time.Duration, conc int, cacheDir string) error {
 	if spec == "default" {
 		spec = defaultChaosSpec
 	}
@@ -115,12 +116,24 @@ func runChaos(path, spec string, seed int64, duration time.Duration, conc int) e
 	}
 	before := runtime.NumGoroutine()
 
+	// With -cache-dir the soak runs over a persistent tier: a second soak on
+	// the same directory is a restart-mid-chaos test — the warm start must
+	// absorb whatever the interrupted run left behind.
+	var pst *store.Store
+	if cacheDir != "" {
+		pst, err = store.Open(store.Config{Dir: cacheDir})
+		if err != nil {
+			return err
+		}
+	}
+
 	srv := serve.NewServer(serve.Config{
 		MaxRunning: 4, MaxQueued: 64,
 		JobTimeout:    5 * time.Second,
 		WatchdogGrace: 300 * time.Millisecond,
 		Faults:        reg,
 		Metrics:       obs.NewRegistry(),
+		Store:         pst,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -181,6 +194,16 @@ func runChaos(path, spec string, seed int64, duration time.Duration, conc int) e
 	if err != nil {
 		return fmt.Errorf("chaos: daemon unreachable after the soak (crashed?): %w", err)
 	}
+	// A hang injected in the soak's final seconds leaves a reclaimed worker
+	// whose body is still unwinding; give the daemon a bounded window to
+	// quiesce before taking the gated snapshot. A genuine leak never clears,
+	// so the gate below still catches it.
+	for quiesce := time.Now().Add(5 * time.Second); (st.Jobs.Running != 0 || st.Jobs.AbandonedWorkers != 0) && time.Now().Before(quiesce); {
+		time.Sleep(50 * time.Millisecond)
+		if st, err = client.Stats(context.Background()); err != nil {
+			return fmt.Errorf("chaos: daemon unreachable after the soak (crashed?): %w", err)
+		}
+	}
 	if err := client.Health(context.Background()); err != nil {
 		return fmt.Errorf("chaos: daemon unhealthy after the soak: %w", err)
 	}
@@ -192,6 +215,11 @@ func runChaos(path, spec string, seed int64, duration time.Duration, conc int) e
 	}
 	hs.Close()
 	srv.Close()
+	if pst != nil {
+		if err := pst.Close(); err != nil {
+			return fmt.Errorf("chaos: store close: %w", err)
+		}
+	}
 
 	// Goroutine settle loop: abandoned bodies are joined by Close, so the
 	// count must return to the pre-soak level.

@@ -24,6 +24,13 @@
 //
 //	benchgen -load -chaos default [-chaos-seed 1] [-duration 30s]
 //
+// With -persist it replays a request pool against an in-process dsctsd
+// backed by a disk cache tier, restarts the daemon over the same directory,
+// and writes the warm-vs-cold comparison to BENCH_persist.json — failing if
+// the restarted daemon recomputes anything the first process already solved:
+//
+//	benchgen -persist [-persist-jobs 9] [-persist-out BENCH_persist.json]
+//
 // With -corners-out it measures the multi-corner sign-off evaluator (one
 // synthesized tree swept across K interpolated PVT corners, at one worker
 // and at GOMAXPROCS) and writes the corner-scaling report:
@@ -46,33 +53,37 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "benchmarks", "output directory")
-		seed      = flag.Int64("seed", 1, "placement seed")
-		design    = flag.String("design", "", "single design to emit (default: all)")
-		doBench   = flag.Bool("bench", false, "measure the parallel engine and write a JSON report instead of emitting DEFs")
-		benchOut  = flag.String("bench-out", "BENCH_parallel.json", "report path for -bench")
-		doLoad    = flag.Bool("load", false, "replay concurrent jobs against an in-process dsctsd and write a JSON report")
-		loadOut   = flag.String("load-out", "BENCH_serve.json", "report path for -load")
-		doCorner  = flag.String("corners-out", "", "measure multi-corner sign-off scaling and write the JSON report to this path (e.g. BENCH_corners.json)")
-		doScale   = flag.String("scale-out", "", "measure monolithic vs partition-parallel scaling over XL placements and write the JSON report to this path (e.g. BENCH_scale.json)")
-		scaleSize = flag.String("scale-sizes", "100000,250000,500000,1000000", "comma-separated sink counts for -scale-out")
-		scaleWk   = flag.Int("scale-workers", 0, "worker budget for the multi-worker runs of -scale-out (0 = all CPUs)")
-		scaleCap  = flag.Int("scale-mono-cap", 1000000, "largest size the monolithic flow is timed at in -scale-out (it grows superlinearly; 0 = no cap)")
-		scalePart = flag.Int("scale-partition", 50000, "region capacity (Partition.MaxSinks) for -scale-out")
-		loadJobs  = flag.Int("load-jobs", 40, "total jobs to replay with -load")
-		loadConc  = flag.Int("load-conc", 8, "concurrent clients (and running-job slots) for -load")
-		loadDist  = flag.Int("load-distinct", 0, "distinct request shapes for -load (0 = jobs/2, so half the replay can hit the cache)")
-		chaos     = flag.String("chaos", "", "with -load: fault-injection spec for the chaos soak (\"default\" = built-in schedule; see internal/fault)")
-		chaosSeed = flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos (same spec + seed replays the same schedule)")
-		duration  = flag.Duration("duration", 30*time.Second, "chaos soak duration for -chaos")
-		ecoOut    = flag.String("eco-out", "", "measure full-vs-incremental (ECO) re-synthesis and write the JSON report to this path (e.g. BENCH_eco.json)")
-		ecoDes    = flag.String("eco-designs", "C1,C2,C3,C4,C5", "comma-separated designs for -eco-out")
-		ecoXL     = flag.Int("eco-xl", 500000, "XL placement sink count for -eco-out (0 = skip the XL row)")
-		ecoPart   = flag.Int("eco-partition", 2000, "region capacity for the partitioned C-series rows of -eco-out (0 = mono rows only)")
-		ecoXLPart = flag.Int("eco-xl-partition", 50000, "region capacity for the XL rows of -eco-out")
-		ecoPcts   = flag.String("eco-pcts", "0.1,1,10", "comma-separated delta sizes (percent of sinks) for -eco-out")
-		ecoWk     = flag.Int("eco-workers", 0, "worker budget for -eco-out (0 = all CPUs)")
-		ecoReps   = flag.Int("eco-reps", 3, "measurement repetitions for -eco-out (fastest run is reported)")
+		out        = flag.String("out", "benchmarks", "output directory")
+		seed       = flag.Int64("seed", 1, "placement seed")
+		design     = flag.String("design", "", "single design to emit (default: all)")
+		doBench    = flag.Bool("bench", false, "measure the parallel engine and write a JSON report instead of emitting DEFs")
+		benchOut   = flag.String("bench-out", "BENCH_parallel.json", "report path for -bench")
+		doLoad     = flag.Bool("load", false, "replay concurrent jobs against an in-process dsctsd and write a JSON report")
+		loadOut    = flag.String("load-out", "BENCH_serve.json", "report path for -load")
+		doCorner   = flag.String("corners-out", "", "measure multi-corner sign-off scaling and write the JSON report to this path (e.g. BENCH_corners.json)")
+		doScale    = flag.String("scale-out", "", "measure monolithic vs partition-parallel scaling over XL placements and write the JSON report to this path (e.g. BENCH_scale.json)")
+		scaleSize  = flag.String("scale-sizes", "100000,250000,500000,1000000", "comma-separated sink counts for -scale-out")
+		scaleWk    = flag.Int("scale-workers", 0, "worker budget for the multi-worker runs of -scale-out (0 = all CPUs)")
+		scaleCap   = flag.Int("scale-mono-cap", 1000000, "largest size the monolithic flow is timed at in -scale-out (it grows superlinearly; 0 = no cap)")
+		scalePart  = flag.Int("scale-partition", 50000, "region capacity (Partition.MaxSinks) for -scale-out")
+		loadJobs   = flag.Int("load-jobs", 40, "total jobs to replay with -load")
+		loadConc   = flag.Int("load-conc", 8, "concurrent clients (and running-job slots) for -load")
+		loadDist   = flag.Int("load-distinct", 0, "distinct request shapes for -load (0 = jobs/2, so half the replay can hit the cache)")
+		doPersist  = flag.Bool("persist", false, "measure the disk-backed cache tier across a daemon restart and write a JSON report")
+		persistOut = flag.String("persist-out", "BENCH_persist.json", "report path for -persist")
+		persistJob = flag.Int("persist-jobs", 9, "distinct requests replayed on each side of the restart for -persist")
+		chaos      = flag.String("chaos", "", "with -load: fault-injection spec for the chaos soak (\"default\" = built-in schedule; see internal/fault)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos (same spec + seed replays the same schedule)")
+		chaosDir   = flag.String("cache-dir", "", "persistent cache directory for the -chaos soak; soak twice over the same dir to test a restart mid-chaos")
+		duration   = flag.Duration("duration", 30*time.Second, "chaos soak duration for -chaos")
+		ecoOut     = flag.String("eco-out", "", "measure full-vs-incremental (ECO) re-synthesis and write the JSON report to this path (e.g. BENCH_eco.json)")
+		ecoDes     = flag.String("eco-designs", "C1,C2,C3,C4,C5", "comma-separated designs for -eco-out")
+		ecoXL      = flag.Int("eco-xl", 500000, "XL placement sink count for -eco-out (0 = skip the XL row)")
+		ecoPart    = flag.Int("eco-partition", 2000, "region capacity for the partitioned C-series rows of -eco-out (0 = mono rows only)")
+		ecoXLPart  = flag.Int("eco-xl-partition", 50000, "region capacity for the XL rows of -eco-out")
+		ecoPcts    = flag.String("eco-pcts", "0.1,1,10", "comma-separated delta sizes (percent of sinks) for -eco-out")
+		ecoWk      = flag.Int("eco-workers", 0, "worker budget for -eco-out (0 = all CPUs)")
+		ecoReps    = flag.Int("eco-reps", 3, "measurement repetitions for -eco-out (fastest run is reported)")
 	)
 	// `benchgen -compare baseline.json new.json [-max-regress 15%]` is the
 	// bench-regression gate; it is parsed by hand because the two report
@@ -99,12 +110,18 @@ func main() {
 			if !flagWasSet("load-out") {
 				out = "BENCH_chaos.json"
 			}
-			if err := runChaos(out, *chaos, *chaosSeed, *duration, *loadConc); err != nil {
+			if err := runChaos(out, *chaos, *chaosSeed, *duration, *loadConc, *chaosDir); err != nil {
 				fatal(err)
 			}
 			return
 		}
 		if err := runLoad(*loadOut, *loadJobs, *loadConc, *loadDist); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *doPersist {
+		if err := runPersist(*persistOut, *persistJob, *loadConc); err != nil {
 			fatal(err)
 		}
 		return

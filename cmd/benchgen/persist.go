@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"dscts/internal/obs"
+	"dscts/internal/serve"
+	"dscts/internal/store"
+)
+
+// persistReport is the machine-readable BENCH_persist.json: the same request
+// pool replayed cold (fresh daemon, empty disk tier) and then again after a
+// full daemon restart over the same -cache-dir, so the warm column measures
+// what the persistent tier actually buys — a disk-warmed cache hit instead
+// of a re-synthesis.
+type persistReport struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Jobs        int `json:"jobs"`
+	Concurrency int `json:"client_concurrency"`
+
+	Cold       latencyStats `json:"latency_cold"`
+	Warm       latencyStats `json:"latency_warm_restart"`
+	SpeedupP50 float64      `json:"warm_speedup_p50"`
+
+	WarmRequests int `json:"warm_requests"`
+	WarmHits     int `json:"warm_hits"`
+	// EcoBaseHitAfterRestart reports whether a POST /eco issued to the
+	// RESTARTED daemon — with a delta never seen before — resolved its base
+	// synthesis from the disk-warmed base cache instead of recomputing it.
+	EcoBaseHitAfterRestart bool `json:"eco_base_hit_after_restart"`
+
+	// Stats is the restarted daemon's quiescent /stats snapshot; its store
+	// section carries the warm-start load/skip counters the persist gate
+	// cross-checks.
+	Stats serve.Stats `json:"server_stats"`
+	Notes []string    `json:"notes"`
+}
+
+// persistDaemon is one in-process dsctsd over its own store handle. The
+// store is owned here, daemon-style: opened before the server, closed (and
+// flushed) after it.
+type persistDaemon struct {
+	st     *store.Store
+	srv    *serve.Server
+	hs     *http.Server
+	client *serve.Client
+}
+
+func startPersistDaemon(dir string, conc int) (*persistDaemon, error) {
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.NewServer(serve.Config{
+		MaxRunning: conc,
+		MaxQueued:  256,
+		Store:      st,
+		Metrics:    obs.NewRegistry(),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		st.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &persistDaemon{
+		st: st, srv: srv, hs: hs,
+		client: serve.NewClient("http://" + ln.Addr().String()),
+	}, nil
+}
+
+// stop tears the daemon down in dependency order: listener, then queue
+// (drains in-flight jobs), then store (flushes the write-behind tail).
+func (d *persistDaemon) stop() error {
+	d.hs.Close()
+	d.srv.Close()
+	return d.st.Close()
+}
+
+// persistPool is the replayed request set: three Table II designs crossed
+// with fanout variants, each a distinct cache identity.
+func persistPool(jobs int) []*serve.Request {
+	designs := []string{"C1", "C2", "C3"}
+	pool := make([]*serve.Request, jobs)
+	for i := range pool {
+		pool[i] = &serve.Request{
+			Design: designs[i%len(designs)],
+			Seed:   int64(1 + i/len(designs)),
+			Options: serve.OptionsSpec{
+				FanoutThreshold: []int{0, 150, 600}[i%3],
+			},
+		}
+	}
+	return pool
+}
+
+// replay submits the pool synchronously (one client; the point is per-request
+// latency, not throughput) and returns the latencies plus the hit count.
+func replay(client *serve.Client, pool []*serve.Request) ([]float64, int, error) {
+	ms := make([]float64, 0, len(pool))
+	hits := 0
+	for i, req := range pool {
+		t0 := time.Now()
+		info, err := client.Synthesize(context.Background(), req)
+		if err != nil {
+			return nil, 0, fmt.Errorf("request %d: %w", i, err)
+		}
+		if info.State != serve.StateDone {
+			return nil, 0, fmt.Errorf("request %d ended %s (%s)", i, info.State, info.Error)
+		}
+		ms = append(ms, float64(time.Since(t0))/float64(time.Millisecond))
+		if info.CacheHit {
+			hits++
+		}
+	}
+	return ms, hits, nil
+}
+
+// ecoRequest builds a POST /eco request whose base is pool[0] and whose
+// delta moves one sink by a step that depends on `variant`, so different
+// variants share the base identity but never the full-result identity.
+func ecoRequest(base *serve.Request, variant float64) *serve.Request {
+	req := *base
+	req.Delta = &serve.DeltaSpec{
+		Move: []serve.MoveSpec{{Sink: 0, X: 40 + variant, Y: 40 + variant}},
+	}
+	return &req
+}
+
+// runPersist measures the disk-backed cache tier across a daemon restart and
+// writes BENCH_persist.json. It fails loudly if the restarted daemon
+// recomputes anything the first process already solved: every warm replay
+// must be a cache hit and the unseen-delta ECO must resolve its base from
+// the disk-warmed snapshot.
+func runPersist(path string, jobs, conc int) error {
+	if jobs <= 0 {
+		jobs = 9
+	}
+	if conc <= 0 {
+		conc = 4
+	}
+	dir, err := os.MkdirTemp("", "dscts-persist-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	pool := persistPool(jobs)
+
+	// Cold process: populate the tier. The ECO here retains (and persists)
+	// the base snapshot the post-restart ECO must find.
+	d1, err := startPersistDaemon(dir, conc)
+	if err != nil {
+		return err
+	}
+	cold, coldHits, err := replay(d1.client, pool)
+	if err != nil {
+		d1.stop()
+		return fmt.Errorf("cold replay: %w", err)
+	}
+	if coldHits != 0 {
+		d1.stop()
+		return fmt.Errorf("cold replay saw %d cache hits, want 0 (stale shared state?)", coldHits)
+	}
+	if _, err := d1.client.ECO(context.Background(), ecoRequest(pool[0], 0)); err != nil {
+		d1.stop()
+		return fmt.Errorf("cold eco: %w", err)
+	}
+	if err := d1.stop(); err != nil {
+		return fmt.Errorf("cold shutdown: %w", err)
+	}
+
+	// Restarted process over the same directory: the warm column.
+	d2, err := startPersistDaemon(dir, conc)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer d2.stop()
+	warm, warmHits, err := replay(d2.client, pool)
+	if err != nil {
+		return fmt.Errorf("warm replay: %w", err)
+	}
+	if warmHits != len(pool) {
+		return fmt.Errorf("restarted daemon served %d/%d warm requests from cache, want all (persistence broken)", warmHits, len(pool))
+	}
+	ecoInfo, err := d2.client.ECO(context.Background(), ecoRequest(pool[0], 1))
+	if err != nil {
+		return fmt.Errorf("warm eco: %w", err)
+	}
+	if ecoInfo.Result == nil || !ecoInfo.Result.BaseCacheHit {
+		return fmt.Errorf("post-restart eco with an unseen delta recomputed its base (want a disk-warmed base hit)")
+	}
+	st, err := d2.client.Stats(context.Background())
+	if err != nil {
+		return err
+	}
+	if st.Store == nil {
+		return fmt.Errorf("no store section in /stats (daemon run without Config.Store?)")
+	}
+
+	coldPct, warmPct := percentiles(cold), percentiles(warm)
+	speedup := 0.0
+	if warmPct.P50 > 0 {
+		speedup = coldPct.P50 / warmPct.P50
+	}
+	rep := persistReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs: jobs, Concurrency: conc,
+		Cold: coldPct, Warm: warmPct, SpeedupP50: speedup,
+		WarmRequests: len(pool), WarmHits: warmHits,
+		EcoBaseHitAfterRestart: true,
+		Stats:                  *st,
+		Notes: []string{
+			"cold = fresh daemon over an empty -cache-dir; warm = the SAME requests against a fully restarted daemon over the same directory",
+			"warm latency is a disk-warmed in-memory cache hit: the store is read only at warm start, never on the request path",
+			"the eco row submits a delta the first process never saw, so only the persisted base snapshot can explain base_cache_hit",
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("persistence report -> %s\n", path)
+	fmt.Printf("  %d jobs: cold p50 %.1f ms, warm-restart p50 %.2f ms (%.0fx), %d/%d warm hits, eco base hit across restart, store loaded %d results + %d bases\n",
+		jobs, coldPct.P50, warmPct.P50, speedup, warmHits, len(pool),
+		st.Store.WarmResults, st.Store.WarmBases)
+	return nil
+}

@@ -13,6 +13,8 @@
 //	cismoke chaos BENCH_chaos.json
 //	cismoke metrics BENCH_serve.json
 //	cismoke metrics -min-families 25 BENCH_chaos.json
+//	cismoke persist BENCH_persist.json
+//	cismoke warm BENCH_chaos.json
 package main
 
 import (
@@ -47,6 +49,10 @@ func main() {
 		err = cmdChaos(args)
 	case "metrics":
 		err = cmdMetrics(args)
+	case "persist":
+		err = cmdPersist(args)
+	case "warm":
+		err = cmdWarm(args)
 	default:
 		usage()
 	}
@@ -57,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cismoke {synth|corners|partition|scale|xl|eco|chaos|metrics} [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: cismoke {synth|corners|partition|scale|xl|eco|chaos|metrics|persist|warm} [flags] [file]")
 	os.Exit(2)
 }
 

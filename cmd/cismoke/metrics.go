@@ -20,6 +20,7 @@ type metricsView struct {
 			RejectedFull   int64 `json:"rejected_full"`
 			RejectedLarge  int64 `json:"rejected_large"`
 			RejectedClosed int64 `json:"rejected_closed"`
+			RejectedQuota  int64 `json:"rejected_quota"`
 			Queued         int64 `json:"queued"`
 			Running        int64 `json:"running"`
 			Done           int64 `json:"done"`
@@ -37,6 +38,7 @@ type metricsView struct {
 			Misses      int64 `json:"misses"`
 			Evictions   int64 `json:"evictions"`
 			Corruptions int64 `json:"corruptions"`
+			EncodeDrops int64 `json:"encode_drops"`
 		} `json:"cache"`
 		ECOBases struct {
 			Entries int64 `json:"entries"`
@@ -60,12 +62,17 @@ type metricsView struct {
 // come with the registry.
 var requiredFamilies = []string{
 	"dscts_build_info",
+	"dscts_cache_encode_drops_total",
 	"dscts_cache_hits_total",
 	"dscts_http_request_duration_seconds",
 	"dscts_job_duration_seconds",
 	"dscts_jobs_rejected_total",
 	"dscts_jobs_submitted_total",
 	"dscts_jobs_total",
+	"dscts_qos_dispatched_total",
+	"dscts_qos_pending",
+	"dscts_store_warm_loaded_total",
+	"dscts_store_writes_total",
 	"dscts_uptime_seconds",
 	"go_goroutines",
 	"go_heap_alloc_bytes",
@@ -120,6 +127,7 @@ func cmdMetrics(args []string) error {
 		{`dscts_jobs_rejected_total{reason="queue_full"}`, j.RejectedFull},
 		{`dscts_jobs_rejected_total{reason="too_large"}`, j.RejectedLarge},
 		{`dscts_jobs_rejected_total{reason="closed"}`, j.RejectedClosed},
+		{`dscts_jobs_rejected_total{reason="quota"}`, j.RejectedQuota},
 		{`dscts_jobs_total{state="done"}`, j.Done},
 		{`dscts_jobs_total{state="failed"}`, j.Failed},
 		{`dscts_jobs_total{state="cancelled"}`, j.Cancelled},
@@ -134,6 +142,7 @@ func cmdMetrics(args []string) error {
 		{`dscts_cache_misses_total`, c.Misses},
 		{`dscts_cache_evictions_total`, c.Evictions},
 		{`dscts_cache_corruptions_total`, c.Corruptions},
+		{`dscts_cache_encode_drops_total`, c.EncodeDrops},
 		{`dscts_cache_entries`, c.Entries},
 		{`dscts_eco_base_hits_total`, e.Hits},
 		{`dscts_eco_base_misses_total`, e.Misses},
@@ -150,13 +159,14 @@ func cmdMetrics(args []string) error {
 	}
 
 	// The rejection reasons are a partition of the rejected total.
-	if sum := j.RejectedFull + j.RejectedLarge + j.RejectedClosed; sum != j.Rejected {
+	if sum := j.RejectedFull + j.RejectedLarge + j.RejectedClosed + j.RejectedQuota; sum != j.Rejected {
 		bad = append(bad, fmt.Sprintf("rejection reasons sum to %d but rejected = %d", sum, j.Rejected))
 	}
-	// Submission accounting: too-large rejections are counted BEFORE the
-	// submitted counter and idempotent replays never reach it, so every
-	// submitted job is in exactly one of these states.
-	if sum := j.Done + j.Failed + j.Cancelled + j.Queued + j.Running + j.RejectedFull + j.RejectedClosed; sum != j.Submitted {
+	// Submission accounting: a rejection is NOT a submission — every
+	// rejection path (too-large, closed, full, quota) returns before the
+	// submitted counter, and idempotent replays never reach it — so every
+	// submitted job is in exactly one terminal-or-live state.
+	if sum := j.Done + j.Failed + j.Cancelled + j.Queued + j.Running; sum != j.Submitted {
 		bad = append(bad, fmt.Sprintf("job states sum to %d but submitted = %d (a job escaped the state machine)", sum, j.Submitted))
 	}
 	// Every finished job lands in exactly one latency histogram series.
@@ -188,7 +198,7 @@ func cmdMetrics(args []string) error {
 	if len(bad) > 0 {
 		return fmt.Errorf("metrics/stats disagree:\n  %s", strings.Join(bad, "\n  "))
 	}
-	fmt.Printf("metrics gate: %d families, %d counters match /stats (submitted %d = done %d + failed %d + cancelled %d + rejected %d)\n",
-		m.Families, len(eq), j.Submitted, j.Done, j.Failed, j.Cancelled, j.RejectedFull+j.RejectedClosed)
+	fmt.Printf("metrics gate: %d families, %d counters match /stats (submitted %d = done %d + failed %d + cancelled %d; %d rejections outside)\n",
+		m.Families, len(eq), j.Submitted, j.Done, j.Failed, j.Cancelled, j.Rejected)
 	return nil
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// persistView mirrors the BENCH_persist.json fields the persistence gate
+// asserts on (benchgen -persist).
+type persistView struct {
+	Jobs         int     `json:"jobs"`
+	Cold         latView `json:"latency_cold"`
+	Warm         latView `json:"latency_warm_restart"`
+	SpeedupP50   float64 `json:"warm_speedup_p50"`
+	WarmRequests int     `json:"warm_requests"`
+	WarmHits     int     `json:"warm_hits"`
+	EcoBaseHit   bool    `json:"eco_base_hit_after_restart"`
+	Stats        struct {
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+		Store *storeView `json:"store"`
+	} `json:"server_stats"`
+}
+
+// storeView mirrors the persistent tier's stats section of a service report.
+type storeView struct {
+	Writes             int64 `json:"writes"`
+	WriteErrors        int64 `json:"write_errors"`
+	Dropped            int64 `json:"dropped"`
+	Pending            int64 `json:"pending"`
+	ResultEntries      int64 `json:"result_entries"`
+	BaseEntries        int64 `json:"base_entries"`
+	WarmResults        int64 `json:"warm_results"`
+	WarmBases          int64 `json:"warm_bases"`
+	WarmSkippedCorrupt int64 `json:"warm_skipped_corrupt"`
+	WarmSkippedVersion int64 `json:"warm_skipped_version"`
+	WarmSkippedIO      int64 `json:"warm_skipped_io"`
+}
+
+type latView struct {
+	P50 float64 `json:"p50_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+// cmdPersist re-checks the restart benchmark's contract from its report: the
+// restarted daemon served every replayed request from the disk-warmed cache,
+// resolved an unseen-delta ECO from the persisted base snapshot, loaded the
+// warm start without skipping a single file, and the warm path was actually
+// faster than recomputing. The benchmark binary asserts most of this before
+// exiting zero; this gate keeps the committed artifact honest independently
+// of that exit code.
+func cmdPersist(args []string) error {
+	fs := flag.NewFlagSet("persist", flag.ExitOnError)
+	minSpeedup := fs.Float64("min-speedup", 3, "required cold/warm p50 ratio across the restart")
+	fs.Parse(args)
+	var r persistView
+	if err := decode(fs, "BENCH_persist.json", &r); err != nil {
+		return err
+	}
+	var bad []string
+	if r.Jobs <= 0 || r.WarmRequests <= 0 {
+		return fmt.Errorf("header implausible: jobs %d, warm_requests %d", r.Jobs, r.WarmRequests)
+	}
+	if r.WarmHits != r.WarmRequests {
+		bad = append(bad, fmt.Sprintf("only %d/%d post-restart requests were cache hits (persistence did not survive the restart)", r.WarmHits, r.WarmRequests))
+	}
+	if !r.EcoBaseHit {
+		bad = append(bad, "post-restart eco recomputed its base: the persisted base snapshot was not found")
+	}
+	st := r.Stats.Store
+	if st == nil {
+		return fmt.Errorf("no store section in server_stats (benchmark run without a cache dir?)")
+	}
+	if st.WarmResults < int64(r.Jobs) {
+		bad = append(bad, fmt.Sprintf("warm start loaded %d results, want >= %d (the cold run persisted every job)", st.WarmResults, r.Jobs))
+	}
+	if st.WarmBases < 1 {
+		bad = append(bad, "warm start loaded no base snapshots")
+	}
+	if skipped := st.WarmSkippedCorrupt + st.WarmSkippedVersion + st.WarmSkippedIO; skipped != 0 {
+		bad = append(bad, fmt.Sprintf("warm start skipped %d files (%d corrupt, %d version, %d io) over a cleanly closed store",
+			skipped, st.WarmSkippedCorrupt, st.WarmSkippedVersion, st.WarmSkippedIO))
+	}
+	if st.WriteErrors != 0 || st.Dropped != 0 {
+		bad = append(bad, fmt.Sprintf("write-behind lost data: %d write errors, %d dropped", st.WriteErrors, st.Dropped))
+	}
+	if r.Cold.P50 <= 0 || r.Warm.P50 <= 0 {
+		bad = append(bad, fmt.Sprintf("latency columns implausible: cold p50 %v ms, warm p50 %v ms", r.Cold.P50, r.Warm.P50))
+	} else if r.SpeedupP50 < *minSpeedup {
+		bad = append(bad, fmt.Sprintf("warm restart only %.1fx faster than cold (p50 %.2f -> %.2f ms), want >= %.1fx",
+			r.SpeedupP50, r.Cold.P50, r.Warm.P50, *minSpeedup))
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("persistence contract violated:\n  %s", strings.Join(bad, "\n  "))
+	}
+	fmt.Printf("persist gate: %d/%d warm hits across restart, eco base hit, %d results + %d bases loaded, 0 skips, %.0fx p50 speedup\n",
+		r.WarmHits, r.WarmRequests, st.WarmResults, st.WarmBases, r.SpeedupP50)
+	return nil
+}
+
+// cmdWarm asserts, from any service report that embeds server_stats (a
+// chaos soak or load run with -cache-dir), that the daemon actually
+// warm-started from the persistent tier. Unlike the persist gate this one
+// tolerates warm-start skips — debris from an interrupted run is exactly
+// what the restart-mid-chaos soak produces — but it never tolerates
+// write-behind data loss or a silently empty warm start.
+func cmdWarm(args []string) error {
+	fs := flag.NewFlagSet("warm", flag.ExitOnError)
+	minResults := fs.Int64("min-results", 1, "required warm-loaded result blobs")
+	fs.Parse(args)
+	var r struct {
+		Stats struct {
+			Store *storeView `json:"store"`
+		} `json:"server_stats"`
+	}
+	if err := decode(fs, "BENCH_chaos.json", &r); err != nil {
+		return err
+	}
+	st := r.Stats.Store
+	if st == nil {
+		return fmt.Errorf("no store section in server_stats (run without -cache-dir?)")
+	}
+	var bad []string
+	if st.WarmResults < *minResults {
+		bad = append(bad, fmt.Sprintf("warm start loaded %d results, want >= %d (persistence silently stopped working)", st.WarmResults, *minResults))
+	}
+	if st.WriteErrors != 0 || st.Dropped != 0 {
+		bad = append(bad, fmt.Sprintf("write-behind lost data: %d write errors, %d dropped", st.WriteErrors, st.Dropped))
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("warm-start contract violated:\n  %s", strings.Join(bad, "\n  "))
+	}
+	fmt.Printf("warm gate: %d results + %d bases loaded (skipped: %d corrupt, %d version, %d io)\n",
+		st.WarmResults, st.WarmBases, st.WarmSkippedCorrupt, st.WarmSkippedVersion, st.WarmSkippedIO)
+	return nil
+}

@@ -4,6 +4,7 @@
 //
 //	dsctsd [-addr :8577] [-max-running 4] [-max-queued 64] [-workers 0] [-cache 128]
 //	       [-job-timeout 0] [-watchdog-grace 2s] [-idem-entries 512]
+//	       [-cache-dir ""] [-qos-classes interactive:3,batch:1] [-tenant-quota 0]
 //	       [-metrics] [-debug-addr ""] [-log-level info] [-log-format text]
 //	       [-fault-spec ""] [-fault-seed 1]
 //
@@ -30,6 +31,21 @@
 // On SIGTERM/SIGINT the daemon drains first — /readyz flips to 503 so load
 // balancers divert traffic — then shuts the listener down gracefully and
 // cancels whatever is still in flight.
+//
+// Persistence: -cache-dir names a directory for the disk-backed cache tier.
+// Finished results and retained ECO bases are written behind the in-memory
+// caches (write-behind, never on the request path) and reloaded on the next
+// start, so a restarted daemon serves previously-computed requests as cache
+// hits — POST /eco bases included. Corrupt or version-mismatched files are
+// skipped, counted and deleted at warm start. Empty (the default) disables
+// persistence.
+//
+// QoS: -qos-classes configures the priority classes as "name:weight,..."
+// (first class is the default; requests pick one with the "class" field).
+// Dispatch is weighted-fair across classes and round-robin across tenants
+// within a class; the "tenant" request field or X-Tenant header names the
+// tenant. -tenant-quota caps each tenant's outstanding jobs (429 past it;
+// 0 = unlimited).
 //
 // -fault-spec arms the deterministic fault-injection registry (see
 // internal/fault) for chaos testing a real deployment; leave it empty in
@@ -59,6 +75,7 @@ import (
 	"dscts/internal/fault"
 	"dscts/internal/obs"
 	"dscts/internal/serve"
+	"dscts/internal/store"
 )
 
 func main() {
@@ -72,6 +89,9 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job running wall-clock deadline (0 = none; requests can shorten it via timeout_ms)")
 		wdGrace    = flag.Duration("watchdog-grace", 0, "how long a cancelled/expired job may keep running before its worker is force-reclaimed (0 = default 2s)")
 		idemSize   = flag.Int("idem-entries", 0, "idempotency keys retained for deduplicating retried submissions (0 = default 512, negative disables)")
+		cacheDir   = flag.String("cache-dir", "", "directory for the persistent cache tier (empty = in-memory only; results and ECO bases survive restarts when set)")
+		qosClasses = flag.String("qos-classes", "", "QoS classes as name:weight,... — first is the default class (empty = interactive:3,batch:1)")
+		tenQuota   = flag.Int("tenant-quota", 0, "max outstanding jobs per tenant (0 = unlimited)")
 		metricsOn  = flag.Bool("metrics", true, "serve the Prometheus registry at GET /metrics")
 		debugAddr  = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = disabled; never expose publicly)")
 		logLevel   = flag.String("log-level", "info", "minimum log severity: debug, info, warn or error")
@@ -101,11 +121,32 @@ func main() {
 	if *metricsOn {
 		metrics = obs.NewRegistry()
 	}
+	classes, err := serve.ParseQoSClasses(*qosClasses)
+	if err != nil {
+		logger.Error("bad -qos-classes", "error", err)
+		os.Exit(1)
+	}
+	// The daemon owns the store: opened (and warm-start verified) before the
+	// server exists, closed — flushing the write-behind tail — after the
+	// queue has fully drained.
+	var st *store.Store
+	if *cacheDir != "" {
+		if st, err = store.Open(store.Config{Dir: *cacheDir, Logger: logger}); err != nil {
+			logger.Error("cannot open -cache-dir", "dir", *cacheDir, "error", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				logger.Error("store close failed", "error", err)
+			}
+		}()
+	}
 	srv := serve.NewServer(serve.Config{
 		MaxRunning: *maxRunning, MaxQueued: *maxQueued,
 		Workers: *workers, CacheEntries: *cacheSize, RetainJobs: *retain,
 		JobTimeout: *jobTimeout, WatchdogGrace: *wdGrace,
 		IdempotencyEntries: *idemSize, Faults: reg,
+		QoSClasses: classes, TenantQuota: *tenQuota, Store: st,
 		Metrics: metrics, Logger: logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -128,6 +169,9 @@ func main() {
 	select {
 	case err := <-errc:
 		srv.Close()
+		if st != nil {
+			st.Close() // os.Exit skips the deferred close
+		}
 		logger.Error("listener failed", "error", err)
 		os.Exit(1)
 	case sig := <-sigc:
@@ -140,6 +184,9 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			logger.Error("shutdown failed", "error", err)
 			srv.Close()
+			if st != nil {
+				st.Close()
+			}
 			os.Exit(1)
 		}
 		srv.Close() // cancels in-flight jobs, joins runners

@@ -206,6 +206,19 @@ type Registry struct {
 	byPoint map[string][]*armed
 }
 
+// GobEncode serializes a registry as nothing: an armed fault schedule is
+// process-local test scaffolding that must never ride into persisted
+// snapshots (internal/store gob-encodes structures whose options carry a
+// *Registry field). Without an explicit codec, gob would reject the whole
+// containing type — Registry has no exported fields.
+func (r *Registry) GobEncode() ([]byte, error) { return nil, nil }
+
+// GobDecode restores the empty encoding as an unarmed registry.
+func (r *Registry) GobDecode([]byte) error {
+	*r = Registry{}
+	return nil
+}
+
 // New arms a registry with the given seed and rules.
 func New(seed int64, rules ...Rule) (*Registry, error) {
 	r := &Registry{seed: uint64(seed), byPoint: make(map[string][]*armed)}

@@ -1,0 +1,61 @@
+package geom
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// TestBBoxGobRoundTrip pins the custom BBox codec: gob ignores unexported
+// fields, so without GobEncode/GobDecode the `valid` flag would silently
+// decode as false and every persisted box would report invalid. The codec
+// must carry bounds AND validity, for both the zero box and a grown one.
+func TestBBoxGobRoundTrip(t *testing.T) {
+	boxes := []BBox{
+		{},                                // zero value: invalid, must stay invalid
+		NewBBox(Pt(1, 2)),                 // degenerate but valid
+		NewBBox(Pt(-3, 4), Pt(10, -2.5)),  // ordinary box
+		NewBBox(Pt(0, 0), Pt(1e12, 1e12)), // large coordinates
+	}
+	for i, b := range boxes {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&b); err != nil {
+			t.Fatalf("box %d: encode: %v", i, err)
+		}
+		var got BBox
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+			t.Fatalf("box %d: decode: %v", i, err)
+		}
+		if got.Valid() != b.Valid() {
+			t.Errorf("box %d: validity %v -> %v", i, b.Valid(), got.Valid())
+		}
+		if got != b {
+			t.Errorf("box %d: round trip changed the box: %+v -> %+v", i, b, got)
+		}
+	}
+
+	// A struct embedding a BBox round-trips too (the codec is what the ECO
+	// base snapshots rely on, where boxes ride inside retained state).
+	type wrapper struct {
+		Name string
+		Box  BBox
+	}
+	w := wrapper{Name: "region", Box: NewBBox(Pt(1, 1), Pt(2, 9))}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		t.Fatal(err)
+	}
+	var got wrapper
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Errorf("wrapped box changed: %+v -> %+v", w, got)
+	}
+
+	// Truncated payloads error instead of fabricating a box.
+	var bad BBox
+	if err := bad.GobDecode([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated payload decoded")
+	}
+}

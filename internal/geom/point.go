@@ -10,6 +10,7 @@
 package geom
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 )
@@ -114,6 +115,35 @@ func (b *BBox) Union(o BBox) {
 
 // Valid reports whether the box contains at least one point.
 func (b BBox) Valid() bool { return b.valid }
+
+// GobEncode serializes the box INCLUDING the unexported emptiness flag;
+// without it a gob round-trip would silently turn every non-empty box into
+// the empty one, breaking Grow/Union/Valid on restored state (the serve
+// persistence tier snapshots retained ECO bases with gob).
+func (b BBox) GobEncode() ([]byte, error) {
+	out := make([]byte, 33)
+	binary.LittleEndian.PutUint64(out[0:8], math.Float64bits(b.MinX))
+	binary.LittleEndian.PutUint64(out[8:16], math.Float64bits(b.MinY))
+	binary.LittleEndian.PutUint64(out[16:24], math.Float64bits(b.MaxX))
+	binary.LittleEndian.PutUint64(out[24:32], math.Float64bits(b.MaxY))
+	if b.valid {
+		out[32] = 1
+	}
+	return out, nil
+}
+
+// GobDecode is the inverse of GobEncode.
+func (b *BBox) GobDecode(data []byte) error {
+	if len(data) != 33 {
+		return fmt.Errorf("geom: bad BBox gob payload: %d bytes", len(data))
+	}
+	b.MinX = math.Float64frombits(binary.LittleEndian.Uint64(data[0:8]))
+	b.MinY = math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+	b.MaxX = math.Float64frombits(binary.LittleEndian.Uint64(data[16:24]))
+	b.MaxY = math.Float64frombits(binary.LittleEndian.Uint64(data[24:32]))
+	b.valid = data[32] == 1
+	return nil
+}
 
 // W returns the box width.
 func (b BBox) W() float64 { return b.MaxX - b.MinX }

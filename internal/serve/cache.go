@@ -18,6 +18,10 @@ type CacheStats struct {
 	// Corruptions counts entries whose integrity checksum failed on read;
 	// each was evicted and recomputed instead of served (result cache only).
 	Corruptions int64 `json:"corruptions,omitempty"`
+	// EncodeDrops counts results whose checksum encoding failed at store
+	// time; each was dropped instead of cached under a bogus sum (result
+	// cache only).
+	EncodeDrops int64 `json:"encode_drops,omitempty"`
 }
 
 // lru is a content-addressed cache with LRU eviction. Stored values are
@@ -27,13 +31,14 @@ type CacheStats struct {
 // entries) and the ECO base cache (full retained outcomes, heavy, few
 // entries).
 type lru[V any] struct {
-	mu        sync.Mutex
-	max       int
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
+	mu          sync.Mutex
+	max         int
+	ll          *list.List // front = most recently used
+	items       map[string]*list.Element
+	hits        int64
+	misses      int64
+	evictions   int64
+	corruptions int64
 }
 
 type lruEntry[V any] struct {
@@ -61,6 +66,35 @@ func (c *lru[V]) Get(key string) (V, bool) {
 	c.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*lruEntry[V]).val, true
+}
+
+// GetChecked is Get with an integrity gate: the entry is handed to verify
+// while the cache lock is held, and a failing entry is removed and counted
+// as a corruption, an eviction AND a miss in the same critical section. A
+// concurrent Stats snapshot therefore always sees the three counters agree
+// about every lookup — there is no window where a corrupted read has been
+// counted as a hit but not yet reclassified.
+func (c *lru[V]) GetChecked(key string, verify func(V) bool) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	e := el.Value.(*lruEntry[V])
+	if verify != nil && !verify(e.val) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.corruptions++
+		c.evictions++
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return e.val, true
 }
 
 // Put stores a value, evicting the least recently used entry beyond
@@ -115,6 +149,7 @@ func (c *lru[V]) Stats() CacheStats {
 	return CacheStats{
 		Entries: c.ll.Len(), MaxEntries: c.max,
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Corruptions: c.corruptions,
 	}
 }
 
@@ -132,30 +167,39 @@ type cachedResult struct {
 // miss — the caller recomputes instead of serving garbage.
 type cache struct {
 	lru         *lru[cachedResult]
-	corruptions atomic.Int64
+	encodeDrops atomic.Int64
 }
 
 func newCache(maxEntries int) *cache {
 	return &cache{lru: newLRU[cachedResult](maxEntries, 128)}
 }
 
-// Get returns the cached result after verifying its checksum.
+// Get returns the cached result after verifying its checksum. Verification
+// runs under the LRU lock so the hit/miss/corruption counters stay
+// mutually consistent (see lru.GetChecked).
 func (c *cache) Get(key string) (*Result, bool) {
-	e, ok := c.lru.Get(key)
+	e, ok := c.lru.GetChecked(key, func(e cachedResult) bool {
+		sum, err := checksumResult(e.res)
+		return err == nil && sum == e.sum
+	})
 	if !ok {
-		return nil, false
-	}
-	if checksumResult(e.res) != e.sum {
-		c.corruptions.Add(1)
-		c.lru.Remove(key)
 		return nil, false
 	}
 	return e.res, true
 }
 
-// Put stores a result with a fresh checksum.
-func (c *cache) Put(key string, res *Result) {
-	c.lru.Put(key, cachedResult{res: res, sum: checksumResult(res)})
+// Put stores a result with a fresh checksum. A result whose canonical
+// encoding fails — which a well-formed engine result never does — is
+// dropped and counted instead of stored under a checksum over a truncated
+// stream, which a later Get would misreport as a corruption.
+func (c *cache) Put(key string, res *Result) bool {
+	sum, err := checksumResult(res)
+	if err != nil {
+		c.encodeDrops.Add(1)
+		return false
+	}
+	c.lru.Put(key, cachedResult{res: res, sum: sum})
+	return true
 }
 
 // Corrupt flips the stored checksum of an entry, simulating in-place
@@ -171,21 +215,24 @@ func (c *cache) Corrupt(key string) bool {
 }
 
 // Stats snapshots the counters. A corrupted read counts as a miss (the
-// caller recomputed), not a hit, and its eviction is included in Evictions.
+// caller recomputed), not a hit, and its eviction is included in Evictions;
+// all three are taken from one LRU snapshot, so no transient combination
+// (negative hits included) is ever observable.
 func (c *cache) Stats() CacheStats {
 	st := c.lru.Stats()
-	corr := c.corruptions.Load()
-	st.Hits -= corr
-	st.Misses += corr
-	st.Corruptions = corr
+	st.EncodeDrops = c.encodeDrops.Load()
 	return st
 }
 
 // checksumResult hashes the canonical JSON encoding of a result (FNV-64a).
 // JSON keeps the walk stable (struct order, sorted maps) and exactly covers
-// what a client could ever be served.
-func checksumResult(r *Result) uint64 {
+// what a client could ever be served. An encode failure is surfaced, not
+// swallowed: a sum over a truncated stream would be indistinguishable from
+// in-place corruption on the next read.
+func checksumResult(r *Result) (uint64, error) {
 	h := fnv.New64a()
-	json.NewEncoder(h).Encode(r)
-	return h.Sum64()
+	if err := json.NewEncoder(h).Encode(r); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"dscts/internal/obs"
 	"dscts/internal/par"
+	"dscts/internal/store"
 )
 
 // metrics is the queue's instrument set. Counters and gauges that mirror
@@ -55,6 +56,10 @@ func newMetrics(reg *obs.Registry, q *Queue) *metrics {
 		"Submissions rejected by admission control: the queue was closed.",
 		func() float64 { return float64(q.rejectedClosed.Load()) },
 		obs.L("reason", "closed"))
+	reg.CounterFunc("dscts_jobs_rejected_total",
+		"Submissions rejected by admission control: the tenant's outstanding-job quota.",
+		func() float64 { return float64(q.rejectedQuota.Load()) },
+		obs.L("reason", "quota"))
 	reg.CounterFunc("dscts_jobs_total", "Jobs finished done.",
 		func() float64 { return float64(q.doneCt.Load()) }, obs.L("state", "done"))
 	reg.CounterFunc("dscts_jobs_total", "Jobs finished failed.",
@@ -78,10 +83,10 @@ func newMetrics(reg *obs.Registry, q *Queue) *metrics {
 		func() float64 { return float64(q.abandonCt.Load()) })
 	reg.GaugeFunc("dscts_jobs_queue_depth",
 		"Jobs admitted and waiting for a runner.",
-		func() float64 { return float64(len(q.pending)) })
+		func() float64 { return float64(q.sched.Len()) })
 	reg.GaugeFunc("dscts_jobs_queue_capacity",
 		"Pending-queue bound past which submissions are rejected with 429.",
-		func() float64 { return float64(cap(q.pending)) })
+		func() float64 { return float64(q.cfg.MaxQueued) })
 	reg.GaugeFunc("dscts_jobs_running",
 		"Jobs currently executing on a runner.",
 		func() float64 { return float64(q.countState(StateRunning)) })
@@ -100,6 +105,9 @@ func newMetrics(reg *obs.Registry, q *Queue) *metrics {
 	reg.CounterFunc("dscts_cache_corruptions_total",
 		"Result-cache entries dropped by the integrity check (counted in misses too).",
 		func() float64 { return float64(q.cache.Stats().Corruptions) })
+	reg.CounterFunc("dscts_cache_encode_drops_total",
+		"Results dropped at store time because their checksum encoding failed.",
+		func() float64 { return float64(q.cache.Stats().EncodeDrops) })
 	reg.GaugeFunc("dscts_cache_entries", "Result-cache entries currently resident.",
 		func() float64 { return float64(q.cache.Stats().Entries) })
 	reg.CounterFunc("dscts_eco_base_hits_total", "ECO base-outcome cache hits.",
@@ -109,6 +117,81 @@ func newMetrics(reg *obs.Registry, q *Queue) *metrics {
 		func() float64 { return float64(q.baseStats().Misses) })
 	reg.GaugeFunc("dscts_eco_base_entries", "ECO base outcomes currently retained.",
 		func() float64 { return float64(q.baseStats().Entries) })
+
+	// QoS classes are fixed at startup, so per-class instruments register
+	// once, each closing over that class's scheduler state; the label set
+	// is exactly the configured class list.
+	for _, c := range q.sched.classes {
+		c := c
+		reg.GaugeFunc("dscts_qos_pending",
+			"Jobs waiting for a runner, by QoS class.",
+			func() float64 { return float64(q.sched.pendingOf(c)) },
+			obs.L("class", c.name))
+		reg.GaugeFunc("dscts_qos_running",
+			"Jobs currently executing, by QoS class.",
+			func() float64 { return float64(q.sched.runningOf(c)) },
+			obs.L("class", c.name))
+		reg.GaugeFunc("dscts_qos_share",
+			"Running-slot budget of the class under contention (weighted slice of max_running).",
+			func() float64 { return float64(c.share) },
+			obs.L("class", c.name))
+		reg.CounterFunc("dscts_qos_dispatched_total",
+			"Jobs handed to runners, by QoS class.",
+			func() float64 { return float64(c.dispatched.Load()) },
+			obs.L("class", c.name))
+		reg.CounterFunc("dscts_qos_jobs_total", "Jobs finished done, by QoS class.",
+			func() float64 { return float64(c.doneCt.Load()) },
+			obs.L("class", c.name), obs.L("state", "done"))
+		reg.CounterFunc("dscts_qos_jobs_total", "Jobs finished failed, by QoS class.",
+			func() float64 { return float64(c.failedCt.Load()) },
+			obs.L("class", c.name), obs.L("state", "failed"))
+		reg.CounterFunc("dscts_qos_jobs_total", "Jobs finished cancelled, by QoS class.",
+			func() float64 { return float64(c.cancelledCt.Load()) },
+			obs.L("class", c.name), obs.L("state", "cancelled"))
+	}
+
+	// Store families register unconditionally (zero-valued when persistence
+	// is off) so the family set — which tests pin — does not depend on
+	// configuration.
+	sv := func(f func(store.Stats) int64) func() float64 {
+		return func() float64 {
+			if q.cfg.Store == nil {
+				return 0
+			}
+			return float64(f(q.cfg.Store.Stats()))
+		}
+	}
+	reg.CounterFunc("dscts_store_writes_total",
+		"Blobs persisted by the write-behind store.",
+		sv(func(s store.Stats) int64 { return s.Writes }))
+	reg.CounterFunc("dscts_store_write_errors_total",
+		"Store persist attempts that failed (entry lost from disk, kept in memory).",
+		sv(func(s store.Stats) int64 { return s.WriteErrors }))
+	reg.CounterFunc("dscts_store_dropped_total",
+		"Writes discarded because the write-behind queue was full or the store closed.",
+		sv(func(s store.Stats) int64 { return s.Dropped }))
+	reg.GaugeFunc("dscts_store_pending",
+		"Write-behind backlog of the persistent store.",
+		sv(func(s store.Stats) int64 { return s.Pending }))
+	reg.GaugeFunc("dscts_store_entries", "Result blobs currently on disk.",
+		sv(func(s store.Stats) int64 { return s.ResultEntries }), obs.L("kind", "result"))
+	reg.GaugeFunc("dscts_store_entries", "ECO base blobs currently on disk.",
+		sv(func(s store.Stats) int64 { return s.BaseEntries }), obs.L("kind", "base"))
+	reg.CounterFunc("dscts_store_warm_loaded_total",
+		"Results loaded into the cache by warm start.",
+		sv(func(s store.Stats) int64 { return s.WarmResults }), obs.L("kind", "result"))
+	reg.CounterFunc("dscts_store_warm_loaded_total",
+		"ECO bases loaded into the cache by warm start.",
+		sv(func(s store.Stats) int64 { return s.WarmBases }), obs.L("kind", "base"))
+	reg.CounterFunc("dscts_store_warm_skipped_total",
+		"Warm-start blobs skipped and deleted: integrity mismatch.",
+		sv(func(s store.Stats) int64 { return s.WarmSkippedCorrupt }), obs.L("reason", "corrupt"))
+	reg.CounterFunc("dscts_store_warm_skipped_total",
+		"Warm-start blobs skipped and deleted: format-version mismatch.",
+		sv(func(s store.Stats) int64 { return s.WarmSkippedVersion }), obs.L("reason", "version"))
+	reg.CounterFunc("dscts_store_warm_skipped_total",
+		"Warm-start blobs skipped and deleted: IO error.",
+		sv(func(s store.Stats) int64 { return s.WarmSkippedIO }), obs.L("reason", "io"))
 
 	reg.CounterFunc("dscts_faults_injected_total",
 		"Fired fault injections across all points (chaos/test builds; 0 in production).",

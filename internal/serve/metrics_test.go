@@ -65,6 +65,7 @@ func TestMetricFamiliesGolden(t *testing.T) {
 	want := []string{
 		"dscts_build_info",
 		"dscts_cache_corruptions_total",
+		"dscts_cache_encode_drops_total",
 		"dscts_cache_entries",
 		"dscts_cache_evictions_total",
 		"dscts_cache_hits_total",
@@ -89,8 +90,20 @@ func TestMetricFamiliesGolden(t *testing.T) {
 		"dscts_jobs_total",
 		"dscts_jobs_watchdog_kills_total",
 		"dscts_phase_duration_seconds",
+		"dscts_qos_dispatched_total",
+		"dscts_qos_jobs_total",
+		"dscts_qos_pending",
+		"dscts_qos_running",
+		"dscts_qos_share",
 		"dscts_readyz_checks_total",
 		"dscts_regions_total",
+		"dscts_store_dropped_total",
+		"dscts_store_entries",
+		"dscts_store_pending",
+		"dscts_store_warm_loaded_total",
+		"dscts_store_warm_skipped_total",
+		"dscts_store_write_errors_total",
+		"dscts_store_writes_total",
 		"dscts_uptime_seconds",
 		"dscts_worker_budget",
 		"go_gc_cycles_total",
@@ -140,6 +153,7 @@ func TestMetricsMatchStats(t *testing.T) {
 		`dscts_jobs_rejected_total{reason="too_large"}`:  float64(stats.Jobs.RejectedLarge),
 		`dscts_jobs_rejected_total{reason="queue_full"}`: float64(stats.Jobs.RejectedFull),
 		`dscts_jobs_rejected_total{reason="closed"}`:     float64(stats.Jobs.RejectedClosed),
+		`dscts_jobs_rejected_total{reason="quota"}`:      float64(stats.Jobs.RejectedQuota),
 		"dscts_cache_hits_total":                         float64(stats.Cache.Hits),
 		"dscts_cache_misses_total":                       float64(stats.Cache.Misses),
 		"dscts_jobs_panics_total":                        float64(stats.Jobs.Panics),
@@ -152,8 +166,19 @@ func TestMetricsMatchStats(t *testing.T) {
 	if stats.Jobs.RejectedLarge != 1 {
 		t.Errorf("rejected_large = %d, want 1", stats.Jobs.RejectedLarge)
 	}
-	if stats.Jobs.Rejected != stats.Jobs.RejectedFull+stats.Jobs.RejectedLarge+stats.Jobs.RejectedClosed {
+	if stats.Jobs.Rejected != stats.Jobs.RejectedFull+stats.Jobs.RejectedLarge+stats.Jobs.RejectedClosed+stats.Jobs.RejectedQuota {
 		t.Errorf("rejected sum mismatch: %+v", stats.Jobs)
+	}
+	// The accounting identity: submitted counts ADMITTED jobs only, so the
+	// terminal states plus the in-flight ones always sum back to it — a
+	// rejection (the 413 above) must not leak into submitted.
+	if got := stats.Jobs.Done + stats.Jobs.Failed + stats.Jobs.Cancelled +
+		stats.Jobs.Queued + stats.Jobs.Running; got != stats.Jobs.Submitted {
+		t.Errorf("accounting identity broken: done+failed+cancelled+queued+running = %d, submitted = %d",
+			got, stats.Jobs.Submitted)
+	}
+	if stats.Jobs.Submitted != 3 {
+		t.Errorf("submitted = %d, want 3 (the rejected submission must not count)", stats.Jobs.Submitted)
 	}
 	// Done-job latency observations must sum to the done counter.
 	durCount := m[`dscts_job_duration_seconds_count{cache="hit"}`] + m[`dscts_job_duration_seconds_count{cache="miss"}`]

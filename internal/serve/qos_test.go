@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// TestParseQoSClasses pins the -qos-classes grammar.
+func TestParseQoSClasses(t *testing.T) {
+	got, err := ParseQoSClasses("")
+	if err != nil || len(got) != 2 || got[0].Name != "interactive" || got[0].Weight != 3 ||
+		got[1].Name != "batch" || got[1].Weight != 1 {
+		t.Errorf("empty spec: %v, %v; want the default interactive:3,batch:1", got, err)
+	}
+	got, err = ParseQoSClasses(" gold:5 , silver:2 ")
+	if err != nil || len(got) != 2 || got[0] != (QoSClass{Name: "gold", Weight: 5}) ||
+		got[1] != (QoSClass{Name: "silver", Weight: 2}) {
+		t.Errorf("gold/silver spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"noweight", "a:x", "a:0", "a:-1", ":3", "a:1,a:2"} {
+		if _, err := ParseQoSClasses(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func testScheduler(capacity, maxRunning, quota int) *qosScheduler {
+	return newQoSScheduler(DefaultQoSClasses(), capacity, maxRunning, quota)
+}
+
+// TestWeightedFairDispatch: with both classes backlogged and slots freed
+// after every dispatch, the 3:1 weights yield a 3:1 dispatch ratio.
+func TestWeightedFairDispatch(t *testing.T) {
+	s := testScheduler(100, 4, 0)
+	for i := 0; i < 20; i++ {
+		if err := s.push(&Job{tenant: "a", class: "interactive"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.push(&Job{tenant: "b", class: "batch"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[string]int{}
+	for i := 0; i < 16; i++ {
+		job := s.next()
+		counts[job.class]++
+		s.release(job) // slot freed immediately: pure WFQ, no share binding
+	}
+	// Weighted fair queuing delivers the 3:1 ratio over any window, modulo
+	// one dispatch of boundary tie-breaking.
+	if counts["interactive"] < 11 || counts["interactive"] > 13 {
+		t.Errorf("dispatch mix %v, want ~12 interactive of 16", counts)
+	}
+}
+
+// TestShareBoundsRunningSlots: with no slots freed, a backlogged class stops
+// dispatching at its weight-proportional share — until the other class runs
+// dry, at which point work conservation hands it the rest.
+func TestShareBoundsRunningSlots(t *testing.T) {
+	s := testScheduler(100, 4, 0) // shares: interactive 3, batch 1
+	for i := 0; i < 8; i++ {
+		if err := s.push(&Job{tenant: "a", class: "interactive"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.push(&Job{tenant: "b", class: "batch"}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 4; i++ { // fill MaxRunning without releasing
+		counts[s.next().class]++
+	}
+	if counts["interactive"] != 3 || counts["batch"] != 1 {
+		t.Errorf("first 4 slots went %v, want 3 interactive + 1 batch (the shares)", counts)
+	}
+	// Batch is now dry; interactive takes the next slot past its share.
+	if got := s.next(); got.class != "interactive" {
+		t.Errorf("work conservation failed: idle slot given to %q", got.class)
+	}
+}
+
+// TestTenantRoundRobin: inside one class, tenants take turns regardless of
+// how deep any one tenant's backlog is.
+func TestTenantRoundRobin(t *testing.T) {
+	s := testScheduler(100, 4, 0)
+	names := map[*Job]string{}
+	push := func(tenant, label string) {
+		j := &Job{tenant: tenant, class: "interactive"}
+		names[j] = label
+		if err := s.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push("A", "a1")
+	push("A", "a2")
+	push("A", "a3")
+	push("B", "b1")
+	push("C", "c1")
+	var order []string
+	for i := 0; i < 5; i++ {
+		job := s.next()
+		order = append(order, names[job])
+		s.release(job)
+	}
+	want := []string{"a1", "b1", "c1", "a2", "a3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v (round-robin across tenants)", order, want)
+		}
+	}
+}
+
+// TestTenantQuotaOutstanding: the quota counts queued AND running jobs, and
+// release/drain return the units.
+func TestTenantQuotaOutstanding(t *testing.T) {
+	s := testScheduler(100, 4, 2)
+	j1, j2 := &Job{tenant: "t", class: "batch"}, &Job{tenant: "t", class: "batch"}
+	if err := s.push(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.push(j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.push(&Job{tenant: "t", class: "batch"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("third push: %v, want ErrQuota", err)
+	}
+	// Another tenant is unaffected.
+	if err := s.push(&Job{tenant: "u", class: "batch"}); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	// Dispatching does NOT free a unit — the job is still outstanding.
+	got := s.next()
+	if err := s.push(&Job{tenant: "t", class: "batch"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("push while running: %v, want ErrQuota (quota covers running jobs)", err)
+	}
+	s.release(got)
+	if err := s.push(&Job{tenant: "t", class: "batch"}); err != nil {
+		t.Fatalf("push after release: %v, want admission", err)
+	}
+	if n := len(s.drain()); n != 3 {
+		t.Errorf("drained %d jobs, want 3", n)
+	}
+	if out := s.outstandingOf("t"); out != 0 {
+		t.Errorf("tenant t still has %d outstanding after drain", out)
+	}
+}
+
+// TestSchedulerCapacityAndClose: capacity rejects with ErrQueueFull, close
+// rejects with ErrClosed and wakes blocked dispatchers with nil.
+func TestSchedulerCapacityAndClose(t *testing.T) {
+	s := testScheduler(2, 1, 0)
+	s.push(&Job{tenant: "a", class: "batch"})
+	s.push(&Job{tenant: "a", class: "batch"})
+	if err := s.push(&Job{tenant: "a", class: "batch"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push past capacity: %v, want ErrQueueFull", err)
+	}
+	done := make(chan *Job)
+	go func() {
+		s.next() // drains one pending
+		s.next()
+		done <- s.next() // blocks until close
+	}()
+	s.close()
+	if job := <-done; job != nil {
+		t.Errorf("next after close returned %v, want nil", job)
+	}
+	if err := s.push(&Job{tenant: "a", class: "batch"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("push after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestTenantQuotaHTTP: the admission quota surfaces as 429 with Retry-After,
+// is per-tenant, accepts the X-Tenant header as the tenant spelling, and is
+// accounted as a rejection — never a submission.
+func TestTenantQuotaHTTP(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxRunning: 1, MaxQueued: 8, Workers: 1, TenantQuota: 1,
+		// Hold the first job in flight so quotas bind deterministically.
+		Faults: mustFaults(t, "delay@serve.job:every=1:30s", 1),
+	})
+	ctx := context.Background()
+
+	first, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C1", Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State == StateDone {
+		t.Fatal("job finished under a 30s delay fault; quota cannot bind")
+	}
+
+	_, err = client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C2", Tenant: "acme"})
+	var apiErr *apiError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit returned %v, want HTTP 429", err)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Error("429 carried no Retry-After hint")
+	}
+
+	// The X-Tenant header is an alias for the body field.
+	body, _ := json.Marshal(&Request{Design: "C2"})
+	hreq, err := http.NewRequest(http.MethodPost, client.Base+"/synthesize?mode=async", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Tenant", "acme")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("header-spelled tenant got %d, want 429", resp.StatusCode)
+	}
+
+	// A different tenant is admitted; the default tenant too.
+	if _, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C2", Tenant: "rival"}); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	if _, err := client.SubmitAsync(ctx, KindSynthesize, &Request{Design: "C3"}); err != nil {
+		t.Fatalf("default tenant rejected: %v", err)
+	}
+
+	st := s.Queue().Stats()
+	if st.Jobs.RejectedQuota != 2 {
+		t.Errorf("rejected_quota = %d, want 2", st.Jobs.RejectedQuota)
+	}
+	if st.Jobs.Submitted != 3 {
+		t.Errorf("submitted = %d, want 3 (rejections are not submissions)", st.Jobs.Submitted)
+	}
+	if st.QoS.TenantQuota != 1 {
+		t.Errorf("stats tenant_quota = %d, want 1", st.QoS.TenantQuota)
+	}
+	acme := st.QoS.Tenants["acme"]
+	if acme.Submitted != 1 || acme.RejectedQuota != 2 || acme.Outstanding != 1 {
+		t.Errorf("acme counters %+v, want 1 submitted, 2 quota-rejected, 1 outstanding", acme)
+	}
+	if rival := st.QoS.Tenants["rival"]; rival.Submitted != 1 || rival.RejectedQuota != 0 {
+		t.Errorf("rival counters %+v, want a clean admission", rival)
+	}
+}
+
+// TestUnknownClassRejected: naming a class outside the configured set is a
+// 400, not a silent fallback — a typo must not quietly demote (or promote)
+// a tenant's traffic.
+func TestUnknownClassRejected(t *testing.T) {
+	s, client := newTestServer(t, Config{MaxRunning: 1, MaxQueued: 4, Workers: 1})
+	_, err := client.Synthesize(context.Background(), &Request{Design: "C1", Class: "platinum"})
+	var apiErr *apiError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("unknown class returned %v, want HTTP 400", err)
+	}
+	if st := s.Queue().Stats(); st.Jobs.Submitted != 0 {
+		t.Errorf("submitted = %d after a rejected class, want 0", st.Jobs.Submitted)
+	}
+}
+
+// TestClassAccounting: jobs land in their class's dispatch and terminal
+// counters, the default class absorbs unclassed requests, and /stats carries
+// the configured class set.
+func TestClassAccounting(t *testing.T) {
+	s, client := newTestServer(t, Config{MaxRunning: 2, MaxQueued: 8, Workers: 1})
+	ctx := context.Background()
+	if _, err := client.Synthesize(ctx, &Request{Design: "C1", Class: "batch", Tenant: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Synthesize(ctx, &Request{Design: "C2"}); err != nil { // default class + tenant
+		t.Fatal(err)
+	}
+
+	st := s.Queue().Stats()
+	if st.QoS.DefaultClass != "interactive" {
+		t.Errorf("default_class = %q", st.QoS.DefaultClass)
+	}
+	byName := map[string]ClassStats{}
+	for _, c := range st.QoS.Classes {
+		byName[c.Name] = c
+	}
+	if b := byName["batch"]; b.Dispatched != 1 || b.Done != 1 || b.Weight != 1 {
+		t.Errorf("batch class %+v, want 1 dispatched, 1 done", b)
+	}
+	if i := byName["interactive"]; i.Dispatched != 1 || i.Done != 1 || i.Share != 1 {
+		t.Errorf("interactive class %+v, want 1 dispatched, 1 done, share 3*2/4 = 1", i)
+	}
+	if d := st.QoS.Tenants["default"]; d.Submitted != 1 || d.Done != 1 {
+		t.Errorf("default tenant %+v, want 1 submitted, 1 done", d)
+	}
+	if a := st.QoS.Tenants["acme"]; a.Done != 1 {
+		t.Errorf("acme tenant %+v, want 1 done", a)
+	}
+}
+
+// TestCacheHitCountsForClass: a cache hit never touches the scheduler's
+// queue, but still lands in its class's and tenant's terminal counters —
+// the accounting identity covers every submission.
+func TestCacheHitCountsForClass(t *testing.T) {
+	s, client := newTestServer(t, Config{MaxRunning: 1, MaxQueued: 4, Workers: 1})
+	ctx := context.Background()
+	req := &Request{Design: "C1", Class: "batch", Tenant: "acme"}
+	if _, err := client.Synthesize(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := client.Synthesize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("second identical request missed the cache")
+	}
+	st := s.Queue().Stats()
+	var batch ClassStats
+	for _, c := range st.QoS.Classes {
+		if c.Name == "batch" {
+			batch = c
+		}
+	}
+	if batch.Done != 2 || batch.Dispatched != 1 {
+		t.Errorf("batch class %+v, want 2 done from 1 dispatch (the hit skipped the queue)", batch)
+	}
+	if a := st.QoS.Tenants["acme"]; a.Submitted != 2 || a.Done != 2 {
+		t.Errorf("acme tenant %+v, want 2 submitted, 2 done", a)
+	}
+	if st.Jobs.Submitted != 2 || st.Jobs.Done != 2 {
+		t.Errorf("identity: submitted %d done %d, want 2 and 2", st.Jobs.Submitted, st.Jobs.Done)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"dscts/internal/fault"
 	"dscts/internal/obs"
 	"dscts/internal/par"
+	"dscts/internal/store"
 )
 
 // Job kinds.
@@ -204,6 +205,11 @@ type Job struct {
 	req    *Request
 	design string
 	sinks  int
+	// tenant and class are the job's QoS coordinates, fixed at admission
+	// (request field or X-Tenant header; empty tenant → "default", empty
+	// class → the configured default class).
+	tenant string
+	class  string
 	// reqID is the HTTP request ID that admitted the job (empty for direct
 	// queue submissions); it threads through the job's log lines so a
 	// client-reported ID leads straight to the job.
@@ -454,6 +460,23 @@ type Config struct {
 	// maps to the original job instead of running again. 0 uses
 	// DefaultIdempotencyEntries; negative disables keyed dedup.
 	IdempotencyEntries int
+	// QoSClasses configures the job queue's priority classes (weighted
+	// fair-share dispatch and running-slot budgets; see qosScheduler). The
+	// FIRST class is the default for requests that name none. Empty uses
+	// DefaultQoSClasses (interactive:3, batch:1).
+	QoSClasses []QoSClass
+	// TenantQuota caps each tenant's outstanding (queued or running)
+	// jobs; past it submissions are rejected with ErrQuota (HTTP 429). 0
+	// disables per-tenant quotas.
+	TenantQuota int
+	// Store is the disk-backed persistence tier: when set, finished
+	// results and retained ECO bases are written behind the in-memory
+	// caches and reloaded on the next NewQueue (warm start), so a restart
+	// serves previously-cached requests as hits. The queue uses the store
+	// but does not own it — the caller Opens it first and Closes it after
+	// Queue.Close (flushing the write-behind tail). nil disables
+	// persistence.
+	Store *store.Store
 	// Faults is the deterministic fault-injection registry (internal/fault)
 	// threaded into the queue, the result cache and every job's
 	// core.Options. nil — the production default — is a zero-cost no-op.
@@ -524,15 +547,21 @@ func (c Config) withDefaults() Config {
 
 // QueueStats is the jobs section of GET /stats.
 type QueueStats struct {
+	// Submitted counts ADMITTED submissions only: every rejection path
+	// returns before it, so submitted == done + failed + cancelled +
+	// queued + running at every instant — the accounting identity cismoke
+	// metrics enforces. Rejections are tallied separately below.
 	Submitted int64 `json:"submitted"`
-	// Rejected is the total of the three rejection reasons below.
+	// Rejected is the total of the rejection reasons below.
 	Rejected int64 `json:"rejected"`
-	// RejectedFull / RejectedLarge / RejectedClosed break rejections down by
-	// cause: bounded queue full (429), over the sink budget (413), queue
-	// closed during shutdown (503).
+	// RejectedFull / RejectedLarge / RejectedClosed / RejectedQuota break
+	// rejections down by cause: bounded queue full (429), over the sink
+	// budget (413), queue closed during shutdown (503), tenant admission
+	// quota exceeded (429).
 	RejectedFull   int64 `json:"rejected_full,omitempty"`
 	RejectedLarge  int64 `json:"rejected_large,omitempty"`
 	RejectedClosed int64 `json:"rejected_closed,omitempty"`
+	RejectedQuota  int64 `json:"rejected_quota,omitempty"`
 	Queued         int64 `json:"queued"`
 	Running        int64 `json:"running"`
 	Done           int64 `json:"done"`
@@ -581,6 +610,11 @@ type Stats struct {
 	Cache    CacheStats `json:"cache"`
 	// ECOBases is the base-outcome cache behind POST /eco.
 	ECOBases CacheStats `json:"eco_bases"`
+	// QoS is the per-class and per-tenant scheduling snapshot.
+	QoS QoSStats `json:"qos"`
+	// Store is the disk persistence tier's snapshot; nil when persistence
+	// is disabled.
+	Store *store.Stats `json:"store,omitempty"`
 	// Faults counts fired injections per "kind@point" when a fault registry
 	// is armed (chaos/test builds only).
 	Faults map[string]int64 `json:"faults,omitempty"`
@@ -609,7 +643,11 @@ type Queue struct {
 	wdWG      sync.WaitGroup
 	closeOnce sync.Once
 
-	pending chan *Job
+	// sched is the pending set: class-weighted fair-share dispatch with
+	// per-tenant round-robin and admission quotas (see qos.go).
+	sched *qosScheduler
+	// tenants holds the bounded per-tenant counter table for /stats.
+	tenants *tenantTable
 
 	mu       sync.Mutex
 	closed   bool
@@ -636,6 +674,7 @@ type Queue struct {
 	rejectedFull   atomic.Int64
 	rejectedLarge  atomic.Int64
 	rejectedClosed atomic.Int64
+	rejectedQuota  atomic.Int64
 	doneCt         atomic.Int64
 	failedCt       atomic.Int64
 	cancelCt       atomic.Int64
@@ -653,14 +692,17 @@ type Queue struct {
 	start time.Time
 }
 
-// NewQueue starts the runner pool.
+// NewQueue starts the runner pool. With Config.Store set it warm-starts
+// first: persisted results and ECO bases are verified and loaded into the
+// in-memory caches before the first submission can arrive.
 func NewQueue(cfg Config) *Queue {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
 		cfg: cfg, cache: newCache(cfg.CacheEntries),
 		ctx: ctx, cancel: cancel,
-		pending:      make(chan *Job, cfg.MaxQueued),
+		sched:        newQoSScheduler(cfg.QoSClasses, cfg.MaxQueued, cfg.MaxRunning, cfg.TenantQuota),
+		tenants:      newTenantTable(),
 		jobs:         make(map[string]*Job),
 		baseInflight: make(map[string]chan struct{}),
 		wdStop:       make(chan struct{}),
@@ -676,6 +718,7 @@ func NewQueue(cfg Config) *Queue {
 	if q.log == nil {
 		q.log = slog.New(slog.DiscardHandler)
 	}
+	q.warmStart()
 	q.metrics = newMetrics(cfg.Metrics, q)
 	q.wg.Add(cfg.MaxRunning)
 	for i := 0; i < cfg.MaxRunning; i++ {
@@ -832,6 +875,17 @@ func (q *Queue) submitNew(req *Request, kind string) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrBadRequest, err)
 	}
+	cls, ok := q.sched.lookup(req.Class)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown qos class %q", ErrBadRequest, req.Class)
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	// NOTE the accounting contract: EVERY rejection path (too-large here,
+	// closed/full/quota in admit) returns before q.submitted is counted —
+	// a rejection is not a submission, uniformly across reasons.
 	if q.cfg.MaxJobSinks > 0 && sinks > q.cfg.MaxJobSinks {
 		q.rejectedLarge.Add(1)
 		q.log.Debug("job rejected: too large",
@@ -839,12 +893,12 @@ func (q *Queue) submitNew(req *Request, kind string) (*Job, error) {
 			"max_sinks", q.cfg.MaxJobSinks, "request_id", req.reqID)
 		return nil, &SizeError{EstimatedSinks: sinks, MaxSinks: q.cfg.MaxJobSinks}
 	}
-	q.submitted.Add(1)
 	ctx, cancel := context.WithCancel(q.ctx)
 	job := &Job{
 		id:   fmt.Sprintf("job-%06d", q.nextID.Add(1)),
 		kind: kind, key: req.Key(kind), req: req,
 		design: design, sinks: sinks,
+		tenant: tenant, class: cls.name,
 		reqID: req.reqID, trace: obs.NewTracer(),
 		ctx: ctx, cancel: cancel,
 		done: make(chan struct{}), abandon: make(chan struct{}),
@@ -883,11 +937,18 @@ func (q *Queue) submitNew(req *Request, kind string) (*Job, error) {
 }
 
 // effectiveTimeout combines the service deadline with the request's
-// timeout_ms: the request can only shorten it.
+// timeout_ms: the request can only shorten it, and never below a 1ms
+// floor. Without the floor a sub-microsecond timeout_ms truncates to
+// duration 0, which context.WithTimeout never gets to see — run() treats 0
+// as "no deadline", so a tiny request value would DISABLE the service-wide
+// JobTimeout instead of shortening it.
 func effectiveTimeout(svc time.Duration, reqMS float64) time.Duration {
 	d := svc
 	if reqMS > 0 {
 		r := time.Duration(reqMS * float64(time.Millisecond))
+		if r < time.Millisecond {
+			r = time.Millisecond
+		}
 		if d == 0 || r < d {
 			d = r
 		}
@@ -896,9 +957,11 @@ func effectiveTimeout(svc time.Duration, reqMS float64) time.Duration {
 }
 
 // admit registers the job — and, when enqueue is set, places it on the
-// pending channel — atomically with respect to Close, so a job is either
-// rejected (ErrClosed/ErrQueueFull) or guaranteed to reach a terminal
-// state: anything admitted before Close is drained by it.
+// QoS scheduler — atomically with respect to Close, so a job is either
+// rejected (ErrClosed/ErrQueueFull/ErrQuota) or guaranteed to reach a
+// terminal state: anything admitted before Close is drained by it. The
+// submitted counter increments here, after every rejection check, so
+// submitted counts exactly the jobs that will reach a terminal state.
 func (q *Queue) admit(job *Job, enqueue bool) error {
 	q.mu.Lock()
 	if q.closed {
@@ -908,19 +971,33 @@ func (q *Queue) admit(job *Job, enqueue bool) error {
 		return ErrClosed
 	}
 	if enqueue {
-		select {
-		case q.pending <- job:
-		default:
+		if err := q.sched.push(job); err != nil {
 			q.mu.Unlock()
-			q.rejectedFull.Add(1)
-			q.log.Debug("job rejected: queue full",
-				"kind", job.kind, "design", job.design, "request_id", job.reqID)
 			job.cancel()
-			return ErrQueueFull
+			switch {
+			case errors.Is(err, ErrQuota):
+				q.rejectedQuota.Add(1)
+				q.tenants.quotaRejected(job.tenant)
+				q.log.Debug("job rejected: tenant quota",
+					"kind", job.kind, "design", job.design, "tenant", job.tenant,
+					"class", job.class, "request_id", job.reqID)
+				return fmt.Errorf("%w: tenant %q already has %d jobs outstanding",
+					ErrQuota, job.tenant, q.cfg.TenantQuota)
+			case errors.Is(err, ErrClosed):
+				q.rejectedClosed.Add(1)
+				return ErrClosed
+			default:
+				q.rejectedFull.Add(1)
+				q.log.Debug("job rejected: queue full",
+					"kind", job.kind, "design", job.design, "request_id", job.reqID)
+				return ErrQueueFull
+			}
 		}
 	}
 	q.jobs[job.id] = job
 	q.mu.Unlock()
+	q.submitted.Add(1)
+	q.tenants.submitted(job.tenant)
 	return nil
 }
 
@@ -961,18 +1038,27 @@ func (q *Queue) Stats() Stats {
 	}
 	lastPanics := append([]PanicRecord(nil), q.panics...)
 	q.mu.Unlock()
-	rejFull, rejLarge, rejClosed := q.rejectedFull.Load(), q.rejectedLarge.Load(), q.rejectedClosed.Load()
+	rejFull, rejLarge, rejClosed, rejQuota :=
+		q.rejectedFull.Load(), q.rejectedLarge.Load(), q.rejectedClosed.Load(), q.rejectedQuota.Load()
 	build := obs.Build()
 	uptime := time.Since(q.start)
 	return Stats{
 		UptimeMS: ms(uptime), UptimeSeconds: uptime.Seconds(),
 		Version: build.Version, Revision: build.Revision,
 		ECOBases: q.baseStats(),
+		QoS: QoSStats{
+			DefaultClass: q.sched.defaultClass(),
+			TenantQuota:  q.cfg.TenantQuota,
+			Classes:      q.sched.snapshot(),
+			Tenants:      q.tenants.snapshot(q.sched),
+		},
+		Store: q.storeStats(),
 		Jobs: QueueStats{
 			Submitted:    q.submitted.Load(),
-			Rejected:     rejFull + rejLarge + rejClosed,
+			Rejected:     rejFull + rejLarge + rejClosed + rejQuota,
 			RejectedFull: rejFull, RejectedLarge: rejLarge, RejectedClosed: rejClosed,
-			Queued: queued, Running: running,
+			RejectedQuota: rejQuota,
+			Queued:        queued, Running: running,
 			Done: q.doneCt.Load(), Failed: q.failedCt.Load(), Cancelled: q.cancelCt.Load(),
 			MaxQueued: q.cfg.MaxQueued, MaxRunning: q.cfg.MaxRunning,
 			WorkerBudget: par.N(q.cfg.Workers), PerJobWorkers: q.perJobWorkers(),
@@ -1002,21 +1088,19 @@ func (q *Queue) Close() {
 		q.closed = true
 		q.mu.Unlock()
 		q.cancel()
+		// Wake runners blocked on an empty scheduler; pending jobs stay
+		// queued for the drain below.
+		q.sched.close()
 		q.wg.Wait()
 		close(q.wdStop)
 		q.wdWG.Wait()
 		q.bodyWG.Wait()
 		// Drain jobs the runners never picked up.
-		for {
-			select {
-			case job := <-q.pending:
-				if job.finish(StateCancelled, nil, context.Canceled) {
-					q.cancelCt.Add(1)
-				}
-				q.retire(job)
-			default:
-				return
+		for _, job := range q.sched.drain() {
+			if job.finish(StateCancelled, nil, context.Canceled) {
+				q.cancelCt.Add(1)
 			}
+			q.retire(job)
 		}
 	})
 }
@@ -1024,14 +1108,14 @@ func (q *Queue) Close() {
 // Saturated reports whether the pending queue is full: the next enqueue
 // would be rejected with ErrQueueFull, so /readyz turns not-ready and load
 // balancers can drain before clients see 429s.
-func (q *Queue) Saturated() bool { return len(q.pending) >= cap(q.pending) }
+func (q *Queue) Saturated() bool { return q.sched.Full() }
 
 // RetryAfter estimates when a rejected submission is worth retrying: the
 // queue depth divided by the running slots, floored at one second. It is
 // deliberately coarse — job runtimes vary by orders of magnitude — but it
 // scales with backlog, which is what spreads a thundering herd.
 func (q *Queue) RetryAfter() time.Duration {
-	d := time.Duration(1+len(q.pending)/q.cfg.MaxRunning) * time.Second
+	d := time.Duration(1+q.sched.Len()/q.cfg.MaxRunning) * time.Second
 	if d > 60*time.Second {
 		d = 60 * time.Second
 	}
@@ -1048,6 +1132,11 @@ func (q *Queue) retire(job *Job) {
 	state, errMsg, hit := job.state, job.errMsg, job.cacheHit
 	dur := job.finished.Sub(job.created)
 	job.mu.Unlock()
+	// retire is the one funnel every job passes exactly once, so the
+	// per-class and per-tenant terminal counters hook here (cache hits
+	// included).
+	q.sched.observeTerminal(job, state)
+	q.tenants.terminal(job.tenant, state)
 	q.log.Debug("job finished",
 		"job", job.id, "kind", job.kind, "state", string(state),
 		"cache_hit", hit, "dur_ms", ms(dur),
@@ -1064,12 +1153,11 @@ func (q *Queue) retire(job *Job) {
 func (q *Queue) runner() {
 	defer q.wg.Done()
 	for {
-		select {
-		case <-q.ctx.Done():
+		job := q.sched.next()
+		if job == nil { // scheduler closed
 			return
-		case job := <-q.pending:
-			q.run(job)
 		}
+		q.run(job)
 	}
 }
 
@@ -1079,6 +1167,10 @@ func (q *Queue) runner() {
 // runner moves on immediately and the stuck goroutine is joined later
 // (bodyWG, waited by Close).
 func (q *Queue) run(job *Job) {
+	// The running slot and tenant-quota unit free when the RUNNER moves
+	// on — also after a watchdog abandon, where the stuck body lingers
+	// but its slot is already being reused.
+	defer q.sched.release(job)
 	defer q.retire(job)
 	if job.ctx.Err() != nil { // cancelled while queued
 		if job.finish(StateCancelled, nil, job.ctx.Err()) {
@@ -1208,7 +1300,9 @@ func (q *Queue) finishJob(job *Job, runCtx context.Context, res *Result, err err
 		// The traced phase breakdown rides with the result into the cache:
 		// like the *_ms fields, a later hit reports the producing run's.
 		res.Phases = job.trace.Totals()
-		q.cache.Put(job.key, res)
+		if q.cache.Put(job.key, res) {
+			q.persistResult(job.key, res)
+		}
 		if job.finish(StateDone, res, nil) {
 			q.doneCt.Add(1)
 		}
@@ -1346,13 +1440,16 @@ func (q *Queue) synthesizeBase(job *Job, ctx context.Context, baseReq *Request, 
 	}
 	if q.bases != nil {
 		q.bases.Put(baseKey, prev)
+		q.persistBase(baseKey, prev)
 	}
 	// The base result cached under the base's own key carries the phases
 	// traced so far — exactly the base-run phases, since the ECO splice has
 	// not started yet.
 	baseRes := resultFromOutcome(KindSynthesize, job.design, len(rv.sinks), prev)
 	baseRes.Phases = job.trace.Totals()
-	q.cache.Put(baseKey, baseRes)
+	if q.cache.Put(baseKey, baseRes) {
+		q.persistResult(baseKey, baseRes)
+	}
 	return prev, nil
 }
 

@@ -110,6 +110,18 @@ type Request struct {
 	// means the service default. A deadline-exceeded job fails with HTTP
 	// 504. A scheduling knob: never part of the cache identity.
 	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+	// Tenant names the submitting tenant for QoS accounting and per-tenant
+	// admission quotas. Mirrors the X-Tenant HTTP header (the body field
+	// wins when both are set); empty means the "default" tenant. A
+	// scheduling knob: never part of the cache identity — tenants share the
+	// content-addressed result cache by design.
+	Tenant string `json:"tenant,omitempty"`
+	// Class selects the QoS class ("interactive" or "batch" with the
+	// default configuration; -qos-classes redefines the set). Empty means
+	// the first configured class. Classes shape scheduling order and worker
+	// shares only — never the result — so this is a scheduling knob,
+	// excluded from the cache identity.
+	Class string `json:"class,omitempty"`
 	// IdempotencyKey deduplicates submissions: while the key is retained,
 	// resubmitting it returns the ORIGINAL job instead of running the work
 	// again, making client retries of lost POST responses safe. Mirrors the
@@ -375,9 +387,9 @@ const evalModel = "elmore"
 // that determines the result — the placement (by benchmark identity or
 // exact coordinate bits), the technology name, the evaluation model, the
 // option fields, the corner set and, for DSE, the threshold sweep.
-// Scheduling knobs (worker budgets, TimeoutMS, IdempotencyKey) and
-// response-shape knobs (IncludeSinkDelays) are excluded, so requests
-// differing only in those share one cache entry.
+// Scheduling knobs (worker budgets, TimeoutMS, IdempotencyKey, Tenant,
+// Class) and response-shape knobs (IncludeSinkDelays) are excluded, so
+// requests differing only in those share one cache entry.
 func (r *Request) Key(kind string) string {
 	h := sha256.New()
 	ws := func(s string) {

@@ -444,7 +444,7 @@ func TestRetryDelay(t *testing.T) {
 }
 
 // TestEffectiveTimeout: the request can shorten the service deadline, never
-// extend it.
+// extend it, and a positive timeout_ms can never round down to "no deadline".
 func TestEffectiveTimeout(t *testing.T) {
 	cases := []struct {
 		svc   time.Duration
@@ -456,6 +456,15 @@ func TestEffectiveTimeout(t *testing.T) {
 		{time.Second, 0, time.Second},
 		{time.Second, 250, 250 * time.Millisecond},
 		{time.Second, 5000, time.Second}, // cannot extend
+		// A sub-millisecond request deadline truncates to 0 ns without the
+		// floor — which context.WithTimeout would treat as already-expired
+		// and, worse, the pre-floor code treated as "no deadline at all",
+		// silently disabling the service-wide JobTimeout the request asked
+		// to SHORTEN. Asking for a deadline must always produce one.
+		{0, 0.0001, time.Millisecond},
+		{time.Second, 0.0001, time.Millisecond},
+		{0, 0.5, time.Millisecond},
+		{time.Millisecond / 2, 0.0001, time.Millisecond / 2}, // service deadline already tighter
 	}
 	for _, c := range cases {
 		if got := effectiveTimeout(c.svc, c.reqMS); got != c.want {

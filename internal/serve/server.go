@@ -139,6 +139,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 	if req.IdempotencyKey == "" {
 		req.IdempotencyKey = r.Header.Get("Idempotency-Key")
 	}
+	// Likewise X-Tenant for the tenant field: proxies that authenticate
+	// tenants stamp the header without touching the body.
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Tenant")
+	}
 	req.reqID = r.Header.Get("X-Request-ID")
 	job, err := s.queue.Submit(&req, kind)
 	if err != nil {
@@ -154,6 +159,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 				"request_id":      r.Header.Get("X-Request-ID"),
 			})
 		case errors.Is(err, ErrQueueFull):
+			s.setRetryAfter(w)
+			s.writeErr(w, r, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrQuota):
+			// Same 429 as a full queue, but scoped to the tenant: the
+			// backlog hint still applies (their own jobs must finish).
 			s.setRetryAfter(w)
 			s.writeErr(w, r, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrBadRequest):
