@@ -72,6 +72,7 @@ func main() {
 		doPersist  = flag.Bool("persist", false, "measure the disk-backed cache tier across a daemon restart and write a JSON report")
 		persistOut = flag.String("persist-out", "BENCH_persist.json", "report path for -persist")
 		persistJob = flag.Int("persist-jobs", 9, "distinct requests replayed on each side of the restart for -persist")
+		debugAddr  = flag.String("debug-addr", "", "with -load: separate net/http/pprof listener kept up for the whole run (empty = disabled; never expose publicly)")
 		chaos      = flag.String("chaos", "", "with -load: fault-injection spec for the chaos soak (\"default\" = built-in schedule; see internal/fault)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos (same spec + seed replays the same schedule)")
 		chaosDir   = flag.String("cache-dir", "", "persistent cache directory for the -chaos soak; soak twice over the same dir to test a restart mid-chaos")
@@ -102,6 +103,9 @@ func main() {
 		return
 	}
 	if *doLoad {
+		if *debugAddr != "" {
+			go serveDebug(*debugAddr)
+		}
 		if *chaos != "" {
 			// The chaos soak gets its own default report name so a plain
 			// `-load` baseline and a chaos run never clobber each other;

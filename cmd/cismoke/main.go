@@ -15,6 +15,7 @@
 //	cismoke metrics -min-families 25 BENCH_chaos.json
 //	cismoke persist BENCH_persist.json
 //	cismoke warm BENCH_chaos.json
+//	cismoke allocs -max-regress 15 BENCH_parallel.json /tmp/BENCH_parallel_new.json
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 	sub, args := os.Args[1], os.Args[2:]
 	var err error
 	switch sub {
+	case "allocs":
+		err = cmdAllocs(args)
 	case "synth":
 		err = cmdSynth(args)
 	case "corners":
@@ -63,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cismoke {synth|corners|partition|scale|xl|eco|chaos|metrics|persist|warm} [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: cismoke {allocs|synth|corners|partition|scale|xl|eco|chaos|metrics|persist|warm} [flags] [file...]")
 	os.Exit(2)
 }
 

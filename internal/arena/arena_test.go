@@ -1,0 +1,230 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGrowReusesCapacity(t *testing.T) {
+	s := make([]int, 0, 16)
+	g := Grow(s, 8)
+	if len(g) != 8 || cap(g) != 16 {
+		t.Fatalf("Grow: len=%d cap=%d, want 8/16", len(g), cap(g))
+	}
+	g2 := Grow(g, 32)
+	if len(g2) != 32 || cap(g2) < 32 {
+		t.Fatalf("Grow beyond cap: len=%d cap=%d", len(g2), cap(g2))
+	}
+	z := GrowZero([]float64{1, 2, 3}, 2)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("GrowZero left stale contents: %v", z)
+	}
+}
+
+func TestSlabTakeZeroedAndDisjoint(t *testing.T) {
+	var s Slab[int]
+	a := s.Take(10)
+	b := s.Take(10)
+	for i := range a {
+		a[i] = i + 1
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatalf("Take returned non-zero memory: %v", b)
+		}
+	}
+	for i, v := range a {
+		if v != i+1 {
+			t.Fatalf("overlapping Take slices: a=%v", a)
+		}
+	}
+	// Appending to a taken slice must not scribble over the next Take's
+	// memory (three-index slice expression forces reallocation).
+	c := s.Take(4)
+	c = append(c, 99)
+	d := s.Take(4)
+	for _, v := range d {
+		if v == 99 {
+			t.Fatalf("append aliased into slab: d=%v", d)
+		}
+	}
+}
+
+func TestSlabResetRecyclesWithoutAliasingLiveTakes(t *testing.T) {
+	var s Slab[int]
+	a := s.Take(64)
+	for i := range a {
+		a[i] = 7
+	}
+	capBefore := s.Cap()
+	s.Reset()
+	b := s.Take(64)
+	// b reuses a's memory (that is the point of Reset)…
+	if &a[0] != &b[0] {
+		t.Fatalf("Reset did not recycle chunk memory")
+	}
+	// …and Take re-zeroes it so no stale values leak.
+	for _, v := range b {
+		if v != 0 {
+			t.Fatalf("stale contents after Reset: %v", b[:8])
+		}
+	}
+	if s.Cap() != capBefore {
+		t.Fatalf("Reset changed capacity: %d -> %d", capBefore, s.Cap())
+	}
+}
+
+func TestSlabOutOfCapacityGrowth(t *testing.T) {
+	var s Slab[byte]
+	small := s.Take(minChunk / 2)
+	big := s.Take(4 * minChunk) // cannot fit the first chunk: must grow
+	if len(big) != 4*minChunk {
+		t.Fatalf("big take length %d", len(big))
+	}
+	for i := range small {
+		small[i] = 0xAA
+	}
+	for _, v := range big {
+		if v == 0xAA {
+			t.Fatalf("growth chunk aliases earlier take")
+		}
+	}
+	if s.Cap() < minChunk/2+4*minChunk {
+		t.Fatalf("capacity %d did not grow", s.Cap())
+	}
+	// After Reset the slab serves the same sizes with no new chunks.
+	s.Reset()
+	before := s.Cap()
+	_ = s.Take(minChunk / 2)
+	_ = s.Take(4 * minChunk)
+	if s.Cap() != before {
+		t.Fatalf("steady-state Take grew capacity: %d -> %d", before, s.Cap())
+	}
+}
+
+func TestPoolGetPut(t *testing.T) {
+	var p Pool[int]
+	if p.Get() != nil {
+		t.Fatalf("empty pool returned object")
+	}
+	x := new(int)
+	*x = 42
+	p.Put(x)
+	p.Put(nil) // no-op
+	if got := p.Get(); got != x {
+		t.Fatalf("pool returned %v, want the object put", got)
+	}
+	if p.Get() != nil {
+		t.Fatalf("pool returned object twice")
+	}
+}
+
+func TestJobSlotLazyAndTyped(t *testing.T) {
+	type scratch struct{ n int }
+	j := NewJob(100)
+	if Slot[scratch](nil, PhaseCluster, func() *scratch { return &scratch{} }) != nil {
+		t.Fatalf("nil job must yield nil slot")
+	}
+	a := Slot(j, PhaseCluster, func() *scratch { return &scratch{n: 1} })
+	b := Slot(j, PhaseCluster, func() *scratch { return &scratch{n: 2} })
+	if a != b || a.n != 1 {
+		t.Fatalf("slot not cached: a=%v b=%v", a, b)
+	}
+	// Distinct phases get distinct slots.
+	c := Slot(j, PhaseEval, func() *scratch { return &scratch{n: 3} })
+	if c == a || c.n != 3 {
+		t.Fatalf("phase slots collide")
+	}
+}
+
+func TestJobTryAcquire(t *testing.T) {
+	j := NewJob(10)
+	if !j.TryAcquire() {
+		t.Fatalf("fresh job not acquirable")
+	}
+	if j.TryAcquire() {
+		t.Fatalf("double acquire succeeded")
+	}
+	j.Release()
+	if !j.TryAcquire() {
+		t.Fatalf("job not acquirable after release")
+	}
+	var nilJob *Job
+	if nilJob.TryAcquire() {
+		t.Fatalf("nil job acquirable")
+	}
+	nilJob.Release() // must not panic
+	if nilJob.SinkHint() != 0 {
+		t.Fatalf("nil job hint")
+	}
+}
+
+func TestJobPoolBucketsAndRecycle(t *testing.T) {
+	p := NewJobPool(2)
+	j1 := p.Get(50_000)
+	j2 := p.Get(100) // different bucket
+	p.Put(j1)
+	p.Put(j2)
+	// Same-size request gets the warm job back; the small bucket's job must
+	// not be handed to a large request.
+	j3 := p.Get(50_000)
+	if j3 != j1 {
+		t.Fatalf("pool did not recycle same-bucket job")
+	}
+	if j3.TryAcquire() {
+		t.Fatalf("pool handed out an unacquired job")
+	}
+	j4 := p.Get(60_000) // same power-of-two bucket as 50k
+	if j4 == j2 {
+		t.Fatalf("small-bucket job leaked into large bucket")
+	}
+	gets, hits, puts := p.Stats()
+	if gets != 4 || hits != 1 || puts != 2 {
+		t.Fatalf("stats gets=%d hits=%d puts=%d", gets, hits, puts)
+	}
+}
+
+func TestJobPoolPerBucketCap(t *testing.T) {
+	p := NewJobPool(1)
+	a, b := p.Get(1000), p.Get(1000)
+	p.Put(a)
+	p.Put(b) // over cap: dropped
+	if got := p.Get(1000); got != a {
+		t.Fatalf("expected the one retained job back")
+	}
+	if got := p.Get(1000); got == b {
+		t.Fatalf("over-cap job was retained")
+	}
+}
+
+func TestJobPoolConcurrent(t *testing.T) {
+	p := NewJobPool(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j := p.Get(1 << uint(i%6))
+				j.SetSinkHint(1 << uint(i%6))
+				p.Put(j)
+			}
+		}()
+	}
+	wg.Wait()
+	gets, _, puts := p.Stats()
+	if gets != 1600 || puts != 1600 {
+		t.Fatalf("gets=%d puts=%d", gets, puts)
+	}
+}
+
+func TestNilJobPoolSafe(t *testing.T) {
+	var p *JobPool
+	if p.Get(10) != nil {
+		t.Fatalf("nil pool returned job")
+	}
+	p.Put(nil)
+	if g, h, u := p.Stats(); g != 0 || h != 0 || u != 0 {
+		t.Fatalf("nil pool stats")
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"dscts/internal/arena"
 	"dscts/internal/geom"
 	"dscts/internal/par"
 )
@@ -52,6 +53,10 @@ type DualOptions struct {
 	// of Sec. III-C2).
 	CapOf    func(sink, centroid geom.Point) float64
 	CapLimit float64
+
+	// Arena sources the k-means scratch from the owning job's arena; nil
+	// falls back to the package pool. Identical results either way.
+	Arena *arena.Job
 }
 
 // DefaultDualOptions returns the paper's empirical settings.
@@ -68,9 +73,10 @@ func DualLevel(sinks []geom.Point, opt DualOptions) (*Dual, error) {
 		return nil, fmt.Errorf("cluster: Lc=%d exceeds Hc=%d", opt.LowSize, opt.HighSize)
 	}
 	workers := par.N(opt.Workers)
+	home := scratchHome(opt.Arena)
 	high, err := KMeans(sinks, Options{
 		TargetSize: opt.HighSize, MaxIter: opt.MaxIter, Seed: opt.Seed, Balance: false,
-		Workers: workers, Brute: opt.Brute,
+		Workers: workers, Brute: opt.Brute, Arena: opt.Arena,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: high level: %w", err)
@@ -81,21 +87,28 @@ func DualLevel(sinks []geom.Point, opt DualOptions) (*Dual, error) {
 	// run them concurrently and distribute the worker budget between the
 	// outer fan-out and each k-means' inner assignment loop. Results land
 	// in d.Low[h] by index, so the outcome is order- (and worker-count-)
-	// independent.
+	// independent. Each concurrent call checks its point staging buffer out
+	// of the scratch pool; KMeans copies the points into its own flat
+	// lanes, so the buffer is free for reuse as soon as the call returns.
 	inner := workers / high.K()
 	if inner < 1 {
 		inner = 1
 	}
 	lowErr := make([]error, high.K())
 	par.ForEach(workers, high.K(), func(h int) {
-		sub := make([]geom.Point, len(high.Members[h]))
-		for i, idx := range high.Members[h] {
-			sub[i] = sinks[idx]
+		sb := home.sub.Get()
+		if sb == nil {
+			sb = &subBuf{}
 		}
-		d.Low[h], lowErr[h] = KMeans(sub, Options{
+		sb.pts = arena.Grow(sb.pts, len(high.Members[h]))
+		for i, idx := range high.Members[h] {
+			sb.pts[i] = sinks[idx]
+		}
+		d.Low[h], lowErr[h] = KMeans(sb.pts, Options{
 			TargetSize: opt.LowSize, MaxIter: opt.MaxIter, Seed: opt.Seed + int64(h) + 1, Balance: true,
-			Workers: inner, Brute: opt.Brute,
+			Workers: inner, Brute: opt.Brute, Arena: opt.Arena,
 		})
+		home.sub.Put(sb)
 	})
 	for h, err := range lowErr {
 		if err != nil {
@@ -109,46 +122,62 @@ func DualLevel(sinks []geom.Point, opt DualOptions) (*Dual, error) {
 	for h := 0; h < high.K(); h++ {
 		low := d.Low[h]
 		for lc := 0; lc < low.K(); lc++ {
-			sub := make([]geom.Point, len(low.Members[lc]))
 			orig := make([]int, len(low.Members[lc]))
 			for i, li := range low.Members[lc] {
 				orig[i] = high.Members[h][li]
-				sub[i] = sinks[orig[i]]
 			}
-			d.appendCapAware(sub, orig, low.Centroids[lc], h, opt)
+			d.appendCapAware(sinks, orig, low.Centroids[lc], h, opt, home)
 		}
 	}
 	return d, nil
 }
 
 // appendCapAware appends the cluster, bipartitioning it recursively while
-// its leaf-net load exceeds opt.CapLimit.
-func (d *Dual) appendCapAware(pts []geom.Point, orig []int, centroid geom.Point, h int, opt DualOptions) {
-	if opt.CapOf != nil && len(pts) > 1 {
+// its leaf-net load exceeds opt.CapLimit. Clusters are carried as index
+// lists into sinks — the splitter gathers coordinates through the indices
+// straight into k-means scratch (bisect), so recursion allocates nothing
+// beyond the member lists that escape into d.LowSinks.
+func (d *Dual) appendCapAware(sinks []geom.Point, orig []int, centroid geom.Point, h int, opt DualOptions, home *clusterScratch) {
+	if opt.CapOf != nil && len(orig) > 1 {
 		total := 0.0
-		for _, p := range pts {
-			total += opt.CapOf(p, centroid)
+		for _, id := range orig {
+			total += opt.CapOf(sinks[id], centroid)
 		}
 		if total > opt.CapLimit {
 			// This pass is sequential by design (its seeds depend on the
 			// global append order), so the bipartitions run
 			// single-threaded to honor the Workers bound.
-			two, err := KMeans(pts, Options{
-				TargetSize: (len(pts) + 1) / 2, MaxIter: opt.MaxIter, Seed: opt.Seed + int64(len(d.LowSinks)) + 17,
-				Workers: 1, Brute: opt.Brute,
-			})
-			if err == nil && two.K() >= 2 {
-				for k := 0; k < two.K(); k++ {
-					subPts := make([]geom.Point, len(two.Members[k]))
-					subOrig := make([]int, len(two.Members[k]))
-					for i, m := range two.Members[k] {
-						subPts[i] = pts[m]
-						subOrig[i] = orig[m]
-					}
-					d.appendCapAware(subPts, subOrig, two.Centroids[k], h, opt)
+			s := bisect(sinks, orig, Options{
+				MaxIter: opt.MaxIter, Seed: opt.Seed + int64(len(d.LowSinks)) + 17,
+				Workers: 1, Brute: opt.Brute, Arena: opt.Arena,
+			}, home)
+			n := len(orig)
+			cnt0 := 0
+			for _, a := range s.assign[:n] {
+				if a == 0 {
+					cnt0++
 				}
+			}
+			// Both halves populated is exactly KMeans' two.K() >= 2 after
+			// its empty-cluster drop.
+			if cnt0 > 0 && cnt0 < n {
+				sub0 := make([]int, 0, cnt0)
+				sub1 := make([]int, 0, n-cnt0)
+				for i, a := range s.assign[:n] {
+					if a == 0 {
+						sub0 = append(sub0, orig[i])
+					} else {
+						sub1 = append(sub1, orig[i])
+					}
+				}
+				c0 := geom.Point{X: s.cxs[0], Y: s.cys[0]}
+				c1 := geom.Point{X: s.cxs[1], Y: s.cys[1]}
+				home.km.Put(s)
+				d.appendCapAware(sinks, sub0, c0, h, opt, home)
+				d.appendCapAware(sinks, sub1, c1, h, opt, home)
 				return
 			}
+			home.km.Put(s)
 			// Degenerate split (identical points): fall through and keep.
 		}
 	}

@@ -3,7 +3,7 @@ package cluster
 import (
 	"math"
 
-	"dscts/internal/geom"
+	"dscts/internal/arena"
 )
 
 // centGrid is a uniform spatial hash over the current centroid set, used to
@@ -14,8 +14,11 @@ import (
 //
 // The search is exact and breaks distance ties by the lowest centroid
 // index, so it returns precisely the centroid the brute-force scan of
-// assignBrute would return — the grid is a pure accelerator, never a
-// heuristic.
+// bruteNearest would return — the grid is a pure accelerator, never a
+// heuristic. It lives inside kmScratch and reuses its CSR buffers across
+// Lloyd iterations and across KMeans invocations; the hot ring walk is
+// written as straight loops over the flat centroid lanes (the closure-based
+// row/cell scanners it replaced were ~20% of clustering CPU).
 type centGrid struct {
 	minX, minY float64
 	cell       float64 // cell edge length, µm
@@ -23,27 +26,41 @@ type centGrid struct {
 	nx, ny     int
 	// CSR bucket layout: items[start[c]:start[c+1]] are the centroid
 	// indices in cell c (row-major). Rebuilt once per Lloyd iteration.
+	// px/py mirror items with the centroid coordinates packed in the same
+	// order, so a ring scan streams contiguous floats instead of gathering
+	// cxs[c]/cys[c] at random — the values are copied verbatim at build
+	// time, so every computed distance is bit-identical to the gather.
 	start []int32
 	items []int32
 	fill  []int32
+	px    []float64
+	py    []float64
 }
 
 // gridMinCentroids is the centroid count below which the brute-force scan
 // wins (grid build + ring bookkeeping costs more than k distance checks).
 const gridMinCentroids = 16
 
-// newCentGrid sizes the grid for k ~ len(cents) occupied cells. It returns
-// nil when the centroid set is too small or degenerate (zero spatial
-// extent), in which case the caller falls back to the brute-force scan.
-func newCentGrid(cents []geom.Point) *centGrid {
-	k := len(cents)
+// size (re)dimensions the grid for k ~ len(cxs) occupied cells, reusing the
+// CSR buffers from the previous use. It returns false when the centroid set
+// is too small or degenerate (zero spatial extent), in which case the caller
+// falls back to the brute-force scan.
+func (g *centGrid) size(cxs, cys []float64) bool {
+	k := len(cxs)
 	if k < gridMinCentroids {
-		return nil
+		return false
 	}
-	bb := geom.NewBBox(cents...)
-	w, h := bb.W(), bb.H()
+	minX, minY := cxs[0], cys[0]
+	maxX, maxY := cxs[0], cys[0]
+	for i := 1; i < k; i++ {
+		minX = math.Min(minX, cxs[i])
+		minY = math.Min(minY, cys[i])
+		maxX = math.Max(maxX, cxs[i])
+		maxY = math.Max(maxY, cys[i])
+	}
+	w, h := maxX-minX, maxY-minY
 	if w <= 0 && h <= 0 {
-		return nil // all centroids coincide
+		return false // all centroids coincide
 	}
 	// Aim for ~1 centroid per cell, but never more than ~2√k cells per
 	// axis: an anisotropic point set (one extent near zero) would
@@ -54,37 +71,41 @@ func newCentGrid(cents []geom.Point) *centGrid {
 	cell := math.Sqrt(math.Max(w, 1e-9) * math.Max(h, 1e-9) / float64(k))
 	cell = math.Max(cell, math.Max(w, h)/maxPerAxis)
 	if cell <= 0 {
-		return nil
+		return false
 	}
 	nx := int(w/cell) + 1
 	ny := int(h/cell) + 1
-	// The caller rebuilds the buckets (build) before each query round;
-	// the constructor only sizes the arenas.
-	return &centGrid{
-		minX: bb.MinX, minY: bb.MinY,
-		cell: cell, inv: 1 / cell,
-		nx: nx, ny: ny,
-		start: make([]int32, nx*ny+1),
-		items: make([]int32, k),
-		fill:  make([]int32, nx*ny),
-	}
+	g.minX, g.minY = minX, minY
+	g.cell, g.inv = cell, 1/cell
+	g.nx, g.ny = nx, ny
+	// The caller rebuilds the buckets (build) before each query round; the
+	// sizing pass only (re)dimensions the arenas.
+	g.start = arena.Grow(g.start, nx*ny+1)
+	g.items = arena.Grow(g.items, k)
+	g.fill = arena.Grow(g.fill, nx*ny)
+	g.px = arena.Grow(g.px, k)
+	g.py = arena.Grow(g.py, k)
+	return true
+}
+
+// cellIdx returns the (clamped) bucket of a coordinate pair. Points drifting
+// outside the sizing bounding box are clamped into border cells, which keeps
+// the search exact because the ring lower bound is measured from the clamped
+// cell.
+func (g *centGrid) cellIdx(x, y float64) int {
+	cx := clampInt(int((x-g.minX)*g.inv), 0, g.nx-1)
+	cy := clampInt(int((y-g.minY)*g.inv), 0, g.ny-1)
+	return cy*g.nx + cx
 }
 
 // build re-buckets the centroids (called once per Lloyd iteration, since
-// centroids move between iterations but the bounding box is re-used: points
-// drifting outside are clamped into border cells, which keeps the search
-// exact because the ring lower bound is measured from the clamped cell).
-func (g *centGrid) build(cents []geom.Point) {
+// centroids move between iterations but the bounding box is re-used).
+func (g *centGrid) build(cxs, cys []float64) {
 	for i := range g.start {
 		g.start[i] = 0
 	}
-	cellIdx := func(p geom.Point) int {
-		cx := clampInt(int((p.X-g.minX)*g.inv), 0, g.nx-1)
-		cy := clampInt(int((p.Y-g.minY)*g.inv), 0, g.ny-1)
-		return cy*g.nx + cx
-	}
-	for _, c := range cents {
-		g.start[cellIdx(c)+1]++
+	for i := range cxs {
+		g.start[g.cellIdx(cxs[i], cys[i])+1]++
 	}
 	for i := 1; i < len(g.start); i++ {
 		g.start[i] += g.start[i-1]
@@ -92,55 +113,45 @@ func (g *centGrid) build(cents []geom.Point) {
 	for i := range g.fill {
 		g.fill[i] = 0
 	}
-	for i, c := range cents {
-		cell := cellIdx(c)
-		g.items[g.start[cell]+g.fill[cell]] = int32(i)
+	for i := range cxs {
+		cell := g.cellIdx(cxs[i], cys[i])
+		pos := g.start[cell] + g.fill[cell]
+		g.items[pos] = int32(i)
+		g.px[pos] = cxs[i]
+		g.py[pos] = cys[i]
 		g.fill[cell]++
 	}
 }
 
-// nearest returns the index of the exact nearest centroid to p (ties broken
-// by lowest index, matching bruteNearest). Distances are compared squared:
-// the ordering is identical and the hot loop avoids math.Hypot.
-func (g *centGrid) nearest(p geom.Point, cents []geom.Point) int {
-	cx := clampInt(int((p.X-g.minX)*g.inv), 0, g.nx-1)
-	cy := clampInt(int((p.Y-g.minY)*g.inv), 0, g.ny-1)
+// nearest returns the index of the exact nearest centroid to (px,py) (ties
+// broken by lowest index, matching bruteNearest). Distances are compared
+// squared: the ordering is identical and the hot loop avoids math.Hypot.
+//
+// seed (when >= 0) primes the walk with a known candidate — the point's
+// previous assignment — whose distance upper-bounds the answer, so rings
+// beyond it terminate immediately. This is a pure accelerator: the
+// termination bound is strict (lb² > bestD2), so every centroid at distance
+// <= the current best is still scanned and the lowest-index tie-break is
+// applied to exactly the same candidate set as the unseeded walk.
+func (g *centGrid) nearest(px, py float64, cxs, cys []float64, seed int) int {
+	qx := clampInt(int((px-g.minX)*g.inv), 0, g.nx-1)
+	qy := clampInt(int((py-g.minY)*g.inv), 0, g.ny-1)
 	best := -1
 	bestD2 := math.Inf(1)
-	scanRow := func(x0, x1, y int) bool {
-		if y < 0 || y >= g.ny {
-			return false
-		}
-		if x0 < 0 {
-			x0 = 0
-		}
-		if x1 >= g.nx {
-			x1 = g.nx - 1
-		}
-		if x0 > x1 {
-			return false
-		}
-		row := y * g.nx
-		for _, ci := range g.items[g.start[row+x0]:g.start[row+x1+1]] {
-			c := int(ci)
-			if d2 := p.Dist2(cents[c]); d2 < bestD2 || (d2 == bestD2 && c < best) {
-				best, bestD2 = c, d2
-			}
-		}
-		return true
+	if seed >= 0 {
+		dx, dy := px-cxs[seed], py-cys[seed]
+		best, bestD2 = seed, dx*dx+dy*dy
 	}
-	scanCell := func(x, y int) bool {
-		if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
-			return false
-		}
-		cell := y*g.nx + x
-		for _, ci := range g.items[g.start[cell]:g.start[cell+1]] {
-			c := int(ci)
-			if d2 := p.Dist2(cents[c]); d2 < bestD2 || (d2 == bestD2 && c < best) {
-				best, bestD2 = c, d2
+	// scan streams one contiguous CSR range [lo,hi) through the packed
+	// coordinate lanes. Ring rows cover several adjacent cells in one range,
+	// so the common case is a single linear walk per row.
+	scan := func(lo, hi int32) {
+		for t := lo; t < hi; t++ {
+			dx, dy := px-g.px[t], py-g.py[t]
+			if d2 := dx*dx + dy*dy; d2 < bestD2 || (d2 == bestD2 && int(g.items[t]) < best) {
+				best, bestD2 = int(g.items[t]), d2
 			}
 		}
-		return true
 	}
 	for r := 0; ; r++ {
 		// Any centroid bucketed in a ring-r cell is at least (r-1)·cell
@@ -156,15 +167,47 @@ func (g *centGrid) nearest(p geom.Point, cents []geom.Point) int {
 		}
 		visited := false
 		if r == 0 {
-			visited = scanCell(cx, cy)
+			// The query cell is clamped in range, so ring 0 always scans.
+			cell := qy*g.nx + qx
+			scan(g.start[cell], g.start[cell+1])
+			visited = true
 		} else {
 			// Top and bottom rows of the ring (contiguous in memory),
 			// then the two side columns.
-			visited = scanRow(cx-r, cx+r, cy-r) || visited
-			visited = scanRow(cx-r, cx+r, cy+r) || visited
-			for y := cy - r + 1; y <= cy+r-1; y++ {
-				visited = scanCell(cx-r, y) || visited
-				visited = scanCell(cx+r, y) || visited
+			x0, x1 := qx-r, qx+r
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 >= g.nx {
+				x1 = g.nx - 1
+			}
+			if x0 <= x1 {
+				if y := qy - r; y >= 0 && y < g.ny {
+					row := y * g.nx
+					scan(g.start[row+x0], g.start[row+x1+1])
+					visited = true
+				}
+				if y := qy + r; y >= 0 && y < g.ny {
+					row := y * g.nx
+					scan(g.start[row+x0], g.start[row+x1+1])
+					visited = true
+				}
+			}
+			for y := qy - r + 1; y <= qy+r-1; y++ {
+				if y < 0 || y >= g.ny {
+					continue
+				}
+				row := y * g.nx
+				if x := qx - r; x >= 0 && x < g.nx {
+					cell := row + x
+					scan(g.start[cell], g.start[cell+1])
+					visited = true
+				}
+				if x := qx + r; x >= 0 && x < g.nx {
+					cell := row + x
+					scan(g.start[cell], g.start[cell+1])
+					visited = true
+				}
 			}
 		}
 		if !visited && best >= 0 {

@@ -6,14 +6,20 @@
 // hierarchical DME step and for skew-refinement buffer sites.
 //
 // The Lloyd assignment step — the hot loop of the whole synthesis flow — is
-// accelerated two ways, neither of which changes the result:
+// accelerated three ways, none of which changes the result:
 //
 //   - a spatial grid over the centroids answers exact nearest-centroid
 //     queries by ring search instead of the naive O(k) scan (see grid.go);
 //   - the per-point assignment loop is sharded across a worker pool
 //     (Options.Workers). Assignments are pure per-point functions of the
 //     centroid set and centroid updates are accumulated sequentially, so any
-//     worker count produces bit-identical clusterings.
+//     worker count produces bit-identical clusterings;
+//   - all inner loops run over flat struct-of-arrays x/y float64 slices held
+//     in a reusable scratch arena (kmScratch) instead of []geom.Point, so a
+//     whole Lloyd run allocates nothing after the first invocation warms the
+//     scratch. The scratch comes from the job arena (Options.Arena) when one
+//     is attached, or from a package-level pool otherwise — repeated calls
+//     reuse buffers either way.
 //
 // Iterations also stop as soon as the centroid set reaches a fixed point
 // (exact equality), which skips the trailing no-op assignment passes of a
@@ -24,9 +30,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"slices"
 	"sort"
 
+	"dscts/internal/arena"
 	"dscts/internal/geom"
 	"dscts/internal/par"
 )
@@ -75,6 +81,54 @@ type Options struct {
 	// forces the reference O(n·k) scan. The grid is exact, so this only
 	// exists for benchmarking and cross-checking (see grid.go).
 	Brute bool
+	// Arena, when set, sources all Lloyd scratch from the job's arena so
+	// recycled jobs cluster allocation-free. A nil Arena falls back to a
+	// package-level scratch pool; results are bit-identical either way.
+	Arena *arena.Job
+}
+
+// kmScratch holds every transient buffer of one KMeans invocation in flat
+// struct-of-arrays form. It is reused across invocations via clusterScratch
+// pools; every field is fully (re)written before it is read, so reuse cannot
+// affect results.
+type kmScratch struct {
+	xs, ys   []float64 // flattened input points
+	cxs, cys []float64 // centroids
+	pxs, pys []float64 // previous-iteration centroids
+	sxs, sys []float64 // recompute accumulators
+	cnt      []int
+	d2       []float64 // k-means++ distance field
+	assign   []int
+	changed  []bool // per-chunk assignment-change flags
+	remap    []int
+	members  []int // balance: counting-sorted member index backing
+	moff     []int
+	grid     centGrid
+}
+
+// clusterScratch is the cluster phase's slot in the job arena: pools of
+// per-invocation scratch (nested and concurrent KMeans calls each check out
+// their own).
+type clusterScratch struct {
+	km  arena.Pool[kmScratch]
+	sub arena.Pool[subBuf]
+}
+
+// subBuf stages the point subset handed to a nested KMeans call.
+type subBuf struct {
+	pts []geom.Point
+}
+
+// fallbackScratch serves callers with no job arena attached, so even the
+// plain KMeans/DualLevel entry points stop re-making their scratch on every
+// invocation.
+var fallbackScratch clusterScratch
+
+func scratchHome(j *arena.Job) *clusterScratch {
+	if s := arena.Slot(j, arena.PhaseCluster, func() *clusterScratch { return &clusterScratch{} }); s != nil {
+		return s
+	}
+	return &fallbackScratch
 }
 
 // KMeans clusters pts into ceil(len(pts)/TargetSize) groups.
@@ -96,62 +150,134 @@ func KMeans(pts []geom.Point, opt Options) (*Result, error) {
 	if k > n {
 		k = n
 	}
+	home := scratchHome(opt.Arena)
+	s := home.km.Get()
+	if s == nil {
+		s = &kmScratch{}
+	}
+	defer home.km.Put(s)
+
+	s.xs = arena.Grow(s.xs, n)
+	s.ys = arena.Grow(s.ys, n)
+	for i, p := range pts {
+		s.xs[i] = p.X
+		s.ys[i] = p.Y
+	}
+	lloyd(s, n, k, opt)
+	if opt.Balance {
+		balance(s, n, k, opt.TargetSize)
+		recompute(s, n, k)
+	}
+	return buildResult(s, n, k), nil
+}
+
+// lloyd runs the k-means++ seeding and the Lloyd iteration loop entirely in
+// scratch, leaving the final assignment in s.assign[:n] and the centroids in
+// s.cxs/s.cys[:k]. It is shared by KMeans and the allocation-free bisect
+// entry of the cap-aware splitter.
+func lloyd(s *kmScratch, n, k int, opt Options) {
+	s.cxs = arena.Grow(s.cxs, k)
+	s.cys = arena.Grow(s.cys, k)
+	s.pxs = arena.Grow(s.pxs, k)
+	s.pys = arena.Grow(s.pys, k)
+	s.sxs = arena.Grow(s.sxs, k)
+	s.sys = arena.Grow(s.sys, k)
+	s.cnt = arena.Grow(s.cnt, k)
+	s.assign = arena.GrowZero(s.assign, n)
+	s.changed = arena.Grow(s.changed, (n+assignChunk-1)/assignChunk)
+
 	// PCG seeding is effectively free, which matters because the
 	// cap-aware splitting of the dual-level hierarchy re-enters KMeans
 	// hundreds of times on small point sets.
 	rng := rand.New(rand.NewPCG(uint64(opt.Seed), 0x9e3779b97f4a7c15))
-	cents := seedPlusPlus(pts, k, rng)
-	assign := make([]int, n)
+	seedPlusPlus(s, n, k, rng)
 	workers := par.N(opt.Workers)
-	var grid *centGrid
-	if !opt.Brute {
-		grid = newCentGrid(cents)
-	}
-	prev := make([]geom.Point, k)
-	changedBy := make([]bool, (n+assignChunk-1)/assignChunk)
+	useGrid := !opt.Brute && s.grid.size(s.cxs, s.cys)
 	for iter := 0; iter < opt.MaxIter; iter++ {
-		if grid != nil {
-			grid.build(cents)
+		if useGrid {
+			s.grid.build(s.cxs, s.cys)
 		}
-		changed := assignNearest(pts, cents, assign, grid, workers, changedBy)
-		copy(prev, cents)
-		cents = recompute(pts, assign, k, cents)
+		changed := assignNearest(s, useGrid, workers)
+		copy(s.pxs, s.cxs)
+		copy(s.pys, s.cys)
+		recompute(s, n, k)
 		if !changed && iter > 0 {
 			break
 		}
 		// Fixed point: if no centroid moved at all, the next assignment
 		// pass cannot change anything either — stop early. Exact equality
 		// keeps the final (assign, cents) identical to the full loop.
-		if slices.Equal(prev, cents) {
+		if centsEqual(s, k) {
 			break
 		}
 	}
-	if opt.Balance {
-		balance(pts, cents, assign, opt.TargetSize)
-		cents = recompute(pts, assign, len(cents), cents)
+}
+
+// bisect is the allocation-free twin of KMeans for the cap-aware recursive
+// bipartition: TargetSize=(n+1)/2 always yields k=2 for n >= 2, Balance is
+// off, and the caller consumes the assignment/centroids straight from the
+// returned scratch (which it must hand back to home.km). The points are
+// gathered from sinks through the index list, so the split recursion never
+// materializes point subsets. The computation — seeding, iteration, early
+// exits — is byte-for-byte the KMeans code path, so the split hierarchy is
+// bit-identical to the one the full KMeans entry produced.
+func bisect(sinks []geom.Point, idx []int, opt Options, home *clusterScratch) *kmScratch {
+	n := len(idx)
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 50
 	}
-	return buildResult(pts, cents, assign), nil
+	s := home.km.Get()
+	if s == nil {
+		s = &kmScratch{}
+	}
+	s.xs = arena.Grow(s.xs, n)
+	s.ys = arena.Grow(s.ys, n)
+	for i, id := range idx {
+		s.xs[i] = sinks[id].X
+		s.ys[i] = sinks[id].Y
+	}
+	lloyd(s, n, 2, opt)
+	return s
+}
+
+func centsEqual(s *kmScratch, k int) bool {
+	for c := 0; c < k; c++ {
+		if s.pxs[c] != s.cxs[c] || s.pys[c] != s.cys[c] {
+			return false
+		}
+	}
+	return true
 }
 
 // seedPlusPlus is the k-means++ seeding: spread initial centroids with
 // probability proportional to squared distance from the nearest chosen seed.
-func seedPlusPlus(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
-	cents := make([]geom.Point, 0, k)
-	cents = append(cents, pts[rng.IntN(len(pts))])
-	d2 := make([]float64, len(pts))
+// It writes the k seeds into s.cxs/s.cys.
+func seedPlusPlus(s *kmScratch, n, k int, rng *rand.Rand) {
+	first := rng.IntN(n)
+	s.cxs[0] = s.xs[first]
+	s.cys[0] = s.ys[first]
+	if k == 1 {
+		// The distance field below only steers the CHOICE of later seeds;
+		// with a single centroid it is dead work (the rng is not consulted
+		// again), so skipping it cannot change any result.
+		return
+	}
+	s.d2 = arena.Grow(s.d2, n)
+	d2 := s.d2
 	var total float64
-	for i, p := range pts {
-		d2[i] = p.Dist2(cents[0])
+	for i := 0; i < n; i++ {
+		dx, dy := s.xs[i]-s.cxs[0], s.ys[i]-s.cys[0]
+		d2[i] = dx*dx + dy*dy
 		total += d2[i]
 	}
-	for len(cents) < k {
+	for kc := 1; kc < k; kc++ {
 		var next int
 		if total <= 0 {
-			next = rng.IntN(len(pts))
+			next = rng.IntN(n)
 		} else {
 			r := rng.Float64() * total
 			acc := 0.0
-			next = len(pts) - 1
+			next = n - 1
 			for i, v := range d2 {
 				acc += v
 				if acc >= r {
@@ -160,54 +286,101 @@ func seedPlusPlus(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
 				}
 			}
 		}
-		c := pts[next]
-		cents = append(cents, c)
+		cx, cy := s.xs[next], s.ys[next]
+		s.cxs[kc] = cx
+		s.cys[kc] = cy
 		// Tighten the distance field and rebuild its sum in one pass
 		// (recomputing rather than decrementing keeps the sum exact).
 		total = 0
-		for i, p := range pts {
-			if v := p.Dist2(c); v < d2[i] {
+		for i := 0; i < n; i++ {
+			dx, dy := s.xs[i]-cx, s.ys[i]-cy
+			if v := dx*dx + dy*dy; v < d2[i] {
 				d2[i] = v
 			}
 			total += d2[i]
 		}
 	}
-	return cents
 }
 
 // assignChunk is the fixed shard size of the parallel assignment loop. The
 // chunk boundaries depend only on the point count, so sharding never
-// affects which points compare against which centroids.
+// affects which points compare against which centroids. It is also the
+// cache block: a chunk's x/y lanes (2·2048·8 B = 32 KB) stay resident while
+// the centroid lanes stream through.
 const assignChunk = 2048
 
 // assignNearest writes the index of the exact nearest centroid (lowest
 // index on ties) for every point, using the grid accelerator when one is
 // available and sharding across workers. Each point's assignment is an
 // independent pure function, so the output is schedule-independent.
-func assignNearest(pts []geom.Point, cents []geom.Point, assign []int, grid *centGrid, workers int, changedBy []bool) bool {
-	n := len(pts)
-	for i := range changedBy {
-		changedBy[i] = false
+func assignNearest(s *kmScratch, useGrid bool, workers int) bool {
+	n := len(s.xs)
+	for i := range s.changed {
+		s.changed[i] = false
+	}
+	if workers <= 1 {
+		// Inline chunk walk: same chunk boundaries and per-point work as
+		// the pooled path, minus the escaping closures (which used to cost
+		// two heap allocations per Lloyd pass — thousands per clustering
+		// once the cap-aware splitter re-enters KMeans per low cluster).
+		for lo := 0; lo < n; lo += assignChunk {
+			hi := lo + assignChunk
+			if hi > n {
+				hi = n
+			}
+			chunkChanged := false
+			if useGrid {
+				for i := lo; i < hi; i++ {
+					best := s.grid.nearest(s.xs[i], s.ys[i], s.cxs, s.cys, s.assign[i])
+					if s.assign[i] != best {
+						s.assign[i] = best
+						chunkChanged = true
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					best := bruteNearest(s.xs[i], s.ys[i], s.cxs, s.cys)
+					if s.assign[i] != best {
+						s.assign[i] = best
+						chunkChanged = true
+					}
+				}
+			}
+			if chunkChanged {
+				s.changed[lo/assignChunk] = true
+			}
+		}
+		for _, c := range s.changed {
+			if c {
+				return true
+			}
+		}
+		return false
 	}
 	par.Chunks(workers, n, assignChunk, func(lo, hi int) {
 		chunkChanged := false
-		for i := lo; i < hi; i++ {
-			var best int
-			if grid != nil {
-				best = grid.nearest(pts[i], cents)
-			} else {
-				best = bruteNearest(pts[i], cents)
+		if useGrid {
+			for i := lo; i < hi; i++ {
+				best := s.grid.nearest(s.xs[i], s.ys[i], s.cxs, s.cys, s.assign[i])
+				if s.assign[i] != best {
+					s.assign[i] = best
+					chunkChanged = true
+				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				chunkChanged = true
+		} else {
+			for i := lo; i < hi; i++ {
+				best := bruteNearest(s.xs[i], s.ys[i], s.cxs, s.cys)
+				if s.assign[i] != best {
+					s.assign[i] = best
+					chunkChanged = true
+				}
 			}
 		}
 		if chunkChanged {
-			changedBy[lo/assignChunk] = true
+			s.changed[lo/assignChunk] = true
 		}
 	})
-	for _, c := range changedBy {
+	for _, c := range s.changed {
 		if c {
 			return true
 		}
@@ -218,69 +391,99 @@ func assignNearest(pts []geom.Point, cents []geom.Point, assign []int, grid *cen
 // bruteNearest is the reference O(k) scan; first minimum wins, which equals
 // the lowest index among distance ties. Squared distances order identically
 // to Euclidean ones, so this matches the grid search exactly.
-func bruteNearest(p geom.Point, cents []geom.Point) int {
+func bruteNearest(px, py float64, cxs, cys []float64) int {
 	best, bestD2 := 0, math.Inf(1)
-	for c, cp := range cents {
-		if d2 := p.Dist2(cp); d2 < bestD2 {
+	for c := range cxs {
+		dx, dy := px-cxs[c], py-cys[c]
+		if d2 := dx*dx + dy*dy; d2 < bestD2 {
 			best, bestD2 = c, d2
 		}
 	}
 	return best
 }
 
-func recompute(pts []geom.Point, assign []int, k int, prev []geom.Point) []geom.Point {
-	sum := make([]geom.Point, k)
-	cnt := make([]int, k)
-	for i, a := range assign {
-		sum[a] = sum[a].Add(pts[i])
+// recompute rebuilds the centroid set from the current assignment, in place
+// over s.cxs/s.cys. Sums accumulate componentwise in point order — the exact
+// FP operation sequence of the original geom.Point accumulation. Clusters
+// left empty keep their current centroid (they may repopulate).
+func recompute(s *kmScratch, n, k int) {
+	sxs, sys, cnt := s.sxs[:k], s.sys[:k], s.cnt[:k]
+	for c := 0; c < k; c++ {
+		sxs[c], sys[c], cnt[c] = 0, 0, 0
+	}
+	for i := 0; i < n; i++ {
+		a := s.assign[i]
+		sxs[a] += s.xs[i]
+		sys[a] += s.ys[i]
 		cnt[a]++
 	}
-	cents := make([]geom.Point, k)
-	for c := range cents {
+	for c := 0; c < k; c++ {
 		if cnt[c] == 0 {
-			cents[c] = prev[c] // keep empty cluster's seed; may repopulate
-			continue
+			continue // keep seed; may repopulate
 		}
-		cents[c] = sum[c].Scale(1 / float64(cnt[c]))
+		inv := 1 / float64(cnt[c])
+		s.cxs[c] = sxs[c] * inv
+		s.cys[c] = sys[c] * inv
 	}
-	return cents
 }
 
 // balance enforces a soft capacity of ceil(1.25·target): clusters over the
 // cap shed their farthest points to the nearest cluster with headroom.
-func balance(pts []geom.Point, cents []geom.Point, assign []int, target int) {
+func balance(s *kmScratch, n, k, target int) {
 	capSize := int(math.Ceil(1.25 * float64(target)))
 	if capSize < 1 {
 		capSize = 1
 	}
-	k := len(cents)
-	members := make([][]int, k)
-	for i, a := range assign {
-		members[a] = append(members[a], i)
+	// Counting-sort the members into one flat backing; segments are
+	// three-index sliced so the rare "everyone full" re-append cannot
+	// scribble over the next cluster's segment.
+	s.moff = arena.Grow(s.moff, k+1)
+	s.members = arena.Grow(s.members, n)
+	moff := s.moff
+	for c := range moff {
+		moff[c] = 0
 	}
-	size := make([]int, k)
-	for c := range members {
-		size[c] = len(members[c])
+	for i := 0; i < n; i++ {
+		moff[s.assign[i]+1]++
 	}
+	for c := 1; c <= k; c++ {
+		moff[c] += moff[c-1]
+	}
+	s.cnt = arena.GrowZero(s.cnt, k)
+	fill := s.cnt
+	for i := 0; i < n; i++ {
+		a := s.assign[i]
+		s.members[moff[a]+fill[a]] = i
+		fill[a]++
+	}
+	memberOf := func(c int) []int {
+		return s.members[moff[c]:moff[c+1]:moff[c+1]]
+	}
+	size := fill // alias: fill[c] == len(members of c)
 	for c := 0; c < k; c++ {
 		if size[c] <= capSize {
 			continue
 		}
 		// Evict points farthest from the centroid first.
-		m := members[c]
+		m := memberOf(c)
+		ccx, ccy := s.cxs[c], s.cys[c]
 		sort.Slice(m, func(i, j int) bool {
-			return pts[m[i]].Dist2(cents[c]) < pts[m[j]].Dist2(cents[c])
+			dxi, dyi := s.xs[m[i]]-ccx, s.ys[m[i]]-ccy
+			dxj, dyj := s.xs[m[j]]-ccx, s.ys[m[j]]-ccy
+			return dxi*dxi+dyi*dyi < dxj*dxj+dyj*dyj
 		})
 		for len(m) > capSize {
 			p := m[len(m)-1]
 			m = m[:len(m)-1]
 			// Nearest cluster with headroom.
 			best, bestD2 := -1, math.Inf(1)
+			px, py := s.xs[p], s.ys[p]
 			for o := 0; o < k; o++ {
 				if o == c || size[o] >= capSize {
 					continue
 				}
-				if d2 := pts[p].Dist2(cents[o]); d2 < bestD2 {
+				dx, dy := px-s.cxs[o], py-s.cys[o]
+				if d2 := dx*dx + dy*dy; d2 < bestD2 {
 					best, bestD2 = o, d2
 				}
 			}
@@ -289,37 +492,65 @@ func balance(pts []geom.Point, cents []geom.Point, assign []int, target int) {
 				m = append(m, p)
 				break
 			}
-			assign[p] = best
+			s.assign[p] = best
 			size[best]++
 			size[c]--
 		}
-		members[c] = m
 	}
 }
 
-func buildResult(pts []geom.Point, cents []geom.Point, assign []int) *Result {
+// buildResult materializes the compact Result. Everything it returns is
+// freshly heap-allocated — the Result escapes to the caller and must never
+// alias arena scratch. Members is a counting sort over one shared backing
+// array, replacing the per-cluster append chains that used to dominate the
+// clustering allocation profile.
+func buildResult(s *kmScratch, n, k int) *Result {
 	// Drop empty clusters and remap ids for a compact result.
-	k := len(cents)
-	cnt := make([]int, k)
-	for _, a := range assign {
+	s.cnt = arena.GrowZero(s.cnt, k)
+	cnt := s.cnt
+	for _, a := range s.assign[:n] {
 		cnt[a]++
 	}
-	remap := make([]int, k)
-	var kept []geom.Point
+	s.remap = arena.Grow(s.remap, k)
+	remap := s.remap
+	nk := 0
 	for c := 0; c < k; c++ {
 		if cnt[c] == 0 {
 			remap[c] = -1
 			continue
 		}
-		remap[c] = len(kept)
-		kept = append(kept, cents[c])
+		remap[c] = nk
+		nk++
+	}
+	kept := make([]geom.Point, nk)
+	nk = 0
+	for c := 0; c < k; c++ {
+		if remap[c] >= 0 {
+			kept[nk] = geom.Point{X: s.cxs[c], Y: s.cys[c]}
+			nk++
+		}
 	}
 	out := &Result{
-		Assign:    make([]int, len(assign)),
+		Assign:    make([]int, n),
 		Centroids: kept,
-		Members:   make([][]int, len(kept)),
+		Members:   make([][]int, nk),
 	}
-	for i, a := range assign {
+	backing := make([]int, n)
+	s.moff = arena.Grow(s.moff, nk+1)
+	moff := s.moff
+	for c := range moff[:nk+1] {
+		moff[c] = 0
+	}
+	for _, a := range s.assign[:n] {
+		moff[remap[a]+1]++
+	}
+	for c := 1; c <= nk; c++ {
+		moff[c] += moff[c-1]
+	}
+	for c := 0; c < nk; c++ {
+		out.Members[c] = backing[moff[c]:moff[c]:moff[c+1]]
+	}
+	for i, a := range s.assign[:n] {
 		na := remap[a]
 		out.Assign[i] = na
 		out.Members[na] = append(out.Members[na], i)

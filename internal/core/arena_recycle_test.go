@@ -1,0 +1,121 @@
+package core
+
+// Determinism tests for arena recycling (DESIGN.md §8): a synthesis run on a
+// warm recycled arena must be bit-identical to one on a fresh arena, and to
+// one with no arena at all (package-pool fallback). Run under -race in CI,
+// these also prove the pooled scratch is properly confined.
+
+import (
+	"reflect"
+	"testing"
+
+	"dscts/internal/arena"
+	"dscts/internal/tech"
+)
+
+// sameOutcome pins the result identity that arena recycling must preserve:
+// the full node array of the tree and every metric, exactly.
+func sameOutcome(t *testing.T, label string, a, b *Outcome) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Tree.Nodes, b.Tree.Nodes) {
+		t.Errorf("%s: trees differ", label)
+	}
+	if a.Metrics.Latency != b.Metrics.Latency || a.Metrics.Skew != b.Metrics.Skew ||
+		a.Metrics.WL != b.Metrics.WL || a.Metrics.Buffers != b.Metrics.Buffers ||
+		a.Metrics.NTSVs != b.Metrics.NTSVs {
+		t.Errorf("%s: metrics differ: %+v vs %+v", label, a.Metrics, b.Metrics)
+	}
+	if !reflect.DeepEqual(a.Metrics.SinkDelays, b.Metrics.SinkDelays) {
+		t.Errorf("%s: sink delays differ", label)
+	}
+}
+
+// TestJobRecycleBitIdentical runs the monolithic flow three ways — no arena,
+// fresh job, and the SAME job again (recycled, every lane warm) — and
+// requires bit-identical outcomes.
+func TestJobRecycleBitIdentical(t *testing.T) {
+	tc := tech.ASAP7()
+	p := c4Placement(t)
+
+	ref, err := Synthesize(p.Root, p.Sinks, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := arena.NewJob(len(p.Sinks))
+	fresh, err := Synthesize(p.Root, p.Sinks, tc, Options{Arena: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Synthesize(p.Root, p.Sinks, tc, Options{Arena: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, "fresh job vs no arena", fresh, ref)
+	sameOutcome(t, "recycled job vs no arena", warm, ref)
+}
+
+// TestECOChainRecycleBitIdentical chains two deltas through SynthesizeECO
+// twice: once with the retained arena recycled across the chain (the
+// default), once with the retained arena stripped before every hop (pool
+// fallback). Both chains must produce bit-identical outcomes at every hop.
+func TestECOChainRecycleBitIdentical(t *testing.T) {
+	tc := tech.ASAP7()
+	p := ecoPlacement(t, "C4")
+	opt := Options{RetainECO: true}
+
+	base, err := Synthesize(p.Root, p.Sinks, tc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := Synthesize(p.Root, p.Sinks, tc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2.Retained.arena = nil // force the no-arena fallback chain
+
+	prevA, prevB := base, base2
+	for hop := 0; hop < 2; hop++ {
+		d := localizedDelta(prevA.Retained.Sinks, 17+hop, 40)
+		a, err := SynthesizeECO(prevA, d, Options{RetainECO: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevB.Retained.arena != nil {
+			t.Fatal("fallback chain grew an arena before the hop")
+		}
+		b, err := SynthesizeECO(prevB, d, Options{RetainECO: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, "eco hop", a, b)
+		prevA = a
+		prevB = b
+		prevB.Retained.arena = nil
+	}
+	if prevA.Retained.arena == nil {
+		t.Fatal("recycled chain lost its retained arena")
+	}
+}
+
+// TestPartitionedRegionPoolBitIdentical runs the partitioned pipeline twice
+// in a row: the second run's regions draw warm jobs from the shared region
+// pool the first run populated, and must be bit-identical to the first.
+func TestPartitionedRegionPoolBitIdentical(t *testing.T) {
+	tc := tech.ASAP7()
+	p := ecoPlacement(t, "C4")
+	opt := Options{}
+	opt.Partition.MaxSinks = 300
+
+	cold, err := Synthesize(p.Root, p.Sinks, tc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Regions) < 2 {
+		t.Fatalf("expected a partitioned run, got %d regions", len(cold.Regions))
+	}
+	warmRun, err := Synthesize(p.Root, p.Sinks, tc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, "warm region pool vs cold", warmRun, cold)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"dscts/internal/arena"
 	"dscts/internal/cluster"
 	"dscts/internal/corner"
 	"dscts/internal/ctree"
@@ -163,6 +164,13 @@ type Options struct {
 	// it is a test/scheduling hook, never part of the result identity: a
 	// run that completes under injection is bit-identical to one without.
 	Faults *fault.Registry
+	// Arena is the job-owned scratch arena every phase draws its working
+	// memory from (clustering lanes, DP generation buffers, RC networks).
+	// nil falls back to per-package pools. Partitioned runs ignore it for
+	// the per-region stacks — concurrent regions draw right-sized jobs
+	// from an internal size-bucketed pool instead. Purely a memory-reuse
+	// hook: results are bit-identical with any value, including nil.
+	Arena *arena.Job
 }
 
 // Outcome is the result of a synthesis run.
@@ -261,11 +269,20 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 	}
 	emit(PhaseEval, false, 0)
 	t3 := time.Now()
-	m, err := eval.New(tc, eval.Elmore).Evaluate(out.Tree)
-	if err != nil {
-		return nil, fmt.Errorf("core: evaluation: %w", err)
+	if st.refine != nil {
+		// Refinement's exit report already evaluated exactly this tree with
+		// an identical evaluator (eval.New(tc, eval.Elmore) on the final
+		// buffered tree), so its After IS the flow's final metrics — reusing
+		// it skips a duplicate full evaluation, bit-identically.
+		m := st.refine.After
+		out.Metrics = &m
+	} else {
+		m, err := eval.New(tc, eval.Elmore).EvaluateIn(out.Tree, opt.Arena)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluation: %w", err)
+		}
+		out.Metrics = m
 	}
-	out.Metrics = m
 	emit(PhaseEval, true, time.Since(t3))
 
 	// Multi-corner sign-off: re-evaluate the finished tree per PVT corner.
@@ -290,8 +307,22 @@ func SynthesizeContext(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 		emit(PhaseCorners, true, out.CornersTime)
 	}
 	if opt.RetainECO {
-		out.Retained = &ECOState{Root: rootPos, Sinks: sinks, Tech: tc, Opt: retainedOptions(opt)}
+		out.Retained = &ECOState{
+			Root: rootPos, Sinks: sinks, Tech: tc, Opt: retainedOptions(opt),
+			arena: retainedArena(opt, len(sinks)),
+		}
 	}
 	out.TotalTime = time.Since(start)
 	return out, nil
+}
+
+// retainedArena picks the scratch arena an ECOState carries forward: the
+// run's own job when it had one, else a fresh job the first chained ECO will
+// warm up. Retaining an arena only extends scratch lifetimes; it never
+// aliases result memory (see the arena package contract).
+func retainedArena(opt Options, sinks int) *arena.Job {
+	if opt.Arena != nil {
+		return opt.Arena
+	}
+	return arena.NewJob(sinks)
 }

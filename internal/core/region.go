@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dscts/internal/arena"
 	"dscts/internal/cluster"
 	"dscts/internal/corner"
 	"dscts/internal/ctree"
@@ -62,6 +63,15 @@ type RegionStat struct {
 	Time time.Duration
 }
 
+// regionJobs recycles right-sized scratch arenas across the concurrent
+// region stacks of the partitioned pipeline and the dirty scopes of ECO
+// re-synthesis. Regions run concurrently, so they never share the caller's
+// Options.Arena; each checks a job out of this size-bucketed pool instead,
+// which makes repeated partitioned runs (and chained ECOs) warm-start their
+// per-region working sets. Purely a memory-reuse layer — results are
+// bit-identical with or without a warm hit.
+var regionJobs = arena.NewJobPool(0)
+
 // stages bundles the routed, inserted and refined tree of one synthesis
 // scope — the whole net for the monolithic flow, or one region.
 type stages struct {
@@ -91,6 +101,7 @@ func runStages(ctx context.Context, rootPos geom.Point, sinks []geom.Point, tc *
 		d.MaxIter = 40
 	}
 	d.Workers = workers
+	d.Arena = opt.Arena
 	front := tc.Front()
 	if d.CapOf == nil {
 		d.CapOf = func(s, c geom.Point) float64 { return tc.SinkCap + front.UnitCap*s.Dist(c) }
@@ -146,6 +157,7 @@ func runStages(ctx context.Context, rootPos geom.Point, sinks []geom.Point, tc *
 	cfg.DiversePruning = opt.DiversePruning
 	cfg.MaxPerSide = opt.MaxPerSide
 	cfg.Workers = workers
+	cfg.Arena = opt.Arena
 	switch {
 	case opt.Mode == SingleSide:
 		cfg.ModeOf = func(treeID, fanout int) insert.Mode { return insert.ModeIntra }
@@ -181,6 +193,7 @@ func runStages(ctx context.Context, rootPos geom.Point, sinks []geom.Point, tc *
 			rp = refine.DefaultParams()
 		}
 		rp.Workers = workers
+		rp.Arena = opt.Arena
 		rr, err := refine.RefineContext(ctx, tree, tc, rp)
 		if err != nil {
 			return nil, fmt.Errorf("core: refinement: %w", err)
@@ -264,12 +277,16 @@ func synthesizeRegions(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 			local[j] = sinks[si]
 		}
 		t0 := time.Now()
-		st, err := runStages(ctx, r.Anchor, local, tc, opt, inner, nil)
+		job := regionJobs.Get(len(r.Sinks))
+		defer regionJobs.Put(job)
+		ropt := opt
+		ropt.Arena = job
+		st, err := runStages(ctx, r.Anchor, local, tc, ropt, inner, nil)
 		if err != nil {
 			runs[i].err = fmt.Errorf("region %d: %w", r.ID, err)
 			return
 		}
-		sum, err := eval.New(tc, eval.Elmore).SummarizeRegion(st.tree)
+		sum, err := eval.New(tc, eval.Elmore).SummarizeRegionIn(st.tree, job)
 		if err != nil {
 			runs[i].err = fmt.Errorf("region %d: %w", r.ID, err)
 			return
@@ -315,6 +332,7 @@ func synthesizeRegions(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 		out.Retained = &ECOState{
 			Root: rootPos, Sinks: sinks, Tech: tc, Opt: retainedOptions(opt),
 			Regions: regions, Trees: trees, Sums: sums,
+			arena: retainedArena(opt, len(sinks)),
 		}
 	}
 	return out, nil
@@ -525,7 +543,15 @@ func balanceRegions(top *ctree.Tree, taps map[int]int, sums []*eval.RegionEval, 
 // a zero-length child so the merged RC network matches the region-local one
 // element for element.
 func graftRegions(top *ctree.Tree, taps map[int]int, trees []*ctree.Tree, regions []partition.Region) (*ctree.Tree, error) {
-	merged := top.Clone()
+	// The final size is known up front: every region node grafts exactly
+	// once (plus at most one buffer carrier per region root). Pre-sizing
+	// keeps the million-node lane from append-doubling through ~2x its
+	// final footprint in zero+copy traffic.
+	total := top.Len() + len(regions)
+	for _, rt := range trees {
+		total += rt.Len()
+	}
+	merged := top.CloneSized(total)
 	clusterBase := 0
 	// Graft in region ID order for a deterministic node numbering.
 	tapOf := make([]int, len(regions))
@@ -571,6 +597,10 @@ func graftRegions(top *ctree.Tree, taps map[int]int, trees []*ctree.Tree, region
 				graftErr = fmt.Errorf("core: graft: region %d has nested root node %d", ri, i)
 				return
 			}
+			// The graft preserves fan-out exactly, so reserve it: sink
+			// appends under wide centroids then stay inside the carved
+			// block instead of re-growing the child slice.
+			merged.ReserveChildren(id, len(n.Children))
 			m := &merged.Nodes[id]
 			m.Wiring = n.Wiring
 			m.SnakeExtra = n.SnakeExtra

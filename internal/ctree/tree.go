@@ -151,11 +151,61 @@ type Node struct {
 // Tree is a rooted clock tree. Node 0 is always the root.
 type Tree struct {
 	Nodes []Node
+
+	// kids is the shared backing store Children slices are carved from
+	// (full slice expressions, so an over-long append reallocates to the
+	// heap instead of clobbering a neighbour). Without it every node costs
+	// one-to-two slice allocations — ~80% of a monolithic synthesis run's
+	// allocation count. Unexported, so gob skips it: a decoded tree simply
+	// carves fresh blocks if it is ever grown again, while its decoded
+	// Children keep their own heap backing.
+	kids []int
+}
+
+// carve reserves an n-capacity child slice from the shared store.
+func (t *Tree) carve(n int) []int {
+	if cap(t.kids)-len(t.kids) < n {
+		c := 2 * cap(t.kids)
+		if c < 256 {
+			c = 256
+		}
+		if c < n {
+			c = n
+		}
+		// Previous blocks stay alive through the slices carved from them.
+		t.kids = make([]int, 0, c)
+	}
+	off := len(t.kids)
+	t.kids = t.kids[: off+n : cap(t.kids)]
+	return t.kids[off : off : off+n]
+}
+
+// ReserveChildren pre-carves capacity for n children of node id. Purely an
+// allocation hint for assemblers that know the fan-out up front (e.g. a
+// centroid about to receive its cluster's sinks); a no-op once the node has
+// children or a reservation.
+func (t *Tree) ReserveChildren(id, n int) {
+	if p := &t.Nodes[id]; p.Children == nil && n > 0 {
+		p.Children = t.carve(n)
+	}
 }
 
 // New creates a tree containing only the root at pos.
 func New(pos geom.Point) *Tree {
+	return NewSized(pos, 0)
+}
+
+// NewSized creates a tree containing only the root at pos, with capacity
+// for roughly `capacity` nodes. The hint is advisory — Add grows past it
+// transparently — but a good one (assemblers know their sink and cluster
+// counts up front) removes the append-doubling copies of the ~128-byte
+// node records, which were the single largest allocation source of a
+// monolithic synthesis run.
+func NewSized(pos geom.Point, capacity int) *Tree {
 	t := &Tree{}
+	if capacity > 1 {
+		t.Nodes = make([]Node, 0, capacity)
+	}
 	t.Nodes = append(t.Nodes, Node{
 		ID: 0, Kind: KindRoot, Pos: pos, Parent: -1, SinkIdx: -1, ClusterIdx: -1,
 	})
@@ -177,7 +227,11 @@ func (t *Tree) Add(parent int, kind Kind, pos geom.Point) int {
 	t.Nodes = append(t.Nodes, Node{
 		ID: id, Kind: kind, Pos: pos, Parent: parent, SinkIdx: -1, ClusterIdx: -1,
 	})
-	t.Nodes[parent].Children = append(t.Nodes[parent].Children, id)
+	p := &t.Nodes[parent]
+	if p.Children == nil {
+		p.Children = t.carve(2) // binary merge trees: two children is the norm
+	}
+	p.Children = append(p.Children, id)
 	return id
 }
 
@@ -535,12 +589,25 @@ func markDropped(t *Tree, id int, idMap []int) {
 }
 
 // Clone returns a deep copy of the tree.
-func (t *Tree) Clone() *Tree {
-	nt := &Tree{Nodes: make([]Node, len(t.Nodes))}
+func (t *Tree) Clone() *Tree { return t.CloneSized(0) }
+
+// CloneSized returns a deep copy whose node lane is pre-allocated for
+// capacity total nodes. It is the graft primitive for assemblers that copy
+// a small tree and then grow it to a known final size (the stitch stage
+// clones the top tree and grafts every region tree into it): growing a
+// million-node lane by append-doubling re-zeroes and re-copies ~2x the
+// final ~128-byte-per-node array, which dominates cold stitch wall time.
+// capacity <= Len() is simply Clone. The copied Children are carved from
+// the clone's own shared store.
+func (t *Tree) CloneSized(capacity int) *Tree {
+	if capacity < len(t.Nodes) {
+		capacity = len(t.Nodes)
+	}
+	nt := &Tree{Nodes: make([]Node, len(t.Nodes), capacity)}
 	copy(nt.Nodes, t.Nodes)
 	for i := range nt.Nodes {
-		if len(t.Nodes[i].Children) > 0 {
-			nt.Nodes[i].Children = append([]int(nil), t.Nodes[i].Children...)
+		if n := len(t.Nodes[i].Children); n > 0 {
+			nt.Nodes[i].Children = append(nt.carve(n), t.Nodes[i].Children...)
 		}
 	}
 	return nt

@@ -72,8 +72,11 @@ func HierarchicalRoute(rootPos geom.Point, sinks []geom.Point, d *cluster.Dual, 
 		return nil, fmt.Errorf("dme: top level: %w", err)
 	}
 
-	// Assemble the full clock tree.
-	out := ctree.New(rootPos)
+	// Assemble the full clock tree. Sized for every sink and centroid plus
+	// the DME Steiner points (at most one per merge, ~2 per low cluster
+	// across both hierarchy levels); trunk splitting may still grow past
+	// the hint, which Add handles transparently.
+	out := ctree.NewSized(rootPos, len(sinks)+4*d.NumLow()+8)
 	spliceDME(out, out.Root(), top, func(t *ctree.Tree, parent, leafIdx int, pos geom.Point, snake float64) {
 		// Each top leaf is the root of a per-cluster subtree; splice it in
 		// at the same position (drop the duplicate node).
@@ -82,6 +85,7 @@ func HierarchicalRoute(rootPos geom.Point, sinks []geom.Point, d *cluster.Dual, 
 			lc := sub.lcs[li]
 			cid := t.AddCentroid(p, lp, lc)
 			t.Nodes[cid].SnakeExtra = lsnake
+			t.ReserveChildren(cid, len(d.LowSinks[lc]))
 			for _, si := range d.LowSinks[lc] {
 				t.AddSink(cid, sinks[si], si)
 			}
@@ -116,10 +120,11 @@ func FlatRoute(rootPos geom.Point, sinks []geom.Point, d *cluster.Dual, tc *tech
 	if err != nil {
 		return nil, err
 	}
-	out := ctree.New(rootPos)
+	out := ctree.NewSized(rootPos, len(sinks)+3*d.NumLow()+8)
 	spliceDME(out, out.Root(), t, func(tr *ctree.Tree, parent, leafIdx int, pos geom.Point, snake float64) {
 		cid := tr.AddCentroid(parent, pos, leafIdx)
 		tr.Nodes[cid].SnakeExtra = snake
+		tr.ReserveChildren(cid, len(d.LowSinks[leafIdx]))
 		for _, si := range d.LowSinks[leafIdx] {
 			tr.AddSink(cid, sinks[si], si)
 		}
@@ -148,7 +153,7 @@ func TopRoute(rootPos geom.Point, leaves []Leaf, tc *tech.Tech, opt HierOptions)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dme: top route: %w", err)
 	}
-	out := ctree.New(rootPos)
+	out := ctree.NewSized(rootPos, 4*len(leaves)+8)
 	taps := make(map[int]int, len(leaves))
 	spliceDME(out, out.Root(), t, func(tr *ctree.Tree, parent, leafIdx int, pos geom.Point, snake float64) {
 		id := tr.Add(parent, ctree.KindSteiner, pos)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"dscts/internal/arena"
 	"dscts/internal/ctree"
 	"dscts/internal/tech"
 	"dscts/internal/timing"
@@ -57,39 +58,93 @@ func New(tc *tech.Tech, mode Mode) *Evaluator {
 	return e
 }
 
+// sinkPair records one sink's network node during lowering.
+type sinkPair struct {
+	sinkIdx int // original sink index
+	node    int // network node carrying the sink pin
+}
+
+// evalScratch is the per-evaluation working set: the RC network, the
+// tree-vertex → network-node map and the delay/slew result lanes. It lives
+// in the owning job's PhaseEval slot (or the package fallback pool) and is
+// fully rewound per evaluation, so steady-state Evaluate calls allocate only
+// the Metrics that escape to the caller.
+type evalScratch struct {
+	net    timing.Network
+	netOf  []int
+	pairs  []sinkPair
+	delays []float64
+	slews  []float64
+}
+
+// evalHome is the pool the scratch checks in and out of; one per arena job
+// (multiple evaluations inside one job may overlap, e.g. refine workers).
+// The wi pool recycles WhatIf models the same way (see NewWhatIfIn).
+type evalHome struct {
+	pool arena.Pool[evalScratch]
+	wi   arena.Pool[WhatIf]
+}
+
+// fallbackEval serves callers without an arena job.
+var fallbackEval evalHome
+
+func evalHomeOf(j *arena.Job) *evalHome {
+	if h := arena.Slot(j, arena.PhaseEval, func() *evalHome { return &evalHome{} }); h != nil {
+		return h
+	}
+	return &fallbackEval
+}
+
+func (h *evalHome) get() *evalScratch {
+	if s := h.pool.Get(); s != nil {
+		return s
+	}
+	return &evalScratch{}
+}
+
 // Evaluate computes the metrics of the annotated tree.
 func (e *Evaluator) Evaluate(t *ctree.Tree) (*Metrics, error) {
+	return e.EvaluateIn(t, nil)
+}
+
+// EvaluateIn is Evaluate sourcing its working memory from the job's eval
+// arena; nil falls back to the package pool. Results are bit-identical
+// either way: the network lowering order, every FP operation and the
+// min/max reductions (order-independent for non-NaN operands) are
+// unchanged — only where the intermediate lanes live differs.
+func (e *Evaluator) EvaluateIn(t *ctree.Tree, j *arena.Job) (*Metrics, error) {
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("eval: %w", err)
 	}
-	net, sinkNode, err := BuildNetwork(t, e.tc)
-	if err != nil {
-		return nil, err
-	}
+	home := evalHomeOf(j)
+	s := home.get()
+	defer home.pool.Put(s)
+	s.lower(t, e.tc)
 	var delays []float64
 	if e.mode == NLDM {
-		delays = net.DelaysNLDM(e.InputSlew, e.tbl)
+		s.delays = s.net.DelaysNLDMInto(s.delays, e.InputSlew, e.tbl)
 	} else {
-		delays = net.Delays()
+		s.delays = s.net.DelaysInto(s.delays)
 	}
-	m := &Metrics{SinkDelays: make(map[int]float64, len(sinkNode)), WL: t.Wirelength()}
+	delays = s.delays
+	m := &Metrics{SinkDelays: make(map[int]float64, len(s.pairs)), WL: t.Wirelength()}
 	m.Buffers, m.NTSVs = t.Counts()
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for sinkIdx, nid := range sinkNode {
-		d := delays[nid]
-		m.SinkDelays[sinkIdx] = d
+	for _, p := range s.pairs {
+		d := delays[p.node]
+		m.SinkDelays[p.sinkIdx] = d
 		lo = math.Min(lo, d)
 		hi = math.Max(hi, d)
 	}
-	if len(sinkNode) == 0 {
+	if len(s.pairs) == 0 {
 		return nil, fmt.Errorf("eval: tree has no sinks")
 	}
 	m.Latency = hi
 	m.Skew = hi - lo
 	if e.mode == NLDM {
-		slews := net.Slews(e.InputSlew, e.tbl)
-		for _, nid := range sinkNode {
-			m.MaxSlew = math.Max(m.MaxSlew, slews[nid])
+		s.slews = s.net.SlewsInto(s.slews, e.InputSlew, e.tbl)
+		for _, p := range s.pairs {
+			m.MaxSlew = math.Max(m.MaxSlew, s.slews[p.node])
 		}
 	}
 	return m, nil
@@ -148,19 +203,39 @@ func DownstreamCap(t *ctree.Tree, id int, tc *tech.Tech) float64 {
 // between the edge's arrival and the node's children. The clock root drives
 // stage 0 through the buffer's drive resistance (root driver).
 func BuildNetwork(t *ctree.Tree, tc *tech.Tech) (*timing.Network, map[int]int, error) {
-	front, back, tsv, buf := tc.Front(), tc.Back(), tc.TSV, tc.Buf
-	net := timing.NewNetwork(buf.DriveRes)
+	net := timing.NewNetwork(tc.Buf.DriveRes)
 	sinkNode := make(map[int]int)
-	// netOf[id] is the network node carrying clock-tree vertex id's signal
-	// (after any node buffer).
 	netOf := make([]int, t.Len())
+	lowerTree(t, tc, net, netOf, func(sinkIdx, node int) {
+		sinkNode[sinkIdx] = node
+	})
+	return net, sinkNode, nil
+}
+
+// lower rebuilds the scratch network and sink pairs from the tree, reusing
+// every lane from the previous evaluation.
+func (s *evalScratch) lower(t *ctree.Tree, tc *tech.Tech) {
+	s.net.Reset(tc.Buf.DriveRes)
+	s.net.Grow(t.Len() + t.Len()/2)
+	s.netOf = arena.Grow(s.netOf, t.Len())
+	s.pairs = s.pairs[:0]
+	lowerTree(t, tc, &s.net, s.netOf, func(sinkIdx, node int) {
+		s.pairs = append(s.pairs, sinkPair{sinkIdx: sinkIdx, node: node})
+	})
+}
+
+// lowerTree is the single home of the lowering rules: it appends the tree's
+// RC elements to net (which must hold only the root driver), records each
+// tree vertex's network node in netOf (len >= t.Len()), and reports each
+// sink's pin node through emit, in preorder.
+func lowerTree(t *ctree.Tree, tc *tech.Tech, net *timing.Network, netOf []int, emit func(sinkIdx, node int)) {
+	front, back, tsv, buf := tc.Front(), tc.Back(), tc.TSV, tc.Buf
 	netOf[t.Root()] = 0
 	if t.Nodes[t.Root()].BufferAtNode {
 		netOf[t.Root()] = net.AddBuffer(0, 0, buf)
 	}
-	var err error
 	t.PreOrder(func(id int) {
-		if err != nil || id == t.Root() {
+		if id == t.Root() {
 			return
 		}
 		n := &t.Nodes[id]
@@ -173,7 +248,7 @@ func BuildNetwork(t *ctree.Tree, tc *tech.Tech) (*timing.Network, map[int]int, e
 			// Leaf-net star branch: front wire (L-model: wire cap at the
 			// far node) terminated by the sink pin cap.
 			at = net.AddWire(parent, front.UnitRes*length, front.UnitCap*length+tc.SinkCap)
-			sinkNode[n.SinkIdx] = at
+			emit(n.SinkIdx, at)
 		case w.BufMid:
 			h := length / 2
 			upw := net.AddWire(parent, front.UnitRes*h, front.UnitCap*h)
@@ -197,8 +272,4 @@ func BuildNetwork(t *ctree.Tree, tc *tech.Tech) (*timing.Network, map[int]int, e
 		}
 		netOf[id] = at
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return net, sinkNode, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dscts/internal/arena"
 	"dscts/internal/ctree"
 	"dscts/internal/timing"
 )
@@ -50,29 +51,36 @@ type RegionEval struct {
 // the merged tree once at stitch time, and a full structural walk per region
 // would double the evaluation cost at mega scale.
 func (e *Evaluator) SummarizeRegion(t *ctree.Tree) (*RegionEval, error) {
+	return e.SummarizeRegionIn(t, nil)
+}
+
+// SummarizeRegionIn is SummarizeRegion sourcing its working memory from the
+// job's eval arena; nil falls back to the package pool. Bit-identical either
+// way (see EvaluateIn).
+func (e *Evaluator) SummarizeRegionIn(t *ctree.Tree, j *arena.Job) (*RegionEval, error) {
 	if e.mode != Elmore {
 		return nil, fmt.Errorf("eval: hierarchical summaries require Elmore mode")
 	}
-	net, sinkNode, err := BuildNetwork(t, e.tc)
-	if err != nil {
-		return nil, err
-	}
-	if len(sinkNode) == 0 {
+	home := evalHomeOf(j)
+	s := home.get()
+	defer home.pool.Put(s)
+	s.lower(t, e.tc)
+	if len(s.pairs) == 0 {
 		return nil, fmt.Errorf("eval: region tree has no sinks")
 	}
-	delays := net.Delays()
-	m := &Metrics{SinkDelays: make(map[int]float64, len(sinkNode)), WL: t.Wirelength()}
+	s.delays = s.net.DelaysInto(s.delays)
+	m := &Metrics{SinkDelays: make(map[int]float64, len(s.pairs)), WL: t.Wirelength()}
 	m.Buffers, m.NTSVs = t.Counts()
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for sinkIdx, nid := range sinkNode {
-		d := delays[nid]
-		m.SinkDelays[sinkIdx] = d
+	for _, p := range s.pairs {
+		d := s.delays[p.node]
+		m.SinkDelays[p.sinkIdx] = d
 		lo = math.Min(lo, d)
 		hi = math.Max(hi, d)
 	}
 	m.Latency = hi
 	m.Skew = hi - lo
-	return &RegionEval{RootLoad: net.SourceLoad(), MaxDelay: hi, MinDelay: lo, Metrics: m}, nil
+	return &RegionEval{RootLoad: s.net.SourceLoad(), MaxDelay: hi, MinDelay: lo, Metrics: m}, nil
 }
 
 // buildTopNetwork lowers a top (stitch) tree — plain front wires, node

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dscts/internal/arena"
 	"dscts/internal/ctree"
 	"dscts/internal/tech"
 )
@@ -35,6 +36,10 @@ type WhatIf struct {
 	sinkNet []int32 // network node of each sink record
 	sinkIdx []int32 // original sink index of each sink record
 	slotOf  map[int]int32
+
+	netOf   []int32                   // lowering scratch, reused across builds
+	sinkDst []float64                 // per-sink delay scratch (EvaluateWhatIfIn)
+	spool   arena.Pool[WhatIfScratch] // idle evaluation workspaces
 }
 
 const (
@@ -49,21 +54,61 @@ type WhatIfScratch struct {
 	load, d []float64
 }
 
-// NewScratch returns a workspace sized for this network.
+// NewScratch returns a workspace sized for this network, recycling one a
+// previous evaluation put back.
 func (w *WhatIf) NewScratch() *WhatIfScratch {
+	s := w.spool.Get()
+	if s == nil {
+		s = &WhatIfScratch{}
+	}
 	n := len(w.parent)
-	return &WhatIfScratch{load: make([]float64, n), d: make([]float64, n)}
+	s.load = arena.Grow(s.load, n)
+	s.d = arena.Grow(s.d, n)
+	return s
 }
+
+// PutScratch returns a workspace for reuse by a later NewScratch.
+func (w *WhatIf) PutScratch(s *WhatIfScratch) { w.spool.Put(s) }
 
 // NewWhatIf lowers the annotated tree once, mirroring BuildNetwork's RC
 // rules, and plants a toggleable buffer slot at every centroid that does
 // not already carry a node buffer. The tree must already be valid (the
 // caller's initial Evaluate checks that).
 func NewWhatIf(t *ctree.Tree, tc *tech.Tech) *WhatIf {
+	return NewWhatIfIn(t, tc, nil)
+}
+
+// NewWhatIfIn is NewWhatIf recycling a model (lanes, slot map and idle
+// scratches) from the job's eval arena; nil falls back to the package pool.
+// Release with ReleaseWhatIf when done. Bit-identical results either way.
+func NewWhatIfIn(t *ctree.Tree, tc *tech.Tech, j *arena.Job) *WhatIf {
+	w := evalHomeOf(j).wi.Get()
+	if w == nil {
+		w = &WhatIf{slotOf: make(map[int]int32)}
+	}
+	w.build(t, tc)
+	return w
+}
+
+// ReleaseWhatIf returns a model obtained from NewWhatIfIn to its pool. The
+// caller must pass the same job (or nil) it acquired with and must not use
+// w afterwards.
+func ReleaseWhatIf(j *arena.Job, w *WhatIf) { evalHomeOf(j).wi.Put(w) }
+
+// build (re)lowers the tree into the model, rewinding every lane.
+func (w *WhatIf) build(t *ctree.Tree, tc *tech.Tech) {
 	front, back, tsv, buf := tc.Front(), tc.Back(), tc.TSV, tc.Buf
-	w := &WhatIf{buf: buf, rootRes: buf.DriveRes, slotOf: make(map[int]int32)}
+	w.buf, w.rootRes = buf, buf.DriveRes
+	w.parent = w.parent[:0]
+	w.res = w.res[:0]
+	w.capv = w.capv[:0]
+	w.kind = w.kind[:0]
+	w.sinkNet = w.sinkNet[:0]
+	w.sinkIdx = w.sinkIdx[:0]
+	clear(w.slotOf)
 	w.addNode(-1, 0, 0, wiWire) // node 0: root driver
-	netOf := make([]int32, t.Len())
+	w.netOf = arena.Grow(w.netOf, t.Len())
+	netOf := w.netOf
 	netOf[t.Root()] = 0
 	if t.Nodes[t.Root()].BufferAtNode {
 		netOf[t.Root()] = w.addNode(0, 0, buf.InputCap, wiBuf)
@@ -109,8 +154,7 @@ func NewWhatIf(t *ctree.Tree, tc *tech.Tech) *WhatIf {
 		}
 		netOf[id] = at
 	})
-	w.on = make([]bool, len(w.parent))
-	return w
+	w.on = arena.GrowZero(w.on, len(w.parent))
 }
 
 func (w *WhatIf) addNode(parent int32, res, capv float64, kind uint8) int32 {
@@ -157,20 +201,33 @@ func (w *WhatIf) CommittedTreeNodes() []int {
 // sink index space of the tree. Elmore mode only; agrees with Evaluate to
 // 1e-9 relative (TestWhatIfMatchesEvaluate).
 func (e *Evaluator) EvaluateWhatIf(t *ctree.Tree, nSinks int) (*Metrics, error) {
+	return e.EvaluateWhatIfIn(t, nSinks, nil)
+}
+
+// EvaluateWhatIfIn is EvaluateWhatIf recycling the model and its lanes from
+// the job's eval arena; nil falls back to the package pool. Bit-identical
+// results either way.
+func (e *Evaluator) EvaluateWhatIfIn(t *ctree.Tree, nSinks int, j *arena.Job) (*Metrics, error) {
 	if e.mode != Elmore {
 		return nil, fmt.Errorf("eval: what-if evaluation requires Elmore mode")
 	}
-	w := NewWhatIf(t, e.tc)
+	w := NewWhatIfIn(t, e.tc, j)
+	defer ReleaseWhatIf(j, w)
 	if len(w.sinkIdx) == 0 {
 		return nil, fmt.Errorf("eval: tree has no sinks")
 	}
-	dst := make([]float64, nSinks)
+	// Every cell read below is written by Eval first (only sink indices in
+	// w.sinkIdx are consulted), so the lane needs no zeroing.
+	w.sinkDst = arena.Grow(w.sinkDst, nSinks)
+	dst := w.sinkDst
 	for _, si := range w.sinkIdx {
 		if si < 0 || int(si) >= nSinks {
 			return nil, fmt.Errorf("eval: sink index %d outside [0,%d)", si, nSinks)
 		}
 	}
-	lat, skew := w.Eval(-1, w.NewScratch(), dst)
+	sc := w.NewScratch()
+	lat, skew := w.Eval(-1, sc, dst)
+	w.PutScratch(sc)
 	m := &Metrics{
 		Latency: lat, Skew: skew, WL: t.Wirelength(),
 		SinkDelays: make(map[int]float64, len(w.sinkIdx)),

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dscts/internal/arena"
 	"dscts/internal/ctree"
 	"dscts/internal/par"
 	"dscts/internal/tech"
@@ -71,6 +72,10 @@ type Config struct {
 	// pure function of its children, so any worker count produces
 	// identical solution sets (and therefore identical trees).
 	Workers int
+	// Arena sources the per-worker generation scratch (and the slab the
+	// per-node solution sets land in) from the owning job's arena; nil
+	// falls back to the package pool. Identical results either way.
+	Arena *arena.Job
 }
 
 // DefaultConfig returns the paper's experimental settings (α,β,γ = 1,10,1).
@@ -103,13 +108,16 @@ type Result struct {
 }
 
 // dpNode is one node of the heterogeneous DP tree (Step 1): it stands for
-// the clock-tree edge whose downstream endpoint is treeID.
+// the clock-tree edge whose downstream endpoint is treeID. The clock tree's
+// trunk is binary, so the child links are a fixed pair instead of a slice —
+// no per-node allocation, and the whole DP tree sits in one flat array.
 type dpNode struct {
-	treeID   int
-	length   float64
-	mode     Mode
-	children []int // dp node indices
-	sols     []Solution
+	treeID int
+	length float64
+	mode   Mode
+	nkids  int8
+	child  [2]int32 // dp node indices, -1 when absent
+	sols   []Solution
 }
 
 // Run performs the four DP steps on the tree's trunk, leaving leaf nets
@@ -146,8 +154,17 @@ func RunContext(ctx context.Context, t *ctree.Tree, cfg Config) (*Result, error)
 	// Step 2: bottom-up generation (nodes are in postorder). A node is
 	// ready as soon as its children are done, so the pass runs on a
 	// ready-queue worker pool; with one worker it degenerates to the
-	// plain postorder loop.
-	if err := generateAll(ctx, t, nodes, cfg, res); err != nil {
+	// plain postorder loop. The checked-out scratches own the slab memory
+	// every dp.sols points into, so they return to their pool only after
+	// the retrace below is done reading the solution sets.
+	home := insHomeOf(cfg.Arena)
+	scratches, err := generateAll(ctx, t, nodes, cfg, res, home)
+	defer func() {
+		for _, sc := range scratches {
+			home.pool.Put(sc)
+		}
+	}()
+	if err != nil {
 		return nil, err
 	}
 
@@ -223,18 +240,19 @@ func buildDPTree(t *ctree.Tree, cfg Config, fanout []int) (nodes []dpNode, rootD
 		if cfg.ModeOf != nil {
 			mode = cfg.ModeOf(id, fanout[id])
 		}
-		dp := dpNode{treeID: id, length: t.EdgeLen(id), mode: mode}
+		dp := dpNode{treeID: id, length: t.EdgeLen(id), mode: mode, child: [2]int32{-1, -1}}
 		for _, c := range t.Nodes[id].Children {
 			k := t.Nodes[c].Kind
 			if k == ctree.KindSteiner || k == ctree.KindCentroid {
 				if dpOf[c] < 0 {
 					return nil, nil, fmt.Errorf("insert: postorder violated at %d", c)
 				}
-				dp.children = append(dp.children, dpOf[c])
+				if dp.nkids == 2 {
+					return nil, nil, fmt.Errorf("insert: trunk vertex %d has more than 2 trunk children; the clock tree must be binary", id)
+				}
+				dp.child[dp.nkids] = int32(dpOf[c])
+				dp.nkids++
 			}
-		}
-		if len(dp.children) > 2 {
-			return nil, nil, fmt.Errorf("insert: trunk vertex %d has %d trunk children; the clock tree must be binary", id, len(dp.children))
 		}
 		dpOf[id] = len(nodes)
 		nodes = append(nodes, dp)
@@ -249,16 +267,52 @@ func buildDPTree(t *ctree.Tree, cfg Config, fanout []int) (nodes []dpNode, rootD
 }
 
 // genScratch is the per-worker buffer set of the generation pass. All
-// transient candidate sets are built in these reusable arenas, so the
-// steady-state pass allocates only each node's final compact solution set.
+// transient candidate sets are built in these reusable arenas, and the
+// per-node final solution sets land in the sols slab, so the steady-state
+// pass allocates nothing per node. The slab's memory stays owned by this
+// scratch: dp.sols slices into it and is consumed (decide/mergeRoots)
+// strictly before the scratch returns to its pool.
 type genScratch struct {
 	merged []Solution // raw merge products (single-child copy / two-child cross)
 	mid    []Solution // pruned merged set of the two-child case
 	out    []Solution // insertion products before the final prune
 	pruned []Solution // final prune result (copied into dp.sols)
 	side   []Solution // per-side collection inside pruneSide
-	keep   []Solution // dominance survivors inside paretoKeep
+	order  []int32    // sort permutation inside paretoKeep
+	keep   []int32    // dominance-survivor indices inside paretoKeep
 	mark   []bool     // thinning selection marks
+
+	sols arena.Slab[Solution] // backing store of every dp.sols this worker emits
+}
+
+// takeSols copies src into slab-backed storage.
+func (sc *genScratch) takeSols(src []Solution) []Solution {
+	dst := sc.sols.Take(len(src))
+	copy(dst, src)
+	return dst
+}
+
+// insHome pools generation scratches per arena job.
+type insHome struct {
+	pool arena.Pool[genScratch]
+}
+
+// fallbackIns serves callers without an arena job.
+var fallbackIns insHome
+
+func insHomeOf(j *arena.Job) *insHome {
+	if h := arena.Slot(j, arena.PhaseInsert, func() *insHome { return &insHome{} }); h != nil {
+		return h
+	}
+	return &fallbackIns
+}
+
+func (h *insHome) get() *genScratch {
+	if sc := h.pool.Get(); sc != nil {
+		sc.sols.Reset()
+		return sc
+	}
+	return &genScratch{}
 }
 
 // generateAll runs Step 2 over every DP node, concurrently when
@@ -266,24 +320,24 @@ type genScratch struct {
 // solution set is a pure function of its children's sets. Cancellation via
 // ctx aborts the pass between nodes; the success path never consults the
 // context's state beyond a cheap Err poll, so results stay deterministic.
-func generateAll(ctx context.Context, t *ctree.Tree, nodes []dpNode, cfg Config, res *Result) error {
+func generateAll(ctx context.Context, t *ctree.Tree, nodes []dpNode, cfg Config, res *Result, home *insHome) ([]*genScratch, error) {
 	workers := par.N(cfg.Workers)
 	if workers > len(nodes) {
 		workers = len(nodes)
 	}
 	if workers <= 1 {
-		sc := &genScratch{}
+		sc := home.get()
 		for i := range nodes {
 			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("insert: %w", err)
+				return []*genScratch{sc}, fmt.Errorf("insert: %w", err)
 			}
 			n, err := generate(t, &nodes[i], nodes, cfg, sc)
 			if err != nil {
-				return err
+				return []*genScratch{sc}, err
 			}
 			res.Solutions += n
 		}
-		return nil
+		return []*genScratch{sc}, nil
 	}
 
 	// Ready-queue schedule: a node enters the queue when its last child
@@ -295,10 +349,10 @@ func generateAll(ctx context.Context, t *ctree.Tree, nodes []dpNode, cfg Config,
 		parentOf[i] = -1
 	}
 	for i := range nodes {
-		for _, c := range nodes[i].children {
-			parentOf[c] = int32(i)
+		for k := int8(0); k < nodes[i].nkids; k++ {
+			parentOf[nodes[i].child[k]] = int32(i)
 		}
-		pending[i] = int32(len(nodes[i].children))
+		pending[i] = int32(nodes[i].nkids)
 	}
 	queue := make(chan int32, len(nodes))
 	counts := make([]int, len(nodes))
@@ -310,13 +364,17 @@ func generateAll(ctx context.Context, t *ctree.Tree, nodes []dpNode, cfg Config,
 			queue <- int32(i)
 		}
 	}
+	scratches := make([]*genScratch, workers)
+	for w := range scratches {
+		scratches[w] = home.get()
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	done := ctx.Done()
 	for w := 0; w < workers; w++ {
+		sc := scratches[w]
 		go func() {
 			defer wg.Done()
-			sc := &genScratch{}
 			for {
 				// The queue's capacity is the node count, so sends never
 				// block: a worker that exits here can only strand buffered
@@ -346,18 +404,18 @@ func generateAll(ctx context.Context, t *ctree.Tree, nodes []dpNode, cfg Config,
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("insert: %w", err)
+		return scratches, fmt.Errorf("insert: %w", err)
 	}
 	// An upstream failure cascades into its ancestors; report the
 	// deepest (lowest-index, since nodes are postorder) error — the same
 	// one the sequential loop would have returned.
 	for i, err := range errs {
 		if err != nil {
-			return err
+			return scratches, err
 		}
 		res.Solutions += counts[i]
 	}
-	return nil
+	return scratches, nil
 }
 
 // generate runs the merge and insert operations of Step 2 for one DP node,
@@ -390,7 +448,7 @@ func generate(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, sc *genScra
 	}
 	sc.out = out
 	sc.pruned = pruneInto(sc.pruned[:0], out, cfg.MaxPerSide, cfg.DiversePruning, sc)
-	dp.sols = append(make([]Solution, 0, len(sc.pruned)), sc.pruned...)
+	dp.sols = sc.takeSols(sc.pruned)
 	if len(dp.sols) == 0 {
 		return len(out), fmt.Errorf("insert: node for tree edge %d has no feasible solutions (edge length %.2f µm, load %.2f fF, max cap %.2f fF)",
 			dp.treeID, dp.length, merged[0].Cap, cfg.Tech.Buf.MaxCap)
@@ -404,7 +462,7 @@ func generate(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, sc *genScra
 // left/right record child solution indices. The returned slice aliases the
 // scratch arenas and is only valid until the next scratch use.
 func mergeChildren(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, sc *genScratch) []Solution {
-	switch len(dp.children) {
+	switch dp.nkids {
 	case 0:
 		// Leaf DP node: the downstream vertex is a low-level centroid
 		// driving its front-side star leaf net. (With zero-length leaf
@@ -413,7 +471,7 @@ func mergeChildren(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, sc *ge
 		sc.merged = append(sc.merged[:0], Solution{Up: ctree.Front, Cap: load, MaxD: maxD, MinD: minD, left: -1, right: -1})
 		return sc.merged
 	case 1:
-		kid := &nodes[dp.children[0]]
+		kid := &nodes[dp.child[0]]
 		out := sc.merged[:0]
 		for i, s := range kid.sols {
 			out = append(out, Solution{
@@ -424,7 +482,7 @@ func mergeChildren(t *ctree.Tree, dp *dpNode, nodes []dpNode, cfg Config, sc *ge
 		sc.merged = out
 		return out
 	default:
-		a, b := &nodes[dp.children[0]], &nodes[dp.children[1]]
+		a, b := &nodes[dp.child[0]], &nodes[dp.child[1]]
 		out := sc.merged[:0]
 		for i, sa := range a.sols {
 			for j, sb := range b.sols {
@@ -555,8 +613,13 @@ func solCompare(a, b *Solution, diverse bool) int {
 	return int(a.right) - int(b.right)
 }
 
-// paretoKeepInto filters dominated solutions (same-side input, sorted in
-// place) and thins, appending survivors to dst.
+// paretoKeepInto filters dominated solutions (same-side input) and thins,
+// appending survivors to dst. The sort and the dominance pass work on an
+// index permutation rather than moving the ~80-byte solutions themselves:
+// solCompare is a strict total order, so the sorted sequence — and every
+// downstream choice — is identical to sorting the structs, while the hot
+// loop stops spending its time in struct copies (this was the single
+// largest memmove cost of the whole insertion pass).
 func paretoKeepInto(dst, g []Solution, maxKeep int, diverse bool, sc *genScratch) []Solution {
 	const eps = 1e-12
 	res := func(s *Solution) int {
@@ -565,25 +628,33 @@ func paretoKeepInto(dst, g []Solution, maxKeep int, diverse bool, sc *genScratch
 		}
 		return s.Bufs + s.TSVs
 	}
-	slices.SortFunc(g, func(a, b Solution) int { return solCompare(&a, &b, diverse) })
-	keep := sc.keep[:0]
+	order := sc.order[:0]
 	for i := range g {
-		s := &g[i]
+		order = append(order, int32(i))
+	}
+	slices.SortFunc(order, func(a, b int32) int { return solCompare(&g[a], &g[b], diverse) })
+	sc.order = order
+	keep := sc.keep[:0]
+	for _, gi := range order {
+		s := &g[gi]
 		dominated := false
-		for k := range keep {
-			q := &keep[k] // q.Cap <= s.Cap by sort order
+		for _, ki := range keep {
+			q := &g[ki] // q.Cap <= s.Cap by sort order
 			if q.MaxD <= s.MaxD+eps && res(q) <= res(s) {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
-			keep = append(keep, *s)
+			keep = append(keep, gi)
 		}
 	}
 	sc.keep = keep
 	if len(keep) <= maxKeep || maxKeep <= 1 {
-		return append(dst, keep...)
+		for _, ki := range keep {
+			dst = append(dst, g[ki])
+		}
+		return dst
 	}
 	// Thin evenly along the cap axis, always retaining the latency-best
 	// point.
@@ -596,7 +667,7 @@ func paretoKeepInto(dst, g []Solution, maxKeep int, diverse bool, sc *genScratch
 	}
 	bestD := 0
 	for i := range keep {
-		if keep[i].MaxD < keep[bestD].MaxD {
+		if g[keep[i]].MaxD < g[keep[bestD]].MaxD {
 			bestD = i
 		}
 	}
@@ -610,7 +681,7 @@ func paretoKeepInto(dst, g []Solution, maxKeep int, diverse bool, sc *genScratch
 	}
 	for i := range keep {
 		if mark[i] {
-			dst = append(dst, keep[i])
+			dst = append(dst, g[keep[i]])
 		}
 	}
 	return dst
@@ -683,12 +754,12 @@ func decide(t *ctree.Tree, nodes []dpNode, dpIdx, solIdx int) {
 	dp := &nodes[dpIdx]
 	s := dp.sols[solIdx]
 	t.Nodes[dp.treeID].Wiring = s.Pattern.Wiring()
-	switch len(dp.children) {
+	switch dp.nkids {
 	case 0:
 	case 1:
-		decide(t, nodes, dp.children[0], int(s.left))
+		decide(t, nodes, int(dp.child[0]), int(s.left))
 	default:
-		decide(t, nodes, dp.children[0], int(s.left))
-		decide(t, nodes, dp.children[1], int(s.right))
+		decide(t, nodes, int(dp.child[0]), int(s.left))
+		decide(t, nodes, int(dp.child[1]), int(s.right))
 	}
 }

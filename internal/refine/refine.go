@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"dscts/internal/arena"
 	"dscts/internal/ctree"
 	"dscts/internal/eval"
 	"dscts/internal/par"
@@ -46,6 +47,10 @@ type Params struct {
 	// makes exactly the same accept/reject decisions as the sequential
 	// pass.
 	Workers int
+	// Arena sources the evaluation working set (WhatIf model, trial
+	// scratches) from the owning job's arena; nil falls back to the
+	// package pools. Identical results either way.
+	Arena *arena.Job
 }
 
 // DefaultParams returns the paper's experimental settings.
@@ -110,7 +115,7 @@ func RefineContext(ctx context.Context, t *ctree.Tree, tc *tech.Tech, p Params) 
 		return nil, fmt.Errorf("refine: trigger percentage must be positive, got %v", p.TriggerPct)
 	}
 	ev := eval.New(tc, eval.Elmore)
-	before, err := ev.Evaluate(t)
+	before, err := ev.EvaluateIn(t, p.Arena)
 	if err != nil {
 		return nil, fmt.Errorf("refine: %w", err)
 	}
@@ -124,11 +129,17 @@ func RefineContext(ctx context.Context, t *ctree.Tree, tc *tech.Tech, p Params) 
 	n := Budget(len(before.SinkDelays), p)
 	workers := par.N(p.Workers)
 
-	w := eval.NewWhatIf(t, tc)
+	w := eval.NewWhatIfIn(t, tc, p.Arena)
+	defer eval.ReleaseWhatIf(p.Arena, w)
 	scratches := make([]*eval.WhatIfScratch, workers)
 	for i := range scratches {
 		scratches[i] = w.NewScratch()
 	}
+	defer func() {
+		for _, sc := range scratches {
+			w.PutScratch(sc)
+		}
+	}()
 	// Per-sink delays of the current accepted state, indexed by original
 	// sink index (the ranking key).
 	maxSink := 0
@@ -262,7 +273,7 @@ func RefineContext(ctx context.Context, t *ctree.Tree, tc *tech.Tech, p Params) 
 	for _, cid := range w.CommittedTreeNodes() {
 		t.Nodes[cid].BufferAtNode = true
 	}
-	after, err := ev.Evaluate(t)
+	after, err := ev.EvaluateIn(t, p.Arena)
 	if err != nil {
 		return nil, fmt.Errorf("refine: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dscts/internal/arena"
 	"dscts/internal/tech"
 )
 
@@ -17,49 +18,96 @@ import (
 // A node may carry a buffer: the buffer's input pin terminates the upstream
 // stage (only Buffer.InputCap is visible upstream) and its output drives the
 // node's children as a new stage.
+//
+// Storage is struct-of-arrays with index-based references: per-node lanes
+// plus one shared buffer table, and a CSR child layout built lazily from the
+// parent lane. Reset rewinds every lane in place, so an evaluator that keeps
+// a Network in its scratch arena lowers and evaluates trees with no
+// steady-state allocation. The CSR lists children in increasing node id —
+// exactly the order the old per-node child slices accumulated in — so the
+// floating-point summation order of the load accumulation (and with it every
+// delay, slew and skew bit) is unchanged.
 type Network struct {
-	nodes []netNode
+	parent []int32
+	res    []float64
+	capv   []float64
+	bufOf  []int32 // index into bufs, -1 = plain wire node
+	bufs   []tech.Buffer
+
+	// Lazily (re)built CSR over children: kidList[kidStart[i]:kidStart[i+1]]
+	// are i's children in increasing id order.
+	kidStart []int32
+	kidList  []int32
+	kidsOK   bool
+
+	// load/slew are per-node scratch lanes shared by the evaluation entry
+	// points; they never escape.
+	load []float64
+	slew []float64
 }
 
-type netNode struct {
-	parent int
-	res    float64
-	cap    float64
-	buf    *tech.Buffer
-	kids   []int
-}
-
-// NewNetwork returns a network containing only the root driver node (id 0)
-// with the given drive resistance modeled as... the root is an ideal source
-// with optional internal resistance rootRes applied to stage 0.
+// NewNetwork returns a network containing only the root driver node (id 0):
+// an ideal source whose internal resistance rootRes is applied as a series
+// term on stage 0.
 func NewNetwork(rootRes float64) *Network {
 	n := &Network{}
-	n.nodes = append(n.nodes, netNode{parent: -1, res: rootRes})
+	n.Reset(rootRes)
 	return n
 }
 
+// Reset rewinds the network to a lone root driver, keeping every lane's
+// capacity so a scratch-resident Network relowers trees allocation-free.
+func (n *Network) Reset(rootRes float64) {
+	n.parent = append(n.parent[:0], -1)
+	n.res = append(n.res[:0], rootRes)
+	n.capv = append(n.capv[:0], 0)
+	n.bufOf = append(n.bufOf[:0], -1)
+	n.bufs = n.bufs[:0]
+	n.kidsOK = false
+}
+
+// Grow pre-sizes the node lanes for n.Len()+extra nodes.
+func (n *Network) Grow(extra int) {
+	need := len(n.parent) + extra
+	if cap(n.parent) >= need {
+		return
+	}
+	n.parent = append(make([]int32, 0, need), n.parent...)
+	n.res = append(make([]float64, 0, need), n.res...)
+	n.capv = append(make([]float64, 0, need), n.capv...)
+	n.bufOf = append(make([]int32, 0, need), n.bufOf...)
+}
+
 // Len returns the number of nodes including the root.
-func (n *Network) Len() int { return len(n.nodes) }
+func (n *Network) Len() int { return len(n.parent) }
+
+// Parent returns the parent node id of i (-1 for the root).
+func (n *Network) Parent(i int) int { return int(n.parent[i]) }
+
+func (n *Network) add(parent int, res, cap float64, buf int32) int {
+	n.checkParent(parent)
+	id := len(n.parent)
+	n.parent = append(n.parent, int32(parent))
+	n.res = append(n.res, res)
+	n.capv = append(n.capv, cap)
+	n.bufOf = append(n.bufOf, buf)
+	n.kidsOK = false
+	return id
+}
 
 // AddWire appends a node connected to parent through resistance res with
 // grounded capacitance cap, returning its id.
 func (n *Network) AddWire(parent int, res, cap float64) int {
-	n.checkParent(parent)
-	id := len(n.nodes)
-	n.nodes = append(n.nodes, netNode{parent: parent, res: res, cap: cap})
-	n.nodes[parent].kids = append(n.nodes[parent].kids, id)
-	return id
+	return n.add(parent, res, cap, -1)
 }
 
 // AddBuffer appends a buffer node at the end of a wire of resistance res.
 // The node's grounded cap is the buffer input capacitance; downstream of the
 // returned node is a new stage driven by the buffer.
 func (n *Network) AddBuffer(parent int, res float64, b tech.Buffer) int {
-	n.checkParent(parent)
-	id := len(n.nodes)
-	n.nodes = append(n.nodes, netNode{parent: parent, res: res, cap: b.InputCap, buf: &b})
-	n.nodes[parent].kids = append(n.nodes[parent].kids, id)
-	return id
+	bi := int32(len(n.bufs))
+	n.bufs = append(n.bufs, b)
+	return n.add(parent, res, b.InputCap, bi)
 }
 
 // AddSink appends a leaf node with the given wire resistance and pin cap.
@@ -68,9 +116,40 @@ func (n *Network) AddSink(parent int, res, pinCap float64) int {
 }
 
 func (n *Network) checkParent(parent int) {
-	if parent < 0 || parent >= len(n.nodes) {
-		panic(fmt.Sprintf("timing: invalid parent %d of %d", parent, len(n.nodes)))
+	if parent < 0 || parent >= len(n.parent) {
+		panic(fmt.Sprintf("timing: invalid parent %d of %d", parent, len(n.parent)))
 	}
+}
+
+// buildKids (re)derives the CSR child layout from the parent lane by
+// counting sort over node ids, which lists every node's children in
+// increasing id — the append order of the old per-node slices, preserving
+// the load-summation FP order.
+func (n *Network) buildKids() {
+	if n.kidsOK {
+		return
+	}
+	nn := len(n.parent)
+	n.kidStart = arena.GrowZero(n.kidStart, nn+1)
+	n.kidList = arena.Grow(n.kidList, nn-1)
+	for i := 1; i < nn; i++ {
+		n.kidStart[n.parent[i]+1]++
+	}
+	for i := 1; i <= nn; i++ {
+		n.kidStart[i] += n.kidStart[i-1]
+	}
+	// kidStart now holds the bucket starts shifted one left; fill and
+	// restore in one pass (kidStart[p] advances as p's children land).
+	for i := 1; i < nn; i++ {
+		p := n.parent[i]
+		n.kidList[n.kidStart[p]] = int32(i)
+		n.kidStart[p]++
+	}
+	for i := nn; i > 0; i-- {
+		n.kidStart[i] = n.kidStart[i-1]
+	}
+	n.kidStart[0] = 0
+	n.kidsOK = true
 }
 
 // SourceLoad returns the capacitance the root source drives: the unshielded
@@ -82,27 +161,30 @@ func (n *Network) SourceLoad() float64 {
 	return n.stageLoads()[0]
 }
 
-// stageLoad computes, for every node, the capacitance visible to its stage
+// stageLoads computes, for every node, the capacitance visible to its stage
 // driver looking downstream from (and including) that node. Buffers shield:
-// a buffer node contributes only its input cap upstream.
+// a buffer node contributes only its input cap upstream. The result is the
+// internal scratch lane, valid until the next evaluation call.
 func (n *Network) stageLoads() []float64 {
-	load := make([]float64, len(n.nodes))
+	n.buildKids()
+	nn := len(n.parent)
+	n.load = arena.Grow(n.load, nn)
+	load := n.load
 	// Children precede parents nowhere; nodes are appended after their
 	// parents, so iterate in reverse for a valid postorder.
-	for i := len(n.nodes) - 1; i >= 0; i-- {
-		nd := &n.nodes[i]
-		l := nd.cap
-		for _, k := range nd.kids {
-			if n.nodes[k].buf != nil {
-				l += n.nodes[k].buf.InputCap
+	for i := nn - 1; i >= 0; i-- {
+		l := n.capv[i]
+		for _, k := range n.kidList[n.kidStart[i]:n.kidStart[i+1]] {
+			if n.bufOf[k] >= 0 {
+				l += n.bufs[n.bufOf[k]].InputCap
 			} else {
 				l += load[k]
 			}
 		}
 		// A buffer node's own load[] value is what ITS OUTPUT drives:
 		// children subtrees only (input cap belongs upstream).
-		if nd.buf != nil {
-			l -= nd.cap
+		if n.bufOf[i] >= 0 {
+			l -= n.capv[i]
 		}
 		load[i] = l
 	}
@@ -113,29 +195,36 @@ func (n *Network) stageLoads() []float64 {
 // Buffer nodes report the delay at their OUTPUT (input arrival + gate
 // delay); wire nodes report the delay at the node itself.
 func (n *Network) Delays() []float64 {
+	return n.DelaysInto(nil)
+}
+
+// DelaysInto is Delays writing into dst (grown as needed), so arena-backed
+// callers evaluate without allocating the result.
+func (n *Network) DelaysInto(dst []float64) []float64 {
 	load := n.stageLoads()
-	d := make([]float64, len(n.nodes))
-	for i := 1; i < len(n.nodes); i++ {
-		nd := &n.nodes[i]
-		up := d[nd.parent]
+	nn := len(n.parent)
+	d := arena.GrowZero(dst, nn)
+	for i := 1; i < nn; i++ {
+		up := d[n.parent[i]]
 		// Resistance from parent sees this node's shielded subtree cap.
 		visible := load[i]
-		if nd.buf != nil {
-			visible = nd.buf.InputCap
+		bi := n.bufOf[i]
+		if bi >= 0 {
+			visible = n.bufs[bi].InputCap
 		}
-		at := up + nd.res*visible
-		if nd.buf != nil {
-			at += nd.buf.Delay(load[i])
+		at := up + n.res[i]*visible
+		if bi >= 0 {
+			at += n.bufs[bi].Delay(load[i])
 		}
 		d[i] = at
 	}
 	// Root stage driver resistance: model as extra series res on stage 0.
-	if r := n.nodes[0].res; r != 0 {
+	if r := n.res[0]; r != 0 {
 		// Every node in stage 0 (reachable from root without crossing a
 		// buffer) and every node beyond inherits the same source term
 		// r × (stage-0 load).
 		src := r * load[0]
-		for i := 1; i < len(n.nodes); i++ {
+		for i := 1; i < nn; i++ {
 			d[i] += src
 		}
 	}
@@ -145,12 +234,11 @@ func (n *Network) Delays() []float64 {
 // elmoreSeg returns the per-segment Elmore step used for slew degradation:
 // the local RC time constant of the element that feeds node i.
 func (n *Network) elmoreSeg(i int, load []float64) float64 {
-	nd := &n.nodes[i]
 	visible := load[i]
-	if nd.buf != nil {
-		visible = nd.buf.InputCap
+	if bi := n.bufOf[i]; bi >= 0 {
+		visible = n.bufs[bi].InputCap
 	}
-	return nd.res * visible
+	return n.res[i] * visible
 }
 
 // Slews returns the transition time at every node using PERI propagation
@@ -158,20 +246,25 @@ func (n *Network) elmoreSeg(i int, load []float64) float64 {
 // segment, and buffer output slew from the supplied table (nil table falls
 // back to a linear model derived from the buffer parameters).
 func (n *Network) Slews(inputSlew float64, tbl *NLDM) []float64 {
+	return n.SlewsInto(nil, inputSlew, tbl)
+}
+
+// SlewsInto is Slews writing into dst (grown as needed).
+func (n *Network) SlewsInto(dst []float64, inputSlew float64, tbl *NLDM) []float64 {
 	load := n.stageLoads()
-	s := make([]float64, len(n.nodes))
+	nn := len(n.parent)
+	s := arena.GrowZero(dst, nn)
 	s[0] = inputSlew
 	const ln9 = 2.1972245773362196
-	for i := 1; i < len(n.nodes); i++ {
-		nd := &n.nodes[i]
-		up := s[nd.parent]
+	for i := 1; i < nn; i++ {
+		up := s[n.parent[i]]
 		step := ln9 * n.elmoreSeg(i, load)
 		at := math.Sqrt(up*up + step*step)
-		if nd.buf != nil {
+		if bi := n.bufOf[i]; bi >= 0 {
 			if tbl != nil {
 				at = tbl.Slew(at, load[i])
 			} else {
-				at = defaultOutSlew(*nd.buf, load[i])
+				at = defaultOutSlew(n.bufs[bi], load[i])
 			}
 		}
 		s[i] = at
@@ -184,35 +277,43 @@ func (n *Network) Slews(inputSlew float64, tbl *NLDM) []float64 {
 // paper's evaluation mode ("the Elmore delay, the slew model and the NLDM
 // for delay computation", Sec. IV-A).
 func (n *Network) DelaysNLDM(inputSlew float64, tbl *NLDM) []float64 {
+	return n.DelaysNLDMInto(nil, inputSlew, tbl)
+}
+
+// DelaysNLDMInto is DelaysNLDM writing into dst (grown as needed). The slew
+// lane rides in internal scratch.
+func (n *Network) DelaysNLDMInto(dst []float64, inputSlew float64, tbl *NLDM) []float64 {
 	load := n.stageLoads()
-	d := make([]float64, len(n.nodes))
-	s := make([]float64, len(n.nodes))
+	nn := len(n.parent)
+	d := arena.GrowZero(dst, nn)
+	n.slew = arena.GrowZero(n.slew, nn)
+	s := n.slew
 	s[0] = inputSlew
 	const ln9 = 2.1972245773362196
-	for i := 1; i < len(n.nodes); i++ {
-		nd := &n.nodes[i]
+	for i := 1; i < nn; i++ {
 		visible := load[i]
-		if nd.buf != nil {
-			visible = nd.buf.InputCap
+		bi := n.bufOf[i]
+		if bi >= 0 {
+			visible = n.bufs[bi].InputCap
 		}
-		step := nd.res * visible
-		at := d[nd.parent] + step
-		sl := math.Sqrt(s[nd.parent]*s[nd.parent] + (ln9*step)*(ln9*step))
-		if nd.buf != nil {
+		step := n.res[i] * visible
+		at := d[n.parent[i]] + step
+		sl := math.Sqrt(s[n.parent[i]]*s[n.parent[i]] + (ln9*step)*(ln9*step))
+		if bi >= 0 {
 			if tbl != nil {
 				at += tbl.Delay(sl, load[i])
 				sl = tbl.Slew(sl, load[i])
 			} else {
-				at += nd.buf.Delay(load[i])
-				sl = defaultOutSlew(*nd.buf, load[i])
+				at += n.bufs[bi].Delay(load[i])
+				sl = defaultOutSlew(n.bufs[bi], load[i])
 			}
 		}
 		d[i] = at
 		s[i] = sl
 	}
-	if r := n.nodes[0].res; r != 0 {
+	if r := n.res[0]; r != 0 {
 		src := r * load[0]
-		for i := 1; i < len(n.nodes); i++ {
+		for i := 1; i < nn; i++ {
 			d[i] += src
 		}
 	}

@@ -42,7 +42,7 @@ func TestNetworkDelaysMonotoneAlongPaths(t *testing.T) {
 			if d[i] < 0 {
 				t.Fatalf("negative delay %v at node %d", d[i], i)
 			}
-			p := n.nodes[i].parent
+			p := n.Parent(i)
 			if d[i]+1e-12 < d[p] {
 				t.Fatalf("delay decreased along path: node %d (%v) < parent %d (%v)", i, d[i], p, d[p])
 			}
