@@ -27,7 +27,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load chaos metrics persist corners scale eco
+.PHONY: all build test vet ci race fuzz golden golden-update staticcheck vulncheck smoke bench report load chaos cluster metrics persist corners scale eco
 
 all: ci
 
@@ -89,6 +89,14 @@ chaos:
 	$(GO) run -race ./cmd/benchgen -load -chaos default -duration 30s
 	$(GO) run ./cmd/cismoke chaos BENCH_chaos.json
 	$(GO) run ./cmd/cismoke metrics BENCH_chaos.json
+
+# The 3-node cluster benchmark + gate: routed load over the ring, an XL
+# job whose regions all execute on peers, and a kill-one-node recovery
+# phase. The gate requires >= 2.5x the committed single-node throughput
+# baseline, zero lost jobs, counter consistency and zero leaks.
+cluster:
+	$(GO) run ./cmd/benchgen -load -cluster 3
+	$(GO) run ./cmd/cismoke cluster -min-ratio 2.5 -baseline BENCH_serve.json BENCH_cluster.json
 
 # The observability consistency gate: replay a short load against an
 # in-process daemon, then require the /metrics scrape embedded in the

@@ -24,6 +24,16 @@
 //
 //	benchgen -load -chaos default [-chaos-seed 1] [-duration 30s]
 //
+// With -load -cluster N it boots an in-process N-node dsctsd cluster over
+// loopback (consistent-hash routing with forward-on-miss, remote region
+// dispatch, work stealing) and writes per-node throughput, forward/steal
+// counters, an XL remote-dispatch section and a kill-one-node recovery
+// section to BENCH_cluster.json; combined with -chaos it instead soaks the
+// cluster with the fault schedule armed on one node only:
+//
+//	benchgen -load -cluster 3 [-load-jobs 180] [-load-conc 8]
+//	benchgen -load -cluster 3 -chaos default -duration 5m
+//
 // With -persist it replays a request pool against an in-process dsctsd
 // backed by a disk cache tier, restarts the daemon over the same directory,
 // and writes the warm-vs-cold comparison to BENCH_persist.json — failing if
@@ -60,6 +70,7 @@ func main() {
 		benchOut   = flag.String("bench-out", "BENCH_parallel.json", "report path for -bench")
 		doLoad     = flag.Bool("load", false, "replay concurrent jobs against an in-process dsctsd and write a JSON report")
 		loadOut    = flag.String("load-out", "BENCH_serve.json", "report path for -load")
+		clusterN   = flag.Int("cluster", 0, "with -load: boot an in-process N-node cluster (consistent-hash routing, region dispatch, stealing) instead of one daemon and write BENCH_cluster.json")
 		doCorner   = flag.String("corners-out", "", "measure multi-corner sign-off scaling and write the JSON report to this path (e.g. BENCH_corners.json)")
 		doScale    = flag.String("scale-out", "", "measure monolithic vs partition-parallel scaling over XL placements and write the JSON report to this path (e.g. BENCH_scale.json)")
 		scaleSize  = flag.String("scale-sizes", "100000,250000,500000,1000000", "comma-separated sink counts for -scale-out")
@@ -105,6 +116,24 @@ func main() {
 	if *doLoad {
 		if *debugAddr != "" {
 			go serveDebug(*debugAddr)
+		}
+		if *clusterN > 0 {
+			// Cluster runs (plain or chaos) default to their own report
+			// name; an explicit -load-out still wins.
+			out := *loadOut
+			if !flagWasSet("load-out") {
+				out = "BENCH_cluster.json"
+			}
+			// -load-jobs is TOTAL jobs; unset means runCluster scales its
+			// own default with the node count.
+			jobs := 0
+			if flagWasSet("load-jobs") {
+				jobs = *loadJobs
+			}
+			if err := runCluster(out, *clusterN, jobs, *loadConc, *loadDist, *chaos, *chaosSeed, *duration); err != nil {
+				fatal(err)
+			}
+			return
 		}
 		if *chaos != "" {
 			// The chaos soak gets its own default report name so a plain

@@ -11,6 +11,7 @@
 //	dscts -xl 500000 -partition 50000 -json | cismoke xl -sinks 500000
 //	cismoke eco -design C3 -pct 1 -min-speedup 5 BENCH_eco.json
 //	cismoke chaos BENCH_chaos.json
+//	cismoke cluster -min-ratio 2.5 -baseline BENCH_serve.json BENCH_cluster.json
 //	cismoke metrics BENCH_serve.json
 //	cismoke metrics -min-families 25 BENCH_chaos.json
 //	cismoke persist BENCH_persist.json
@@ -50,6 +51,8 @@ func main() {
 		err = cmdECO(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "metrics":
 		err = cmdMetrics(args)
 	case "persist":
@@ -66,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cismoke {allocs|synth|corners|partition|scale|xl|eco|chaos|metrics|persist|warm} [flags] [file...]")
+	fmt.Fprintln(os.Stderr, "usage: cismoke {allocs|synth|corners|partition|scale|xl|eco|chaos|cluster|metrics|persist|warm} [flags] [file...]")
 	os.Exit(2)
 }
 
@@ -404,7 +407,8 @@ type chaosView struct {
 // committed/uploaded artifact honest independently of that exit code.
 func cmdChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
-	minOps := fs.Int64("min-ops", 50, "minimum operations the soak must have issued")
+	minOps := fs.Int64("min-ops", 50, "minimum operations the soak must have issued (absolute floor; keep low — see -min-ops-per-sec)")
+	minRate := fs.Float64("min-ops-per-sec", 0, "minimum throughput (ops / soak seconds) the soak must have sustained (0 = skip); duration-relative, so a longer soak on a slow runner does not flake the way an absolute -min-ops does")
 	fs.Parse(args)
 	var r chaosView
 	if err := decode(fs, "BENCH_chaos.json", &r); err != nil {
@@ -415,6 +419,12 @@ func cmdChaos(args []string) error {
 	}
 	if r.Ops.Total < *minOps {
 		return fmt.Errorf("only %d ops issued, want >= %d", r.Ops.Total, *minOps)
+	}
+	if *minRate > 0 {
+		rate := float64(r.Ops.Total) / (r.DurationMS / 1000)
+		if rate < *minRate {
+			return fmt.Errorf("soak sustained %.2f ops/s over %.0fs, want >= %.2f ops/s", rate, r.DurationMS/1000, *minRate)
+		}
 	}
 	if r.Ops.Done == 0 {
 		return fmt.Errorf("no operation succeeded under chaos")

@@ -7,6 +7,7 @@
 //	       [-cache-dir ""] [-qos-classes interactive:3,batch:1] [-tenant-quota 0]
 //	       [-metrics] [-debug-addr ""] [-log-level info] [-log-format text]
 //	       [-fault-spec ""] [-fault-seed 1]
+//	       [-peers ""] [-node-id ""] [-cluster-secret ""]
 //
 // API (see internal/serve):
 //
@@ -47,6 +48,17 @@
 // tenant. -tenant-quota caps each tenant's outstanding jobs (429 past it;
 // 0 = unlimited).
 //
+// Cluster mode: -peers lists the static member set as "id=url,..." (this
+// node included) and -node-id names which entry is us. Cache keys then
+// route over a consistent-hash ring — a sync request whose key hashes to a
+// peer is forwarded there, so repeated invocations hit exactly one node's
+// cache — oversized partitioned jobs dispatch regions to peers (POST
+// /internal/region), and idle peers steal queued regions. Every remote
+// path degrades to local execution when a peer is down (per-peer circuit
+// breakers fed by /readyz probes), and results are bit-identical to a
+// single-node run. -cluster-secret authenticates the /internal/* peer
+// endpoints; see DESIGN.md §9.
+//
 // -fault-spec arms the deterministic fault-injection registry (see
 // internal/fault) for chaos testing a real deployment; leave it empty in
 // production (the default, a zero-cost no-op).
@@ -72,6 +84,7 @@ import (
 	"syscall"
 	"time"
 
+	"dscts/internal/clusterd"
 	"dscts/internal/fault"
 	"dscts/internal/obs"
 	"dscts/internal/serve"
@@ -98,6 +111,9 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		faultSpec  = flag.String("fault-spec", "", "fault-injection schedule for chaos testing, e.g. \"panic@serve.job:0.01\" (empty = disabled; see internal/fault)")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for -fault-spec (same spec + seed replays the same schedule)")
+		peersFlag  = flag.String("peers", "", "cluster member list as id=url,id=url,... including this node (empty = single-node)")
+		nodeID     = flag.String("node-id", "", "this node's ID within -peers (required with -peers)")
+		clusterKey = flag.String("cluster-secret", "", "shared secret authenticating /internal/* peer calls (recommended with -peers)")
 	)
 	flag.Parse()
 
@@ -126,6 +142,27 @@ func main() {
 		logger.Error("bad -qos-classes", "error", err)
 		os.Exit(1)
 	}
+	// Cluster mode: parse and validate the static member list up front so a
+	// typo fails the boot, not the first forwarded request.
+	var cluster *serve.ClusterConfig
+	if *peersFlag != "" {
+		peers, err := clusterd.ParsePeers(*peersFlag)
+		if err != nil {
+			logger.Error("bad -peers", "error", err)
+			os.Exit(1)
+		}
+		if _, _, err := clusterd.SplitSelf(peers, *nodeID); err != nil {
+			logger.Error("bad -node-id", "error", err)
+			os.Exit(1)
+		}
+		if *clusterKey == "" {
+			logger.Warn("cluster mode without -cluster-secret: /internal/* peer endpoints are unauthenticated")
+		}
+		cluster = &serve.ClusterConfig{NodeID: *nodeID, Peers: peers, Secret: *clusterKey}
+	} else if *nodeID != "" {
+		logger.Error("-node-id requires -peers")
+		os.Exit(1)
+	}
 	// The daemon owns the store: opened (and warm-start verified) before the
 	// server exists, closed — flushing the write-behind tail — after the
 	// queue has fully drained.
@@ -147,7 +184,7 @@ func main() {
 		JobTimeout: *jobTimeout, WatchdogGrace: *wdGrace,
 		IdempotencyEntries: *idemSize, Faults: reg,
 		QoSClasses: classes, TenantQuota: *tenQuota, Store: st,
-		Metrics: metrics, Logger: logger,
+		Metrics: metrics, Logger: logger, Cluster: cluster,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,86 @@
+// Package clusterd is the membership substrate of dsctsd's cluster mode
+// (DESIGN.md §9): a static, seeded peer list, a consistent-hash ring with
+// virtual nodes for deterministic cache-key placement, and a lightweight
+// liveness layer (periodic /readyz probes plus a per-peer circuit breaker)
+// that lets the serving layer route around dead or misbehaving peers
+// without failing jobs.
+//
+// The name: internal/cluster was already taken by the k-means dual
+// clustering stage of the synthesis engine long before the daemon grew a
+// distributed mode, and renaming it would churn every engine import and
+// the gob type names persisted in PR 8 base snapshots. The daemon-level
+// package therefore follows the daemon's naming (dsctsd → clusterd).
+package clusterd
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Peer is one static cluster member: a stable node ID and the base URL the
+// other members reach it on.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// ParsePeers parses the -peers flag format: a comma-separated list of
+// id=url entries naming every cluster member, including the local node.
+// Order is preserved (it is the seed order, not the ring order — placement
+// on the ring depends only on the IDs). URLs lose any trailing slash so
+// path concatenation stays uniform.
+func ParsePeers(s string) ([]Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("clusterd: empty peer list")
+	}
+	seen := make(map[string]bool)
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rawurl, ok := strings.Cut(part, "=")
+		id, rawurl = strings.TrimSpace(id), strings.TrimSpace(rawurl)
+		if !ok || id == "" || rawurl == "" {
+			return nil, fmt.Errorf("clusterd: peer entry %q: want id=url", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("clusterd: duplicate peer id %q", id)
+		}
+		u, err := url.Parse(rawurl)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("clusterd: peer %q: invalid url %q", id, rawurl)
+		}
+		seen[id] = true
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(rawurl, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("clusterd: empty peer list")
+	}
+	return peers, nil
+}
+
+// SplitSelf partitions a full member list into the local peer (matched by
+// id) and the remote peers, preserving order.
+func SplitSelf(peers []Peer, id string) (self Peer, others []Peer, err error) {
+	found := false
+	for _, p := range peers {
+		if p.ID == id {
+			self, found = p, true
+			continue
+		}
+		others = append(others, p)
+	}
+	if !found {
+		ids := make([]string, len(peers))
+		for i, p := range peers {
+			ids[i] = p.ID
+		}
+		sort.Strings(ids)
+		return Peer{}, nil, fmt.Errorf("clusterd: node id %q not in peer list %v", id, ids)
+	}
+	return self, others, nil
+}

@@ -1,0 +1,264 @@
+package clusterd
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker is a per-peer circuit breaker. Consecutive transport failures
+// past the threshold open it for a cooldown; while open, Allow reports
+// false and callers fall back to local execution instead of queueing more
+// work behind a dead peer. After the cooldown one probe call is let
+// through (half-open); its outcome closes or re-opens the circuit.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	fails     int
+	openUntil time.Time
+	halfOpen  bool
+	opens     atomic.Int64
+
+	now func() time.Time // test hook
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures for the given cooldown. Zero values pick 3 failures / 5s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed. In the open state it returns
+// false until the cooldown elapses, then admits a single half-open probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if b.now().Before(b.openUntil) {
+		return false
+	}
+	if b.halfOpen {
+		return false // a probe is already in flight
+	}
+	b.halfOpen = true
+	return true
+}
+
+// Success records a successful call, closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.halfOpen = false
+}
+
+// Failure records a failed call; at the threshold (or on a failed
+// half-open probe) the circuit opens for the cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.halfOpen || b.fails >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		b.halfOpen = false
+		b.fails = 0
+		b.opens.Add(1)
+	}
+}
+
+// Open reports whether the circuit is currently open.
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero() && b.now().Before(b.openUntil)
+}
+
+// Opens counts how many times the circuit has opened.
+func (b *Breaker) Opens() int64 { return b.opens.Load() }
+
+// PeerStatus is one remote peer's view in stats snapshots.
+type PeerStatus struct {
+	ID          string `json:"id"`
+	URL         string `json:"url"`
+	Healthy     bool   `json:"healthy"`
+	BreakerOpen bool   `json:"breaker_open,omitempty"`
+	Probes      int64  `json:"probes,omitempty"`
+	ProbeFails  int64  `json:"probe_fails,omitempty"`
+}
+
+type peerState struct {
+	peer       Peer
+	healthy    atomic.Bool
+	probes     atomic.Int64
+	probeFails atomic.Int64
+	breaker    *Breaker
+}
+
+// PeerSetOptions tunes the liveness layer; zero values pick the defaults
+// noted per field.
+type PeerSetOptions struct {
+	ProbeInterval time.Duration // /readyz cadence, default 2s
+	ProbeTimeout  time.Duration // per-probe budget, default 1s
+	FailThreshold int           // breaker threshold, default 3
+	Cooldown      time.Duration // breaker cooldown, default 5s
+	Client        *http.Client  // probe client, default http.DefaultClient semantics
+}
+
+// PeerSet tracks the remote members' liveness: a background prober hits
+// each peer's /readyz on a fixed cadence, and per-peer circuit breakers
+// accumulate the caller-reported transport outcomes. Peers start healthy
+// (optimistic) so a cold cluster routes immediately; the first failed
+// probe or tripped breaker takes a peer out of rotation.
+type PeerSet struct {
+	order []string
+	peers map[string]*peerState
+	opt   PeerSetOptions
+	httpc *http.Client
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPeerSet builds the set over the remote peers (the local node is not a
+// member of its own PeerSet). Call Start to launch the prober and Close to
+// stop it.
+func NewPeerSet(peers []Peer, opt PeerSetOptions) *PeerSet {
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = 2 * time.Second
+	}
+	if opt.ProbeTimeout <= 0 {
+		opt.ProbeTimeout = time.Second
+	}
+	s := &PeerSet{
+		peers: make(map[string]*peerState, len(peers)),
+		opt:   opt,
+		httpc: opt.Client,
+		stop:  make(chan struct{}),
+	}
+	if s.httpc == nil {
+		s.httpc = &http.Client{}
+	}
+	for _, p := range peers {
+		st := &peerState{peer: p, breaker: NewBreaker(opt.FailThreshold, opt.Cooldown)}
+		st.healthy.Store(true)
+		s.order = append(s.order, p.ID)
+		s.peers[p.ID] = st
+	}
+	return s
+}
+
+// Start launches the background /readyz prober.
+func (s *PeerSet) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.opt.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the prober and waits for it.
+func (s *PeerSet) Close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+func (s *PeerSet) probeAll() {
+	for _, id := range s.order {
+		st := s.peers[id]
+		ctx, cancel := context.WithTimeout(context.Background(), s.opt.ProbeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, st.peer.URL+"/readyz", nil)
+		ok := false
+		if err == nil {
+			resp, rerr := s.httpc.Do(req)
+			if rerr == nil {
+				ok = resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+			}
+		}
+		cancel()
+		st.probes.Add(1)
+		if !ok {
+			st.probeFails.Add(1)
+		}
+		st.healthy.Store(ok)
+	}
+}
+
+// IDs returns the remote peer IDs in seed order.
+func (s *PeerSet) IDs() []string { return s.order }
+
+// URL returns the base URL of a peer, or "" for an unknown id.
+func (s *PeerSet) URL(id string) string {
+	if st, ok := s.peers[id]; ok {
+		return st.peer.URL
+	}
+	return ""
+}
+
+// Usable reports whether a peer is in rotation: known, last probe healthy,
+// and its breaker admitting calls.
+func (s *PeerSet) Usable(id string) bool {
+	st, ok := s.peers[id]
+	return ok && st.healthy.Load() && st.breaker.Allow()
+}
+
+// Success reports a successful call to a peer (closes its breaker).
+func (s *PeerSet) Success(id string) {
+	if st, ok := s.peers[id]; ok {
+		st.breaker.Success()
+	}
+}
+
+// Failure reports a failed call to a peer (feeds its breaker).
+func (s *PeerSet) Failure(id string) {
+	if st, ok := s.peers[id]; ok {
+		st.breaker.Failure()
+	}
+}
+
+// BreakerOpens totals circuit openings across all peers.
+func (s *PeerSet) BreakerOpens() int64 {
+	var n int64
+	for _, st := range s.peers {
+		n += st.breaker.Opens()
+	}
+	return n
+}
+
+// Snapshot returns the per-peer status in seed order.
+func (s *PeerSet) Snapshot() []PeerStatus {
+	out := make([]PeerStatus, 0, len(s.order))
+	for _, id := range s.order {
+		st := s.peers[id]
+		out = append(out, PeerStatus{
+			ID:          id,
+			URL:         st.peer.URL,
+			Healthy:     st.healthy.Load(),
+			BreakerOpen: st.breaker.Open(),
+			Probes:      st.probes.Load(),
+			ProbeFails:  st.probeFails.Load(),
+		})
+	}
+	return out
+}

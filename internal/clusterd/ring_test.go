@@ -1,0 +1,144 @@
+package clusterd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("key-%d", i)
+	}
+	return ks
+}
+
+// Placement is a pure function of the member set: node order, ring
+// rebuilds and fresh processes all agree.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2"}, 64)
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q differs across member orderings: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if a.Len() != 3*64 {
+		t.Fatalf("ring has %d points, want %d", a.Len(), 3*64)
+	}
+}
+
+// Virtual nodes keep ownership roughly balanced across a small cluster.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 64)
+	count := map[string]int{}
+	ks := keys(3000)
+	for _, k := range ks {
+		count[r.Owner(k)]++
+	}
+	for n, c := range count {
+		frac := float64(c) / float64(len(ks))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys; want a rough third", n, 100*frac)
+		}
+	}
+}
+
+// Removing a member moves exactly the keys that member owned — every other
+// key keeps its owner (the consistent-hash property the forward-on-miss
+// cache depends on across node loss).
+func TestRingRebalanceFraction(t *testing.T) {
+	full := NewRing([]string{"n1", "n2", "n3"}, 64)
+	less := NewRing([]string{"n1", "n2"}, 64)
+	ks := keys(3000)
+	moved := 0
+	for _, k := range ks {
+		was, is := full.Owner(k), less.Owner(k)
+		if was == "n3" {
+			moved++
+			continue // n3's keys must move somewhere
+		}
+		if was != is {
+			t.Fatalf("key %q moved %q→%q although its owner survived", k, was, is)
+		}
+	}
+	frac := float64(moved) / float64(len(ks))
+	if frac < 0.15 || frac > 0.55 {
+		t.Fatalf("leave moved %.1f%% of keys; want a rough third", 100*frac)
+	}
+
+	// Join is the same statement in reverse: adding n3 back only claims
+	// keys for n3, never shuffles keys between n1 and n2.
+	for _, k := range ks {
+		was, is := less.Owner(k), full.Owner(k)
+		if is != "n3" && was != is {
+			t.Fatalf("join moved key %q %q→%q although n3 did not claim it", k, was, is)
+		}
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(3, 5*time.Second)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if !b.Allow() || b.Open() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Failure()
+	if b.Allow() || !b.Open() {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open probe not admitted after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted while half-open")
+	}
+	// Probe fails: circuit re-opens immediately.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker admitted calls after failed half-open probe")
+	}
+	// Next cooldown, probe succeeds: circuit closes.
+	now = now.Add(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after second cooldown")
+	}
+	b.Success()
+	if !b.Allow() || b.Open() {
+		t.Fatal("breaker did not close after successful probe")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:8080, b=http://h2:8080/ ,c=https://h3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0].ID != "a" || peers[1].URL != "http://h2:8080" {
+		t.Fatalf("unexpected parse: %+v", peers)
+	}
+	self, others, err := SplitSelf(peers, "b")
+	if err != nil || self.ID != "b" || len(others) != 2 {
+		t.Fatalf("SplitSelf: self=%+v others=%+v err=%v", self, others, err)
+	}
+	if _, _, err := SplitSelf(peers, "zz"); err == nil {
+		t.Fatal("SplitSelf accepted an unknown node id")
+	}
+	for _, bad := range []string{"", "a=", "=http://x", "a=ftp://x", "a=http://x,a=http://y", "justanid"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) did not fail", bad)
+		}
+	}
+}

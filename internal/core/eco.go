@@ -90,6 +90,10 @@ func retainedOptions(opt Options) Options {
 	// ECOState.Arena behind the TryAcquire guard, while a job pointer buried
 	// in Opt would be re-threaded into chained runs unguarded.
 	opt.Arena = nil
+	// Nor the region executor: retained options seed chained ECO re-runs
+	// (and gob snapshots), and a cluster-mode executor must be re-installed
+	// per job by the daemon that owns the peers, never revived from state.
+	opt.RegionExec = nil
 	return opt
 }
 

@@ -164,6 +164,18 @@ type Options struct {
 	// it is a test/scheduling hook, never part of the result identity: a
 	// run that completes under injection is bit-identical to one without.
 	Faults *fault.Registry
+	// RegionExec, when non-nil, executes the regions of a partitioned run
+	// instead of the built-in local path — the cluster-mode seam that lets
+	// a daemon dispatch regions to peers (or a steal queue) and splice the
+	// results into the local stitch. The executor must be result-equivalent
+	// to RunRegion for the same inputs; the engine consumes results in
+	// region-ID order regardless of completion order, so a conforming
+	// executor preserves bit-identical Metrics. With it set, the outer
+	// region fan-out is not capped at the core count (the executor owns
+	// scheduling; the pipeline's goroutines just wait on it). Ignored by
+	// the monolithic flow and by ECO re-synthesis. Like Progress, it is a
+	// scheduling hook, never part of the result identity.
+	RegionExec RegionExecFunc
 	// Arena is the job-owned scratch arena every phase draws its working
 	// memory from (clustering lanes, DP generation buffers, RC networks).
 	// nil falls back to per-package pools. Partitioned runs ignore it for

@@ -258,13 +258,19 @@ func synthesizeRegions(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 	if cores := runtime.GOMAXPROCS(0); outer > cores {
 		outer = cores
 	}
+	if opt.RegionExec != nil && outer < len(regions) {
+		// An installed executor schedules the regions itself (peer
+		// dispatchers, a steal queue); capping the fan-out at the local
+		// core count would serialize its dispatch, so every region is
+		// offered at once — the extra goroutines just wait on results.
+		outer = len(regions)
+	}
 	inner := workers / len(regions)
 	if inner < 1 {
 		inner = 1
 	}
 	type regionRun struct {
-		st   *stages
-		sum  *eval.RegionEval
+		out  *RegionOut
 		stat RegionStat
 		err  error
 	}
@@ -277,22 +283,24 @@ func synthesizeRegions(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 			local[j] = sinks[si]
 		}
 		t0 := time.Now()
-		job := regionJobs.Get(len(r.Sinks))
-		defer regionJobs.Put(job)
-		ropt := opt
-		ropt.Arena = job
-		st, err := runStages(ctx, r.Anchor, local, tc, ropt, inner, nil)
+		w := RegionWork{ID: r.ID, Anchor: r.Anchor, Sinks: local}
+		var ro *RegionOut
+		var err error
+		if opt.RegionExec != nil {
+			ro, err = opt.RegionExec(ctx, w)
+			if err == nil {
+				err = validateRegionOut(ro, len(r.Sinks))
+			}
+		} else {
+			ro, err = RunRegion(ctx, w, tc, opt, inner)
+		}
 		if err != nil {
 			runs[i].err = fmt.Errorf("region %d: %w", r.ID, err)
 			return
 		}
-		sum, err := eval.New(tc, eval.Elmore).SummarizeRegionIn(st.tree, job)
-		if err != nil {
-			runs[i].err = fmt.Errorf("region %d: %w", r.ID, err)
-			return
-		}
+		sum := ro.Sum
 		sum.Sinks = r.Sinks
-		runs[i] = regionRun{st: st, sum: sum, stat: RegionStat{
+		runs[i] = regionRun{out: ro, stat: RegionStat{
 			ID: r.ID, Sinks: len(r.Sinks),
 			Buffers: sum.Metrics.Buffers, NTSVs: sum.Metrics.NTSVs, WL: sum.Metrics.WL,
 			Latency: sum.Metrics.Latency, Skew: sum.Metrics.Skew,
@@ -309,14 +317,14 @@ func synthesizeRegions(ctx context.Context, rootPos geom.Point, sinks []geom.Poi
 		if runs[i].err != nil {
 			return nil, fmt.Errorf("core: %w", runs[i].err)
 		}
-		sums[i] = runs[i].sum
-		trees[i] = runs[i].st.tree
+		sums[i] = runs[i].out.Sum
+		trees[i] = runs[i].out.Tree
 		out.Regions = append(out.Regions, runs[i].stat)
-		out.RouteTime += runs[i].st.routeTime
-		out.InsertTime += runs[i].st.insertTime
-		out.RefineTime += runs[i].st.refineTime
-		dpTotal.Nodes += runs[i].st.dp.Nodes
-		dpTotal.Solutions += runs[i].st.dp.Solutions
+		out.RouteTime += runs[i].out.RouteTime
+		out.InsertTime += runs[i].out.InsertTime
+		out.RefineTime += runs[i].out.RefineTime
+		dpTotal.Nodes += runs[i].out.DPNodes
+		dpTotal.Solutions += runs[i].out.DPSolutions
 	}
 	out.DP = &dpTotal
 	out.PartitionTime = time.Since(tPartition)

@@ -1,0 +1,107 @@
+package core
+
+// The region execution seam of the partitioned pipeline (DESIGN.md §9).
+// One region's synthesis — route→insert→refine over its local sink slice
+// plus the hierarchical summary the stitch consumes — is an independent,
+// pure unit of work: it reads only (anchor, local sinks, tech, knobs) and
+// its result is deterministic in the worker count. RunRegion packages that
+// unit behind an exported boundary so a cluster-mode daemon can execute it
+// on a remote peer (serve's POST /internal/region) and splice the wire
+// result back into the local stitch, bit-identically to local execution.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dscts/internal/ctree"
+	"dscts/internal/eval"
+	"dscts/internal/geom"
+	"dscts/internal/tech"
+)
+
+// RegionWork is one region's unit of work in a partitioned run: the tap
+// anchor and the region-local sink placement. Sinks are region-local
+// coordinates; the mapping back to global sink indices stays with the
+// caller, so the unit is self-contained and wire-encodable.
+type RegionWork struct {
+	ID     int
+	Anchor geom.Point
+	Sinks  []geom.Point
+}
+
+// RegionOut is the result of one region's synthesis: the buffered region
+// tree plus the hierarchical summary the stitch stage consumes, and the
+// region's share of the DP statistics and per-phase work times. Sum.Sinks
+// is left nil — the caller rebinds the global sink indices. All fields are
+// plain data (gob-encodable), which is what lets a region execute on a
+// remote peer.
+type RegionOut struct {
+	Tree *ctree.Tree
+	Sum  *eval.RegionEval
+
+	DPNodes     int
+	DPSolutions int
+
+	RouteTime  time.Duration
+	InsertTime time.Duration
+	RefineTime time.Duration
+}
+
+// RegionExecFunc executes one region of a partitioned run. Options.
+// RegionExec installs one; the partitioned pipeline then routes every
+// region through it instead of the built-in local path. Implementations
+// MUST be result-equivalent to RunRegion with the same (work, tech,
+// options) — the engine's determinism contract extends across the seam,
+// and the cluster determinism suite pins it.
+type RegionExecFunc func(ctx context.Context, w RegionWork) (*RegionOut, error)
+
+// RunRegion executes one region locally: the exact per-region body of the
+// partitioned pipeline (scratch job from the shared region pool, the full
+// route→insert→refine stack, then the hierarchical region summary).
+// workers bounds the region's inner parallelism; results are bit-identical
+// in it. opt's scheduling hooks (Arena, Progress, RegionExec) are ignored
+// — the region draws its own pooled arena — while opt.Faults is honored,
+// so fault injection fires on whichever node actually executes.
+func RunRegion(ctx context.Context, w RegionWork, tc *tech.Tech, opt Options, workers int) (*RegionOut, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	job := regionJobs.Get(len(w.Sinks))
+	defer regionJobs.Put(job)
+	ropt := opt
+	ropt.Arena = job
+	ropt.Progress = nil
+	ropt.RegionExec = nil
+	st, err := runStages(ctx, w.Anchor, w.Sinks, tc, ropt, workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := eval.New(tc, eval.Elmore).SummarizeRegionIn(st.tree, job)
+	if err != nil {
+		return nil, err
+	}
+	ro := &RegionOut{
+		Tree:       st.tree,
+		Sum:        sum,
+		RouteTime:  st.routeTime,
+		InsertTime: st.insertTime,
+		RefineTime: st.refineTime,
+	}
+	if st.dp != nil {
+		ro.DPNodes, ro.DPSolutions = st.dp.Nodes, st.dp.Solutions
+	}
+	return ro, nil
+}
+
+// validateRegionOut rejects a wire result that cannot be stitched — a
+// remote peer speaking a different build must not crash the local stitch.
+func validateRegionOut(ro *RegionOut, wantSinks int) error {
+	if ro == nil || ro.Tree == nil || ro.Sum == nil {
+		return fmt.Errorf("region executor returned incomplete result")
+	}
+	if got := len(ro.Tree.Sinks()); got != wantSinks {
+		return fmt.Errorf("region executor returned %d sinks, want %d", got, wantSinks)
+	}
+	return nil
+}

@@ -202,6 +202,14 @@ func (c *cache) Put(key string, res *Result) bool {
 	return true
 }
 
+// Has reports whether a key is present without touching recency or the
+// hit/miss counters: cluster routing peeks before forwarding a request to
+// its ring owner, and a peek must not distort the cache statistics.
+func (c *cache) Has(key string) bool {
+	_, ok := c.lru.Peek(key)
+	return ok
+}
+
 // Corrupt flips the stored checksum of an entry, simulating in-place
 // corruption for the fault harness and tests; the next Get must detect it.
 func (c *cache) Corrupt(key string) bool {

@@ -164,15 +164,29 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, ide
 
 // retryDelay classifies an error and computes the attempt's backoff:
 // exponential with ±50% jitter, floored by the server's Retry-After hint.
-// Only transport errors and 429/503 are retriable; context cancellation
-// (and everything else) is not.
+// Transport errors are retriable (except context cancellation). HTTP
+// statuses split by class: every 4xx is TERMINAL except 429 — the request
+// itself is wrong (400), too big (413) or unroutable (404), and repeating
+// it can only waste the server's time and mask the real error — while 5xx
+// is retriable except the two that retrying cannot fix: 501 Not
+// Implemented, and 504, which in sync mode means the job RAN and hit its
+// deadline — the engine is deterministic, so a repeat would burn the same
+// wall-clock and time out the same way.
 func retryDelay(err error, attempt int, base time.Duration) (time.Duration, bool) {
 	var hint time.Duration
 	var apiErr *apiError
 	var urlErr *url.Error
 	switch {
 	case errors.As(err, &apiErr):
-		if apiErr.Status != http.StatusTooManyRequests && apiErr.Status != http.StatusServiceUnavailable {
+		switch {
+		case apiErr.Status == http.StatusTooManyRequests:
+			// Backpressure: the one 4xx that asks for a retry.
+		case apiErr.Status >= 500 &&
+			apiErr.Status != http.StatusNotImplemented &&
+			apiErr.Status != http.StatusGatewayTimeout:
+			// Server-side transient (500 recovered panic, 502/503 along
+			// the path).
+		default:
 			return 0, false
 		}
 		hint = apiErr.RetryAfter

@@ -1,0 +1,127 @@
+package serve
+
+// Retry-classification tests for the API client: 4xx responses are
+// terminal (the request itself is wrong; repeating it cannot help) with
+// the single exception of 429 backpressure, while 5xx responses retry
+// except 501. Pinned server-side by counting actual attempts, not by
+// inspecting the classifier.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// retryProbe is a fake endpoint that serves a fixed status sequence and
+// counts attempts.
+func retryProbe(t *testing.T, statuses ...int) (*Client, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		code := statuses[min(int(n)-1, len(statuses)-1)]
+		if code == http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"id":"job-1","state":"done"}`))
+			return
+		}
+		writeErr(w, code, context.DeadlineExceeded)
+	}))
+	t.Cleanup(ts.Close)
+	return &Client{Base: ts.URL, RetryBackoff: time.Millisecond}, &attempts
+}
+
+// TestClientNeverRetries400 pins that a 400 Bad Request is terminal even
+// for an idempotent submission: exactly one attempt reaches the server.
+func TestClientNeverRetries400(t *testing.T) {
+	client, attempts := retryProbe(t, http.StatusBadRequest)
+	req := &Request{Design: "C1", IdempotencyKey: "retry-test"}
+	_, err := client.Synthesize(context.Background(), req)
+	if err == nil {
+		t.Fatal("expected an error from a 400 response")
+	}
+	var he interface{ HTTPStatus() int }
+	if !asHTTPErr(err, &he) || he.HTTPStatus() != http.StatusBadRequest {
+		t.Fatalf("error %v does not carry status 400", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("400 response was attempted %d times, want exactly 1", got)
+	}
+}
+
+// TestClientTerminal4xxAnd501 sweeps the terminal statuses: every 4xx but
+// 429, plus 501, gets exactly one attempt.
+func TestClientTerminal4xxAnd501(t *testing.T) {
+	// 504 rides with the terminal set: in sync mode it means the job ran
+	// and hit its deadline, and the engine is deterministic — a repeat
+	// would time out identically.
+	for _, code := range []int{
+		http.StatusUnauthorized, http.StatusForbidden, http.StatusNotFound,
+		http.StatusRequestEntityTooLarge, http.StatusNotImplemented,
+		http.StatusGatewayTimeout,
+	} {
+		client, attempts := retryProbe(t, code)
+		req := &Request{Design: "C1", IdempotencyKey: "retry-test"}
+		if _, err := client.Synthesize(context.Background(), req); err == nil {
+			t.Fatalf("status %d: expected an error", code)
+		}
+		if got := attempts.Load(); got != 1 {
+			t.Fatalf("status %d was attempted %d times, want exactly 1", code, got)
+		}
+	}
+}
+
+// TestClientRetriesTransient pins that 429 and the transient 5xx family
+// retry until success.
+func TestClientRetriesTransient(t *testing.T) {
+	for _, code := range []int{
+		http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+	} {
+		client, attempts := retryProbe(t, code, code, http.StatusOK)
+		req := &Request{Design: "C1", IdempotencyKey: "retry-test"}
+		info, err := client.Synthesize(context.Background(), req)
+		if err != nil {
+			t.Fatalf("status %d: %v", code, err)
+		}
+		if info.ID != "job-1" {
+			t.Fatalf("status %d: unexpected payload %+v", code, info)
+		}
+		if got := attempts.Load(); got != 3 {
+			t.Fatalf("status %d: %d attempts, want 3 (two failures + success)", code, got)
+		}
+	}
+}
+
+// TestClientNoRetryWithoutIdempotencyKey re-pins that even a retriable
+// status is attempted once when the submission carries no idempotency key:
+// replaying an unkeyed POST could run the job twice.
+func TestClientNoRetryWithoutIdempotencyKey(t *testing.T) {
+	client, attempts := retryProbe(t, http.StatusServiceUnavailable, http.StatusOK)
+	req := &Request{Design: "C1"}
+	if _, err := client.Synthesize(context.Background(), req); err == nil {
+		t.Fatal("expected the 503 to surface without retries")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("unkeyed POST attempted %d times, want exactly 1", got)
+	}
+}
+
+// asHTTPErr unwraps to the HTTPStatus interface like external callers do.
+func asHTTPErr(err error, target *interface{ HTTPStatus() int }) bool {
+	for e := err; e != nil; {
+		if he, ok := e.(interface{ HTTPStatus() int }); ok {
+			*target = he
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,397 @@
+package serve
+
+// Cluster-mode tests: an in-process 3-node cluster over real listeners,
+// pinning the tentpole guarantees — routed forwarding with exactly-one-
+// owner caching, remote region dispatch and stealing that stay
+// bit-identical to single-node runs, request-ID propagation across the
+// forward hop, lease-token idempotency, and fallback-to-local when a node
+// dies mid-cluster.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dscts/internal/clusterd"
+	"dscts/internal/core"
+)
+
+// testClusterNode is one in-process cluster member.
+type testClusterNode struct {
+	id     string
+	url    string
+	srv    *Server
+	hs     *http.Server
+	client *Client
+	killed bool
+}
+
+// kill closes the node abruptly: listener first (peers start seeing
+// connection refused), then the server (cancelling in-flight jobs).
+func (n *testClusterNode) kill() {
+	if n.killed {
+		return
+	}
+	n.killed = true
+	n.hs.Close()
+	n.srv.Close()
+}
+
+// newTestCluster boots n nodes on loopback listeners. Listeners come
+// first so every node knows the full peer URL set before it starts.
+// mutate, when non-nil, adjusts each node's Config before boot.
+func newTestCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) []*testClusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]clusterd.Peer, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = clusterd.Peer{
+			ID:  fmt.Sprintf("n%d", i+1),
+			URL: "http://" + ln.Addr().String(),
+		}
+	}
+	nodes := make([]*testClusterNode, n)
+	for i := range nodes {
+		cfg := Config{
+			MaxRunning: 4, MaxQueued: 32,
+			Cluster: &ClusterConfig{
+				NodeID: peers[i].ID, Peers: peers, Secret: "test-secret",
+				ProbeInterval: 100 * time.Millisecond,
+				ProbeTimeout:  time.Second,
+				Cooldown:      200 * time.Millisecond,
+				StealInterval: 10 * time.Millisecond,
+				LeaseTimeout:  30 * time.Second,
+			},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		srv := NewServer(cfg)
+		hs := &http.Server{Handler: srv.Handler()}
+		node := &testClusterNode{
+			id: peers[i].ID, url: peers[i].URL,
+			srv: srv, hs: hs, client: NewClient(peers[i].URL),
+		}
+		go hs.Serve(lns[i])
+		nodes[i] = node
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.kill()
+		}
+	})
+	return nodes
+}
+
+// ownerOf returns the index of the node owning req's cache key and the
+// index of some other node.
+func ownerOf(t *testing.T, nodes []*testClusterNode, req *Request, kind string) (owner, other int) {
+	t.Helper()
+	ring := nodes[0].srv.Queue().cluster.ring
+	id := ring.Owner(req.Key(kind))
+	owner = -1
+	for i, n := range nodes {
+		if n.id == id {
+			owner = i
+		} else {
+			other = i
+		}
+	}
+	if owner < 0 {
+		t.Fatalf("ring owner %q not among nodes", id)
+	}
+	return owner, other
+}
+
+// TestClusterForwardedBitIdentical submits C1..C5 to a node that does NOT
+// own their cache keys and checks each request was forwarded to its ring
+// owner, answered with metrics bit-identical to a direct library run, and
+// cached on exactly the owner (a repeat from a different non-owner is a
+// cluster-wide cache hit).
+func TestClusterForwardedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node end-to-end run")
+	}
+	nodes := newTestCluster(t, 3, nil)
+	for _, design := range []string{"C1", "C2", "C3", "C4", "C5"} {
+		req := &Request{Design: design, IncludeSinkDelays: true}
+		owner, other := ownerOf(t, nodes, req, KindSynthesize)
+		before := nodes[other].srv.Queue().cluster.forwarded.Load()
+		info, err := nodes[other].client.Synthesize(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s via %s: %v", design, nodes[other].id, err)
+		}
+		if info.State != StateDone {
+			t.Fatalf("%s: state %s (%s)", design, info.State, info.Error)
+		}
+		requireSameMetrics(t, design+" via "+nodes[other].id, info.Result, req)
+		if got := nodes[other].srv.Queue().cluster.forwarded.Load(); got != before+1 {
+			t.Fatalf("%s: node %s forwarded %d→%d, want +1", design, nodes[other].id, before, got)
+		}
+		// The owner — and only the owner — holds the cached result.
+		key := req.Key(KindSynthesize)
+		for i, n := range nodes {
+			if has := n.srv.Queue().cache.Has(key); has != (i == owner) {
+				t.Fatalf("%s: node %s cache presence %v, want %v", design, n.id, has, i == owner)
+			}
+		}
+		// A repeat through the third node (neither owner nor first
+		// submitter) is answered from the owner's cache.
+		third := 3 - owner - other
+		repeat, err := nodes[third].client.Synthesize(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s repeat: %v", design, err)
+		}
+		if !repeat.CacheHit {
+			t.Fatalf("%s: repeat via %s was not a cluster cache hit", design, nodes[third].id)
+		}
+	}
+	// Counter consistency: forwards sent across the cluster equal forwards
+	// received.
+	var sent, recv int64
+	for _, n := range nodes {
+		cs := n.srv.Queue().Stats().Cluster
+		sent += cs.Forwarded
+		recv += cs.ForwardedIn
+	}
+	if sent == 0 || sent != recv {
+		t.Fatalf("forwarded %d != forwarded_in %d", sent, recv)
+	}
+}
+
+// TestClusterRemoteRegionDispatch runs a partitioned job on a node with no
+// local board executors, so every region MUST execute remotely (dispatch
+// or steal), and checks the stitched result is still bit-identical to a
+// direct single-process run.
+func TestClusterRemoteRegionDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node end-to-end run")
+	}
+	nodes := newTestCluster(t, 3, func(i int, cfg *Config) {
+		if i == 0 {
+			cfg.Cluster.LocalExecutors = -1 // n1 cannot run its own regions
+		}
+	})
+	req := &Request{Design: "C4", IncludeSinkDelays: true,
+		Options: OptionsSpec{PartitionMaxSinks: 300}}
+	// Bypass routing: submit straight to n1's queue so the partitioned job
+	// runs on the executor-less node regardless of ring ownership.
+	job, err := nodes[0].srv.Queue().Submit(req, KindSynthesize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	info := job.Info()
+	if info.State != StateDone {
+		t.Fatalf("job state %s (%s)", info.State, info.Error)
+	}
+	requireSameMetrics(t, "partitioned via cluster", info.Result, req)
+	c := nodes[0].srv.Queue().cluster
+	remote := c.dispatched.Load() + c.stealsGiven.Load()
+	if remote == 0 {
+		t.Fatal("no region was dispatched or stolen despite zero local executors")
+	}
+	if c.localRegions.Load() != 0 {
+		t.Fatalf("executor-less node ran %d regions locally", c.localRegions.Load())
+	}
+	var served, stolen int64
+	for _, n := range nodes[1:] {
+		cs := n.srv.Queue().Stats().Cluster
+		served += cs.RegionsServed
+		stolen += cs.RegionsStolen
+	}
+	if served != c.dispatched.Load() {
+		t.Fatalf("peers served %d regions, dispatcher applied %d", served, c.dispatched.Load())
+	}
+	if stolen > c.stealsGiven.Load() {
+		t.Fatalf("peers stole %d > leases given %d", stolen, c.stealsGiven.Load())
+	}
+}
+
+// TestClusterForwardCarriesRequestID pins end-to-end request-ID
+// propagation: a client-supplied X-Request-ID crosses the forward hop and
+// is the ID the owning node's job records.
+func TestClusterForwardCarriesRequestID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node end-to-end run")
+	}
+	nodes := newTestCluster(t, 3, nil)
+	req := &Request{Design: "C1"}
+	owner, other := ownerOf(t, nodes, req, KindSynthesize)
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost,
+		nodes[other].url+"/synthesize?mode=sync", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rid = "rid-cluster-e2e-42"
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-ID", rid)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != rid {
+		t.Fatalf("response X-Request-ID %q, want %q", got, rid)
+	}
+	if got := resp.Header.Get("X-Dscts-Node"); got != nodes[owner].id {
+		t.Fatalf("answered by %q, want owner %q", got, nodes[owner].id)
+	}
+	// The job exists on the owner and records the client's request ID.
+	q := nodes[owner].srv.Queue()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) != 1 {
+		t.Fatalf("owner holds %d jobs, want 1", len(q.jobs))
+	}
+	for _, j := range q.jobs {
+		if j.reqID != rid {
+			t.Fatalf("owner job request ID %q, want %q", j.reqID, rid)
+		}
+	}
+}
+
+// TestClusterNodeKillFallback kills one node and checks requests owned by
+// it still succeed from any survivor: the forward fails, the breaker
+// records it, and the survivor serves the job locally.
+func TestClusterNodeKillFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node end-to-end run")
+	}
+	nodes := newTestCluster(t, 3, nil)
+	// Find a request owned by node 0 so killing it exercises the fallback.
+	var req *Request
+	for seed := int64(1); seed < 100; seed++ {
+		cand := &Request{Design: "C2", Seed: seed, IncludeSinkDelays: true}
+		if owner, _ := ownerOf(t, nodes, cand, KindSynthesize); owner == 0 {
+			req = cand
+			break
+		}
+	}
+	if req == nil {
+		t.Fatal("no seed hashed to node n1")
+	}
+	nodes[0].kill()
+	info, err := nodes[1].client.Synthesize(context.Background(), req)
+	if err != nil {
+		t.Fatalf("synthesize after node kill: %v", err)
+	}
+	if info.State != StateDone {
+		t.Fatalf("state %s (%s)", info.State, info.Error)
+	}
+	requireSameMetrics(t, "fallback after kill", info.Result, req)
+	cs := nodes[1].srv.Queue().Stats().Cluster
+	if cs.ForwardFallback == 0 {
+		t.Fatal("no forward fallback recorded after killing the owner")
+	}
+	// Once the breaker opens (or the prober marks the peer down), later
+	// requests skip the doomed forward entirely and are still answered.
+	for i := 0; i < 3; i++ {
+		again, err := nodes[2].client.Synthesize(context.Background(), req)
+		if err != nil {
+			t.Fatalf("post-kill request %d: %v", i, err)
+		}
+		if again.State != StateDone {
+			t.Fatalf("post-kill request %d: state %s", i, again.State)
+		}
+	}
+}
+
+// TestRegionBoardLeaseTokenSingleUse pins steal idempotency at the board
+// level: a lease token applies exactly once, a reused token is rejected,
+// and a reaped (expired) lease's late completion is rejected too — the
+// region is re-offered and executes exactly once.
+func TestRegionBoardLeaseTokenSingleUse(t *testing.T) {
+	b := newRegionBoard(time.Minute)
+	defer b.close()
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := b.run(context.Background(), regionTask{work: core.RegionWork{ID: 7}})
+		resCh <- err
+	}()
+	// Wait for the entry to land on the board, then lease it.
+	var tok string
+	for i := 0; ; i++ {
+		if e, tk := b.lease("thief"); e != nil {
+			tok = tk
+			break
+		}
+		if i > 1000 {
+			t.Fatal("entry never appeared on the board")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	out := &core.RegionOut{}
+	if !b.completeLease(tok, out, nil) {
+		t.Fatal("first completion of a live lease was rejected")
+	}
+	if b.completeLease(tok, out, nil) {
+		t.Fatal("token reuse was accepted — double execution would apply twice")
+	}
+	if err := <-resCh; err != nil {
+		t.Fatalf("board run: %v", err)
+	}
+
+	// Expired lease: the reaper re-offers the entry and invalidates the
+	// token, so the slow thief's late completion must be rejected.
+	go func() {
+		_, err := b.run(context.Background(), regionTask{work: core.RegionWork{ID: 8}})
+		resCh <- err
+	}()
+	for i := 0; ; i++ {
+		if e, tk := b.lease("slow-thief"); e != nil {
+			tok = tk
+			break
+		}
+		if i > 1000 {
+			t.Fatal("second entry never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.reapLeases(time.Now().Add(2 * time.Minute))
+	if b.completeLease(tok, out, nil) {
+		t.Fatal("completion under a reaped lease token was accepted")
+	}
+	// The re-offered entry is claimable again and completes normally.
+	e := b.next()
+	if e == nil || e.task.work.ID != 8 {
+		t.Fatalf("re-offered entry not claimable: %+v", e)
+	}
+	if !b.deliver(e, out, nil) {
+		t.Fatal("delivery of the re-offered entry failed")
+	}
+	if err := <-resCh; err != nil {
+		t.Fatalf("board run after reclaim: %v", err)
+	}
+}
+
+// TestClusterSecretRejected pins the /internal/* authentication gate: a
+// request without the shared secret is refused.
+func TestClusterSecretRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node end-to-end run")
+	}
+	nodes := newTestCluster(t, 3, nil)
+	resp, err := http.Post(nodes[0].url+"/internal/steal", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unauthenticated /internal/steal: status %d, want 403", resp.StatusCode)
+	}
+}

@@ -201,6 +201,62 @@ func newMetrics(reg *obs.Registry, q *Queue) *metrics {
 		"Warm-start blobs skipped and deleted: IO error.",
 		sv(func(s store.Stats) int64 { return s.WarmSkippedIO }), obs.L("reason", "io"))
 
+	// Cluster families register only in cluster mode: unlike the store
+	// families (a store can appear on restart without changing the family
+	// set's meaning), a non-clustered daemon has no peers to report on, and
+	// the golden family-set test pins the single-node list.
+	if c := q.cluster; c != nil {
+		reg.CounterFunc("dscts_cluster_forwarded_total",
+			"Requests this node routed to their consistent-hash ring owner.",
+			func() float64 { return float64(c.forwarded.Load()) })
+		reg.CounterFunc("dscts_cluster_forward_fallback_total",
+			"Forwards that failed (peer down or erroring) and were served locally instead.",
+			func() float64 { return float64(c.forwardFallback.Load()) })
+		reg.CounterFunc("dscts_cluster_forwarded_in_total",
+			"Forwarded requests received from peers.",
+			func() float64 { return float64(c.forwardedIn.Load()) })
+		reg.CounterFunc("dscts_cluster_regions_total",
+			"Board regions executed locally on this node.",
+			func() float64 { return float64(c.localRegions.Load()) },
+			obs.L("path", "local"))
+		reg.CounterFunc("dscts_cluster_regions_total",
+			"Board regions dispatched to peers (applied results).",
+			func() float64 { return float64(c.dispatched.Load()) },
+			obs.L("path", "dispatched"))
+		reg.CounterFunc("dscts_cluster_regions_total",
+			"Regions this node executed for peers via POST /internal/region.",
+			func() float64 { return float64(c.served.Load()) },
+			obs.L("path", "served"))
+		reg.CounterFunc("dscts_cluster_regions_total",
+			"Regions this node stole from peers and completed.",
+			func() float64 { return float64(c.stolen.Load()) },
+			obs.L("path", "stolen"))
+		reg.CounterFunc("dscts_cluster_region_dispatch_errors_total",
+			"Region dispatch attempts that failed and were re-offered.",
+			func() float64 { return float64(c.dispatchErrs.Load()) })
+		reg.CounterFunc("dscts_cluster_steals_given_total",
+			"Region leases handed to stealing peers.",
+			func() float64 { return float64(c.stealsGiven.Load()) })
+		reg.CounterFunc("dscts_cluster_steal_rejects_total",
+			"Stale or duplicate steal completions rejected by the lease-token check.",
+			func() float64 { return float64(c.stealRejects.Load()) })
+		reg.CounterFunc("dscts_cluster_breaker_opens_total",
+			"Per-peer circuit-breaker openings, summed over the peer set.",
+			func() float64 { return float64(c.peers.BreakerOpens()) })
+		for _, id := range c.peers.IDs() {
+			id := id
+			reg.GaugeFunc("dscts_cluster_peer_up",
+				"Peer liveness from this node's prober (1 healthy, 0 down).",
+				func() float64 {
+					if c.peers.Usable(id) {
+						return 1
+					}
+					return 0
+				},
+				obs.L("peer", id))
+		}
+	}
+
 	reg.CounterFunc("dscts_faults_injected_total",
 		"Fired fault injections across all points (chaos/test builds; 0 in production).",
 		func() float64 {

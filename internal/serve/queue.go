@@ -490,6 +490,13 @@ type Config struct {
 	// Logger receives the queue's structured log lines (admissions, job
 	// terminations, panics, watchdog kills). nil discards them.
 	Logger *slog.Logger
+	// Cluster enables cluster mode (see cluster.go): consistent-hash
+	// request routing across the peer set, remote region dispatch for
+	// partitioned jobs, and work stealing. nil — the default — runs the
+	// queue single-node. An invalid cluster config (node ID not in the
+	// peer list, malformed peers) panics in NewQueue: it is static boot
+	// configuration, pre-validated by the flag parser in cmd/dsctsd.
+	Cluster *ClusterConfig
 }
 
 // DefaultMaxJobSinks bounds admitted job sizes when Config.MaxJobSinks is 0:
@@ -634,6 +641,9 @@ type Stats struct {
 	// LastPanics is the ring of most recent recovered job panics, oldest
 	// first, stack traces included.
 	LastPanics []PanicRecord `json:"last_panics,omitempty"`
+	// Cluster is the cluster-mode snapshot (routing, region dispatch,
+	// stealing, peer liveness); nil when cluster mode is off.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Queue runs jobs on a fixed pool of runners with bounded admission and a
@@ -708,6 +718,10 @@ type Queue struct {
 	metrics *metrics
 	log     *slog.Logger
 
+	// cluster is the cluster-mode runtime (ring, peer liveness, region
+	// board); nil when Config.Cluster is nil.
+	cluster *clusterNode
+
 	start time.Time
 }
 
@@ -739,6 +753,13 @@ func NewQueue(cfg Config) *Queue {
 		q.log = slog.New(slog.DiscardHandler)
 	}
 	q.warmStart()
+	if cfg.Cluster != nil {
+		cn, err := newClusterNode(*cfg.Cluster, q)
+		if err != nil {
+			panic(fmt.Sprintf("serve: invalid cluster config: %v", err))
+		}
+		q.cluster = cn
+	}
 	q.metrics = newMetrics(cfg.Metrics, q)
 	q.wg.Add(cfg.MaxRunning)
 	for i := 0; i < cfg.MaxRunning; i++ {
@@ -1092,7 +1113,16 @@ func (q *Queue) Stats() Stats {
 		Cache:      q.cache.Stats(),
 		Faults:     q.cfg.Faults.Counts(),
 		LastPanics: lastPanics,
+		Cluster:    q.clusterStats(),
 	}
+}
+
+// clusterStats returns the cluster snapshot, nil when cluster mode is off.
+func (q *Queue) clusterStats() *ClusterStats {
+	if q.cluster == nil {
+		return nil
+	}
+	return q.cluster.stats()
 }
 
 // Close stops the runner pool: new submissions are rejected with
@@ -1116,6 +1146,12 @@ func (q *Queue) Close() {
 		close(q.wdStop)
 		q.wdWG.Wait()
 		q.bodyWG.Wait()
+		// With every job body joined, nothing can be waiting on the region
+		// board; stop the cluster runtime (executors, dispatchers, stealer,
+		// prober) last.
+		if q.cluster != nil {
+			q.cluster.close()
+		}
 		// Drain jobs the runners never picked up.
 		for _, job := range q.sched.drain() {
 			if job.finish(StateCancelled, nil, context.Canceled) {
@@ -1273,6 +1309,13 @@ func (q *Queue) execute(job *Job, ctx context.Context) {
 	opt.Workers = q.workersFor(job.sinks)
 	opt.Progress = job.progress
 	opt.Faults = q.cfg.Faults
+	if q.cluster != nil {
+		// Partitioned regions route through the cluster's region board:
+		// local executors, peer dispatch and work stealing drain it. The
+		// executor is result-equivalent to the local path, so Metrics stay
+		// bit-identical to a single-node run.
+		opt.RegionExec = q.cluster.execFor(job.req.Tech, rv.tc, opt)
+	}
 
 	var result *Result
 	switch job.kind {
@@ -1467,6 +1510,9 @@ func (q *Queue) synthesizeBase(job *Job, ctx context.Context, baseReq *Request, 
 	opt.Progress = job.progress
 	opt.Faults = q.cfg.Faults
 	opt.RetainECO = true
+	if q.cluster != nil {
+		opt.RegionExec = q.cluster.execFor(baseReq.Tech, rv.tc, opt)
+	}
 	prev, err := core.SynthesizeContext(ctx, rv.root, rv.sinks, rv.tc, opt)
 	if err != nil {
 		return nil, err

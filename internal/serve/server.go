@@ -72,6 +72,13 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.readyz)
 	s.mux.HandleFunc("GET /stats", s.stats)
 	s.mux.HandleFunc("GET /version", s.version)
+	if c := s.queue.cluster; c != nil {
+		// Cluster-internal peer API (gob over HTTP, shared-secret gated):
+		// remote region execution and the work-stealing handshake.
+		s.mux.HandleFunc("POST /internal/region", c.handleRegion)
+		s.mux.HandleFunc("POST /internal/steal", c.handleSteal)
+		s.mux.HandleFunc("POST /internal/steal/done", c.handleStealDone)
+	}
 	if cfg.Metrics != nil {
 		reg := cfg.Metrics
 		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -95,6 +102,13 @@ func (s *Server) Handler() http.Handler {
 			r.Header.Set("X-Request-ID", id)
 		}
 		w.Header().Set("X-Request-ID", id)
+		if c := s.queue.cluster; c != nil {
+			// Which node answered; a forwarded response's header (set by
+			// the owner) is relayed as-is by the forwarding node instead.
+			if w.Header().Get(headerNode) == "" {
+				w.Header().Set(headerNode, c.self.ID)
+			}
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		s.mux.ServeHTTP(rec, r)
 		code := rec.code
@@ -145,6 +159,19 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string) {
 		req.Tenant = r.Header.Get("X-Tenant")
 	}
 	req.reqID = r.Header.Get("X-Request-ID")
+	// Cluster routing: a sync request whose cache key hashes to a peer is
+	// forwarded there (so repeated invocations hit exactly one node's
+	// cache) unless we hold a local cached result or the owner is down —
+	// a failed forward falls back to local execution below.
+	if c := s.queue.cluster; c != nil {
+		if r.Header.Get(headerForwarded) != "" {
+			c.forwardedIn.Add(1)
+		} else if owner, ok := c.shouldForward(r, mode, &req, kind); ok {
+			if c.forward(w, r, owner, &req) {
+				return
+			}
+		}
+	}
 	job, err := s.queue.Submit(&req, kind)
 	if err != nil {
 		var sz *SizeError
